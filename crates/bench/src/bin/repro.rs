@@ -1,0 +1,36 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run -p hwdp-bench --bin repro --release             # everything
+//! cargo run -p hwdp-bench --bin repro --release -- fig12    # one experiment
+//! cargo run -p hwdp-bench --bin repro --release -- --quick  # smaller scale
+//! cargo run -p hwdp-bench --bin repro --release -- --markdown > results.md
+//! ```
+
+use hwdp_bench::scenarios::Scale;
+use hwdp_bench::{all_tables, figures};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let markdown = args.iter().any(|a| a == "--markdown");
+    let filter: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    let scale = if quick { Scale::quick() } else { Scale::default() };
+
+    if !markdown {
+        println!("hwdp repro — \"A Case for Hardware-Based Demand Paging\" (ISCA 2020)");
+        println!("{}", figures::table2_config());
+    }
+
+    for table in all_tables(&scale) {
+        if !filter.is_empty() && !filter.iter().any(|f| table.id.contains(f.as_str())) {
+            continue;
+        }
+        if markdown {
+            println!("{}", table.to_markdown());
+        } else {
+            println!("{table}");
+        }
+    }
+}

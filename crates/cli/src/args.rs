@@ -1,0 +1,171 @@
+//! Tiny dependency-free argument parsing for the `hwdp` CLI.
+
+use std::collections::HashMap;
+
+use hwdp_core::Mode;
+use hwdp_nvme::profile::DeviceProfile;
+use hwdp_workloads::YcsbKind;
+
+/// Parsed command line: a subcommand plus `--key value` options and bare
+/// `--flag`s.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// The subcommand (first non-flag argument).
+    pub command: String,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// A parse or validation error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses raw arguments (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when no subcommand is given or an option is
+    /// missing its value.
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, ArgError> {
+        let mut it = raw.into_iter().peekable();
+        let command =
+            it.next().ok_or_else(|| ArgError("missing subcommand; try `hwdp help`".into()))?;
+        let mut options = HashMap::new();
+        let mut flags = Vec::new();
+        while let Some(arg) = it.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(ArgError(format!("unexpected positional argument '{arg}'")));
+            };
+            match it.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    options.insert(key.to_string(), it.next().expect("peeked"));
+                }
+                _ => flags.push(key.to_string()),
+            }
+        }
+        Ok(Args { command, options, flags })
+    }
+
+    /// A `--flag` with no value.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// A string option.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(|s| s.as_str())
+    }
+
+    /// A numeric option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the value does not parse.
+    pub fn num(&self, name: &str, default: u64) -> Result<u64, ArgError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{name} expects a number, got '{v}'"))),
+        }
+    }
+
+    /// The `--mode` option (default HWDP).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown modes.
+    pub fn mode(&self) -> Result<Mode, ArgError> {
+        match self.get("mode").unwrap_or("hwdp") {
+            "osdp" => Ok(Mode::Osdp),
+            "hwdp" => Ok(Mode::Hwdp),
+            "sw" | "sw-only" | "swonly" => Ok(Mode::SwOnly),
+            other => Err(ArgError(format!("unknown --mode '{other}' (osdp|hwdp|sw-only)"))),
+        }
+    }
+
+    /// The `--device` option (default Z-SSD).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown devices.
+    pub fn device(&self) -> Result<DeviceProfile, ArgError> {
+        match self.get("device").unwrap_or("zssd") {
+            "zssd" | "z-ssd" => Ok(DeviceProfile::Z_SSD),
+            "optane" | "optane-ssd" => Ok(DeviceProfile::OPTANE_SSD),
+            "pmm" | "optane-pmm" => Ok(DeviceProfile::OPTANE_PMM),
+            other => Err(ArgError(format!("unknown --device '{other}' (zssd|optane|pmm)"))),
+        }
+    }
+
+    /// The `--kind` option for YCSB (default C).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown workload letters.
+    pub fn ycsb_kind(&self) -> Result<YcsbKind, ArgError> {
+        match self.get("kind").unwrap_or("c") {
+            "a" | "A" => Ok(YcsbKind::A),
+            "b" | "B" => Ok(YcsbKind::B),
+            "c" | "C" => Ok(YcsbKind::C),
+            "d" | "D" => Ok(YcsbKind::D),
+            "e" | "E" => Ok(YcsbKind::E),
+            "f" | "F" => Ok(YcsbKind::F),
+            other => Err(ArgError(format!("unknown --kind '{other}' (a..f)"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Args, ArgError> {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_command_options_and_flags() {
+        let a = parse("fio --threads 4 --seq --mode osdp").unwrap();
+        assert_eq!(a.command, "fio");
+        assert_eq!(a.num("threads", 1).unwrap(), 4);
+        assert!(a.flag("seq"));
+        assert_eq!(a.mode().unwrap(), Mode::Osdp);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse("fio").unwrap();
+        assert_eq!(a.num("threads", 1).unwrap(), 1);
+        assert_eq!(a.mode().unwrap(), Mode::Hwdp);
+        assert_eq!(a.device().unwrap().name, "Z-SSD SZ985");
+        assert!(!a.flag("seq"));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse("").is_err());
+        assert!(parse("fio positional").is_err());
+        assert!(parse("fio --threads four").unwrap().num("threads", 1).is_err());
+        assert!(parse("fio --mode turbo").unwrap().mode().is_err());
+        assert!(parse("fio --device floppy").unwrap().device().is_err());
+        assert!(parse("ycsb --kind z").unwrap().ycsb_kind().is_err());
+    }
+
+    #[test]
+    fn ycsb_kinds_parse() {
+        for (s, k) in [("a", YcsbKind::A), ("C", YcsbKind::C), ("f", YcsbKind::F)] {
+            let a = Args::parse(["ycsb".into(), "--kind".into(), s.into()]).unwrap();
+            assert_eq!(a.ycsb_kind().unwrap(), k);
+        }
+    }
+}

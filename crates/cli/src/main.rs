@@ -1,0 +1,243 @@
+//! `hwdp` — command-line driver for the hardware-based demand paging
+//! simulator (reproduction of "A Case for Hardware-Based Demand Paging",
+//! ISCA 2020).
+//!
+//! ```text
+//! hwdp fio  [--mode osdp|hwdp|sw-only] [--threads N] [--ratio R] [--ops N]
+//!           [--device zssd|optane|pmm] [--seq] [--prefetch N] [--readahead N]
+//! hwdp ycsb [--kind a..f] [--mode ...] [--threads N] [--ratio R] [--ops N]
+//! hwdp anon [--mode ...] [--ratio R] [--ops N]
+//! hwdp anatomy [--device ...]
+//! hwdp config
+//! hwdp help
+//! ```
+
+mod args;
+
+use std::process::ExitCode;
+
+use args::{ArgError, Args};
+use hwdp_core::anatomy::{hwdp_anatomy, osdp_anatomy, swonly_anatomy};
+use hwdp_core::{Mode, RunResult, SystemBuilder, SystemConfig};
+use hwdp_sim::rng::Prng;
+use hwdp_sim::time::Duration;
+use hwdp_workloads::{
+    DbBenchReadRandom, FioRandRead, FioSeqRead, MiniDb, ScratchChurn, Workload, Ycsb,
+};
+
+const HELP: &str = "\
+hwdp — hardware-based demand paging simulator (ISCA 2020 reproduction)
+
+USAGE:
+  hwdp <command> [options]
+
+COMMANDS:
+  fio       FIO mmap engine: 4 KiB reads over a cold mapped file
+  ycsb      YCSB A-F on the MiniDB NoSQL store (dataset ratio x memory)
+  dbbench   DBBench readrandom on MiniDB
+  anon      anonymous-memory churn (zero-fill + swap, value-verified)
+  anatomy   closed-form single-miss latency breakdowns (Figs. 3/11/17)
+  config    print the Table II system configuration
+  help      this text
+
+COMMON OPTIONS:
+  --mode osdp|hwdp|sw-only   demand-paging design   (default hwdp)
+  --device zssd|optane|pmm   storage device         (default zssd)
+  --threads N                client threads         (default 1)
+  --ratio N                  dataset:memory ratio   (default 4)
+  --ops N                    operations per thread  (default 2000)
+  --memory N                 DRAM frames            (default 1024)
+  --seed N                   RNG seed               (default 42)
+
+FIO OPTIONS:
+  --seq                      sequential instead of random reads
+  --prefetch N               SMU prefetch window (HWDP, section V)
+  --readahead N              OS readahead window (disabled in the paper)
+";
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() {
+        println!("{HELP}");
+        return ExitCode::SUCCESS;
+    }
+    match run(raw) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("try `hwdp help`");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(raw: Vec<String>) -> Result<(), ArgError> {
+    let args = Args::parse(raw)?;
+    match args.command.as_str() {
+        "help" | "--help" | "-h" => println!("{HELP}"),
+        "config" => println!("{}", SystemConfig::paper_default(Mode::Hwdp).describe()),
+        "anatomy" => anatomy(&args)?,
+        "fio" => fio(&args)?,
+        "ycsb" | "dbbench" => kv(&args)?,
+        "anon" => anon(&args)?,
+        other => return Err(ArgError(format!("unknown command '{other}'"))),
+    }
+    Ok(())
+}
+
+fn builder(args: &Args) -> Result<(SystemBuilder, usize, u64, u64), ArgError> {
+    let memory = args.num("memory", 1024)? as usize;
+    let threads = args.num("threads", 1)? as usize;
+    let ratio = args.num("ratio", 4)?;
+    let ops = args.num("ops", 2000)?;
+    let b = SystemBuilder::new(args.mode()?)
+        .memory_frames(memory)
+        .device(args.device()?)
+        .kpted_period(Duration::from_millis(1))
+        .seed(args.num("seed", 42)?);
+    Ok((b, threads, ratio, ops))
+}
+
+fn report(label: &str, r: &RunResult) {
+    println!("== {label} ==");
+    println!("  elapsed          {}", r.elapsed);
+    println!("  operations       {}  ({:.0} ops/s)", r.ops, r.throughput_ops_s());
+    println!(
+        "  read latency     mean {}  p50 {}  p99 {}",
+        r.read_latency.mean(),
+        r.read_latency.percentile(0.5),
+        r.read_latency.percentile(0.99)
+    );
+    println!(
+        "  page misses      {} (mean {})",
+        r.miss_latency.count(),
+        r.miss_latency.mean()
+    );
+    println!(
+        "  handled by       hardware {}  OS major {}  OS minor {}  zero-fill {}",
+        r.smu.completed, r.os.major_faults, r.os.minor_faults, r.smu.zero_fills
+    );
+    println!(
+        "  device           {} reads, {} writes; {} evictions, {} writebacks",
+        r.device_reads, r.device_writes, r.os.evictions, r.os.writebacks
+    );
+    println!("  user IPC         {:.3}", r.user_ipc());
+    println!(
+        "  kernel instr     app {}  kpted {}  kpoold {}",
+        r.kernel.app_kernel_instr, r.kernel.kpted_instr, r.kernel.kpoold_instr
+    );
+    if r.smu_prefetches + r.readahead_reads > 0 {
+        println!(
+            "  prefetching      SMU {}  OS readahead {}",
+            r.smu_prefetches, r.readahead_reads
+        );
+    }
+    match r.verify_failures() {
+        0 => println!("  data integrity   ok (every read verified)"),
+        n => println!("  data integrity   {n} FAILURES"),
+    }
+}
+
+fn fio(args: &Args) -> Result<(), ArgError> {
+    let (mut b, threads, ratio, ops) = builder(args)?;
+    b = b
+        .smu_prefetch_pages(args.num("prefetch", 0)? as usize)
+        .readahead_pages(args.num("readahead", 0)? as usize);
+    let mut sys = b.build();
+    let pages = (sys.config().memory_frames as u64) * ratio;
+    let file = sys.create_pattern_file("fio-data", pages);
+    let region = sys.map_file(file);
+    for i in 0..threads {
+        let w: Box<dyn Workload> = if args.flag("seq") {
+            Box::new(FioSeqRead::new(region, pages, ops))
+        } else {
+            Box::new(FioRandRead::new(region, pages, ops, Prng::seed_from(1000 + i as u64)))
+        };
+        sys.spawn(w, 1.8, None);
+    }
+    let r = sys.run(Duration::from_secs(120));
+    report(
+        &format!(
+            "fio {} / {} / {} threads / dataset {ratio}x memory",
+            if args.flag("seq") { "seqread" } else { "randread" },
+            sys.config().mode.label(),
+            threads
+        ),
+        &r,
+    );
+    Ok(())
+}
+
+fn kv(args: &Args) -> Result<(), ArgError> {
+    let (b, threads, ratio, ops) = builder(args)?;
+    let mut sys = b.build();
+    let records = (sys.config().memory_frames as u64) * ratio;
+    let capacity = records + records / 4;
+    let file = sys.create_kv_file("db", records, capacity);
+    let region = sys.map_file(file);
+    let label;
+    for i in 0..threads {
+        let db = MiniDb::new(region, records, capacity);
+        let rng = Prng::seed_from(2000 + i as u64);
+        let w: Box<dyn Workload> = if args.command == "dbbench" {
+            Box::new(DbBenchReadRandom::new(db, ops, rng))
+        } else {
+            Box::new(Ycsb::new(args.ycsb_kind()?, db, ops, rng))
+        };
+        sys.spawn(w, 1.6, None);
+    }
+    label = format!(
+        "{} / {} / {} threads / dataset {ratio}x memory",
+        if args.command == "dbbench" {
+            "dbbench readrandom".to_string()
+        } else {
+            format!("ycsb-{}", args.get("kind").unwrap_or("c"))
+        },
+        sys.config().mode.label(),
+        threads
+    );
+    let r = sys.run(Duration::from_secs(120));
+    report(&label, &r);
+    Ok(())
+}
+
+fn anon(args: &Args) -> Result<(), ArgError> {
+    let (b, threads, ratio, ops) = builder(args)?;
+    let mut sys = b.build();
+    let pages = (sys.config().memory_frames as u64) * ratio;
+    let region = sys.map_anon(pages);
+    for i in 0..threads {
+        sys.spawn(
+            Box::new(ScratchChurn::new(region, pages, ops, Prng::seed_from(3000 + i as u64))),
+            1.6,
+            None,
+        );
+    }
+    let r = sys.run(Duration::from_secs(120));
+    report(
+        &format!(
+            "anonymous churn / {} / {} threads / region {ratio}x memory",
+            sys.config().mode.label(),
+            threads
+        ),
+        &r,
+    );
+    Ok(())
+}
+
+fn anatomy(args: &Args) -> Result<(), ArgError> {
+    let dev = args.device()?;
+    println!("single page-miss anatomy on {} (4 KiB read: {}):\n", dev.name, dev.read_4k);
+    for a in [
+        osdp_anatomy(&hwdp_os::costs::OsdpCosts::paper_default(), &dev),
+        swonly_anatomy(&hwdp_os::costs::SwOnlyCosts::paper_default(), &dev),
+        hwdp_anatomy(&hwdp_smu::timing::SmuTiming::paper_default(), &dev),
+    ] {
+        println!("{:<8} total {}  (host overhead {})", a.scheme, a.total(), a.overhead());
+        for c in &a.components {
+            println!("    {:<34} {}", c.label, c.time);
+        }
+        println!();
+    }
+    Ok(())
+}

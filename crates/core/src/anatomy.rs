@@ -1,0 +1,198 @@
+//! Single page-miss latency anatomy: closed-form reproductions of the
+//! paper's Fig. 3 (OSDP breakdown), Fig. 11 (HWDP vs OSDP, and the HWDP
+//! timeline) and Fig. 17 (software-only vs hardware across devices).
+//!
+//! These use the same calibrated cost models the full simulator uses, so
+//! a full run's median miss latency agrees with the anatomy (asserted by
+//! integration tests).
+
+use hwdp_nvme::profile::DeviceProfile;
+use hwdp_os::costs::{OsdpCosts, SwOnlyCosts};
+use hwdp_smu::timing::SmuTiming;
+use hwdp_sim::time::Duration;
+
+/// One labelled latency component.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Component {
+    /// Human-readable label.
+    pub label: &'static str,
+    /// Its latency.
+    pub time: Duration,
+    /// Whether this is the device portion.
+    pub is_device: bool,
+}
+
+/// A full single-miss anatomy.
+#[derive(Clone, Debug)]
+pub struct Anatomy {
+    /// Scheme label ("OSDP", "HWDP", "SW-only").
+    pub scheme: &'static str,
+    /// Ordered components.
+    pub components: Vec<Component>,
+}
+
+impl Anatomy {
+    /// Total single-miss latency.
+    pub fn total(&self) -> Duration {
+        self.components.iter().map(|c| c.time).sum()
+    }
+
+    /// Host-side overhead (everything but the device).
+    pub fn overhead(&self) -> Duration {
+        self.components.iter().filter(|c| !c.is_device).map(|c| c.time).sum()
+    }
+
+    /// Latency before the device starts (components preceding the device
+    /// entry).
+    pub fn before_device(&self) -> Duration {
+        self.components.iter().take_while(|c| !c.is_device).map(|c| c.time).sum()
+    }
+
+    /// Latency after the device finishes.
+    pub fn after_device(&self) -> Duration {
+        self.components
+            .iter()
+            .skip_while(|c| !c.is_device)
+            .filter(|c| !c.is_device)
+            .map(|c| c.time)
+            .sum()
+    }
+
+    /// Overhead as a fraction of device time (the Fig. 3 "76.3 %" figure).
+    pub fn overhead_fraction_of_device(&self) -> f64 {
+        let device: Duration =
+            self.components.iter().filter(|c| c.is_device).map(|c| c.time).sum();
+        self.overhead().as_nanos_f64() / device.as_nanos_f64()
+    }
+}
+
+/// Fig. 3: the OSDP single-fault breakdown for a device.
+pub fn osdp_anatomy(costs: &OsdpCosts, device: &DeviceProfile) -> Anatomy {
+    Anatomy {
+        scheme: "OSDP",
+        components: vec![
+            Component { label: "exception + page-table walk", time: costs.exception.latency, is_device: false },
+            Component { label: "fault handler (VMA, page alloc)", time: costs.fault_handler.latency, is_device: false },
+            Component { label: "I/O stack submission", time: costs.io_submit.latency, is_device: false },
+            Component { label: "device I/O", time: device.read_4k, is_device: true },
+            Component { label: "interrupt delivery", time: costs.irq_delivery.latency, is_device: false },
+            Component { label: "I/O completion + wakeup", time: costs.io_completion.latency, is_device: false },
+            Component { label: "context switch in", time: costs.context_switch_in.latency, is_device: false },
+            Component { label: "OS metadata update + return", time: costs.metadata_update.latency, is_device: false },
+        ],
+    }
+}
+
+/// Fig. 11(b): the HWDP single-miss timeline for a device (prefetched
+/// free page, the steady-state case).
+pub fn hwdp_anatomy(timing: &SmuTiming, device: &DeviceProfile) -> Anatomy {
+    Anatomy {
+        scheme: "HWDP",
+        components: vec![
+            Component {
+                label: "MMU→SMU regs + PMSHR CAM",
+                time: timing.freq.cycles(timing.request_reg_writes_cycles + timing.cam_lookup_cycles),
+                is_device: false,
+            },
+            Component { label: "free page (prefetched)", time: Duration::ZERO, is_device: false },
+            Component { label: "NVMe command write (64 B)", time: timing.nvme_cmd_write, is_device: false },
+            Component { label: "SQ doorbell (PCIe write)", time: timing.doorbell_write, is_device: false },
+            Component { label: "device I/O", time: device.read_4k, is_device: true },
+            Component {
+                label: "completion unit",
+                time: timing.freq.cycles(timing.completion_unit_cycles),
+                is_device: false,
+            },
+            Component {
+                label: "PTE/PMD/PUD update (3 LLC RMW)",
+                time: timing.freq.cycles(timing.table_update_cycles),
+                is_device: false,
+            },
+            Component { label: "broadcast + MMU notify", time: timing.freq.cycles(timing.notify_cycles), is_device: false },
+        ],
+    }
+}
+
+/// Fig. 17: the software-only single-miss anatomy for a device.
+pub fn swonly_anatomy(costs: &SwOnlyCosts, device: &DeviceProfile) -> Anatomy {
+    Anatomy {
+        scheme: "SW-only",
+        components: vec![
+            Component { label: "exception + LBA check", time: costs.exception.latency, is_device: false },
+            Component { label: "software PMSHR + free page", time: costs.pmshr_emulation.latency, is_device: false },
+            Component { label: "direct NVMe submit", time: costs.direct_submit.latency, is_device: false },
+            Component { label: "device I/O", time: device.read_4k, is_device: true },
+            Component { label: "mwait poll + completion + PTE", time: costs.poll_completion.latency, is_device: false },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn z() -> DeviceProfile {
+        DeviceProfile::Z_SSD
+    }
+
+    #[test]
+    fn fig3_overhead_fraction() {
+        let a = osdp_anatomy(&OsdpCosts::paper_default(), &z());
+        // The paper reports 76.3 % of device time; with the Z-SSD's raw
+        // 10.9 µs our calibrated absolute costs give a slightly higher
+        // fraction (the paper's effective device time includes queueing).
+        let f = a.overhead_fraction_of_device();
+        assert!((0.70..0.85).contains(&f), "fraction {f}");
+    }
+
+    #[test]
+    fn fig11a_deltas() {
+        let osdp = osdp_anatomy(&OsdpCosts::paper_default(), &z());
+        let hwdp = hwdp_anatomy(&SmuTiming::paper_default(), &z());
+        let before = osdp.before_device().as_micros_f64() - hwdp.before_device().as_micros_f64();
+        let after = osdp.after_device().as_micros_f64() - hwdp.after_device().as_micros_f64();
+        assert!((before - 2.38).abs() < 0.1, "before-device delta {before} (paper: 2.38 µs)");
+        assert!((after - 6.16).abs() < 0.1, "after-device delta {after} (paper: 6.16 µs)");
+    }
+
+    #[test]
+    fn fig11b_hwdp_overhead_nanoscale() {
+        let a = hwdp_anatomy(&SmuTiming::paper_default(), &z());
+        assert!(a.overhead() < Duration::from_nanos(200), "overhead {}", a.overhead());
+        // Total ≈ device + ~0.12 µs.
+        assert!(a.total() < z().read_4k + Duration::from_nanos(200));
+    }
+
+    #[test]
+    fn fig12_single_thread_latency_reduction() {
+        // End-to-end single-threaded: HWDP reduces miss latency by ~37 %
+        // (accept 30–45 %).
+        let osdp = osdp_anatomy(&OsdpCosts::paper_default(), &z()).total();
+        let hwdp = hwdp_anatomy(&SmuTiming::paper_default(), &z()).total();
+        let reduction = 1.0 - hwdp.as_nanos_f64() / osdp.as_nanos_f64();
+        assert!((0.30..0.45).contains(&reduction), "reduction {reduction}");
+    }
+
+    #[test]
+    fn fig17_benefit_grows_as_device_shrinks() {
+        let sw_costs = SwOnlyCosts::paper_default();
+        let timing = SmuTiming::paper_default();
+        let mut reductions = Vec::new();
+        for dev in DeviceProfile::FIG17_DEVICES {
+            let sw = swonly_anatomy(&sw_costs, &dev).total();
+            let hw = hwdp_anatomy(&timing, &dev).total();
+            reductions.push(1.0 - hw.as_nanos_f64() / sw.as_nanos_f64());
+        }
+        // Z-SSD ≈ 14 %, Optane PMM ≈ 44 % (paper); monotone in between.
+        assert!((0.09..0.20).contains(&reductions[0]), "Z-SSD {}", reductions[0]);
+        assert!((0.35..0.50).contains(&reductions[2]), "PMM {}", reductions[2]);
+        assert!(reductions[0] < reductions[1] && reductions[1] < reductions[2]);
+    }
+
+    #[test]
+    fn anatomy_accessors_consistent() {
+        let a = osdp_anatomy(&OsdpCosts::paper_default(), &z());
+        assert_eq!(a.before_device() + z().read_4k + a.after_device(), a.total());
+        assert_eq!(a.overhead() + z().read_4k, a.total());
+    }
+}

@@ -1,0 +1,139 @@
+//! Run results and per-thread reports.
+
+use hwdp_cpu::perf::PerfCounters;
+use hwdp_os::kernel::{KernelAccounting, OsStats};
+use hwdp_smu::smu::SmuStats;
+use hwdp_sim::stats::LatencyHist;
+use hwdp_sim::time::Duration;
+
+/// Where a thread's wall-clock time went (the Fig. 1 breakdown).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TimeBreakdown {
+    /// User compute (workload instructions).
+    pub compute: Duration,
+    /// Stalled or blocked waiting for page misses (device + hardware
+    /// path).
+    pub miss_wait: Duration,
+    /// Kernel code executed in this thread's context (fault handling).
+    pub kernel: Duration,
+    /// Plain memory accesses (TLB/walk/copy on resident pages).
+    pub access: Duration,
+    /// Waiting for a hardware context (oversubscription).
+    pub sched_wait: Duration,
+}
+
+impl TimeBreakdown {
+    /// Total accounted time.
+    pub fn total(&self) -> Duration {
+        self.compute + self.miss_wait + self.kernel + self.access + self.sched_wait
+    }
+
+    /// Fraction of time in demand paging (miss wait + kernel).
+    pub fn paging_fraction(&self) -> f64 {
+        let t = self.total();
+        if t.is_zero() {
+            return 0.0;
+        }
+        (self.miss_wait + self.kernel).as_nanos_f64() / t.as_nanos_f64()
+    }
+}
+
+/// One thread's results.
+#[derive(Clone, Debug)]
+pub struct ThreadReport {
+    /// Workload name.
+    pub name: String,
+    /// Completed application operations.
+    pub ops: u64,
+    /// Data-verification failures (must be zero in a correct system).
+    pub verify_failures: u64,
+    /// Hardware counters.
+    pub perf: PerfCounters,
+    /// Time breakdown.
+    pub time: TimeBreakdown,
+    /// Page-miss handling latency seen by this thread.
+    pub miss_latency: LatencyHist,
+}
+
+/// Results of one system run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Virtual time elapsed.
+    pub elapsed: Duration,
+    /// Total completed operations across threads.
+    pub ops: u64,
+    /// Per-thread reports.
+    pub threads: Vec<ThreadReport>,
+    /// Aggregate miss-handling latency (all threads).
+    pub miss_latency: LatencyHist,
+    /// Aggregate per-read application-observed latency.
+    pub read_latency: LatencyHist,
+    /// Aggregated hardware counters.
+    pub perf: PerfCounters,
+    /// Kernel-work accounting (Fig. 15).
+    pub kernel: KernelAccounting,
+    /// OS statistics.
+    pub os: OsStats,
+    /// SMU statistics (zeroed under OSDP).
+    pub smu: SmuStats,
+    /// Device read/write counts.
+    pub device_reads: u64,
+    /// Device write commands completed.
+    pub device_writes: u64,
+    /// Page misses that fell back to the OS because the free-page queue
+    /// was empty (§IV-D).
+    pub sync_refill_faults: u64,
+    /// Misses that had to wait because the PMSHR was full.
+    pub pmshr_stalls: u64,
+    /// Misses that took the §V long-latency timeout path (context switch
+    /// instead of pipeline stall).
+    pub long_io_switches: u64,
+    /// Pages read ahead by the OS (readahead window > 0).
+    pub readahead_reads: u64,
+    /// Detached prefetch misses issued by the SMU (§V future work).
+    pub smu_prefetches: u64,
+}
+
+impl RunResult {
+    /// Throughput in operations per second of virtual time.
+    pub fn throughput_ops_s(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.ops as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Aggregate user-level IPC.
+    pub fn user_ipc(&self) -> f64 {
+        self.perf.user_ipc()
+    }
+
+    /// Total verification failures (0 ⇔ data integrity held).
+    pub fn verify_failures(&self) -> u64 {
+        self.threads.iter().map(|t| t.verify_failures).sum()
+    }
+
+    /// Mean page-miss latency.
+    pub fn mean_miss_latency(&self) -> Duration {
+        self.miss_latency.mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_fraction() {
+        let b = TimeBreakdown {
+            compute: Duration::from_micros(30),
+            miss_wait: Duration::from_micros(50),
+            kernel: Duration::from_micros(20),
+            access: Duration::ZERO,
+            sched_wait: Duration::ZERO,
+        };
+        assert!((b.paging_fraction() - 0.7).abs() < 1e-9);
+        assert_eq!(b.total(), Duration::from_micros(100));
+        assert_eq!(TimeBreakdown::default().paging_fraction(), 0.0);
+    }
+}

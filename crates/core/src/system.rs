@@ -1,0 +1,1329 @@
+//! The integrated full-system simulator.
+//!
+//! One [`System`] wires together the substrates: CPU cores (with SMT and
+//! the pollution model), the extended MMU/TLB, the per-socket SMU, NVMe
+//! devices, and the OS (page tables, page cache, fault paths, `kpted`,
+//! `kpoold`). Workload threads execute [`Step`]s in virtual time; every
+//! page miss walks the full machinery of whichever [`Mode`] is configured.
+//!
+//! The engine is a discrete-event simulation: thread segments, device
+//! completions and kernel-thread ticks are events on one deterministic
+//! queue.
+
+use std::collections::{HashMap, VecDeque};
+
+use hwdp_cpu::perf::PerfCounters;
+use hwdp_cpu::pollution::Pollution;
+use hwdp_cpu::smt::{issue_factor, HwThreadState};
+use hwdp_mem::addr::{BlockRef, DeviceId, PageData, Pfn, SocketId, Vpn};
+use hwdp_mem::pte::{Pte, PteClass};
+use hwdp_mem::tlb::Tlb;
+use hwdp_mem::walker::Walker;
+use hwdp_nvme::command::NvmeCommand;
+use hwdp_nvme::device::{CompletionToken, NvmeController, QueueId};
+use hwdp_nvme::namespace::BlockStore;
+use hwdp_nvme::profile::DeviceProfile;
+use hwdp_os::fs::FileId;
+use hwdp_os::kernel::{Eviction, FaultPlan, Os};
+use hwdp_os::vma::{MmapFlags, VmaId};
+use hwdp_smu::free_queue::{FreePage, FreePageQueue};
+use hwdp_smu::host_controller::QueueDescriptor;
+use hwdp_smu::pmshr::{EntryIdx, Pmshr};
+use hwdp_smu::smu::{MissOutcome, MissRequest, Smu};
+use hwdp_smu::timing::SmuTiming;
+use hwdp_sim::events::EventQueue;
+use hwdp_sim::rng::Prng;
+use hwdp_sim::stats::LatencyHist;
+use hwdp_sim::time::{Duration, Time};
+use hwdp_workloads::kvstore::record_header;
+use hwdp_workloads::{RegionId, Step, Workload};
+
+use crate::config::{Mode, SystemConfig};
+use crate::metrics::{RunResult, ThreadReport, TimeBreakdown};
+
+/// Identifies a workload thread.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ThreadId(pub usize);
+
+/// Identifies a hardware thread context (`core * smt_ways + slot`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct HwId(pub usize);
+
+/// Cost of copying a full 4 KiB page to the user buffer (cache-resident).
+const ACCESS_4K: Duration = Duration::from_nanos(60);
+/// Cost of a small (≤ 64 B) user access.
+const ACCESS_SMALL: Duration = Duration::from_nanos(15);
+/// Frames fetched per synchronous free-queue refill (overlapped with the
+/// in-flight fault's device time, §IV-D).
+const SYNC_REFILL_BATCH: usize = 256;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ThreadState {
+    /// Waiting for a hardware context.
+    Runnable,
+    /// Executing on a hardware thread.
+    Running(HwId),
+    /// Pipeline-stalled on a hardware-handled miss (still owns the hw
+    /// context).
+    Stalled(HwId),
+    /// Descheduled waiting for an OS-handled I/O.
+    Blocked,
+    /// Workload finished.
+    Finished,
+}
+
+struct Thread {
+    name: String,
+    workload: Box<dyn Workload>,
+    base_ipc: f64,
+    pollution: Pollution,
+    perf: PerfCounters,
+    state: ThreadState,
+    /// The step being executed (kept across fault retries).
+    current: Option<Step>,
+    last_read: Option<Vec<u8>>,
+    pin: Option<HwId>,
+    time: TimeBreakdown,
+    miss_hist: LatencyHist,
+    read_hist: LatencyHist,
+    miss_start: Option<Time>,
+    read_start: Option<Time>,
+    runnable_since: Option<Time>,
+}
+
+struct HwThread {
+    running: Option<ThreadId>,
+    state: HwThreadState,
+    tlb: Tlb,
+    walker: Walker,
+}
+
+#[derive(Debug)]
+enum Purpose {
+    HwdpMiss { entry: EntryIdx },
+    OsdpRead { key: (u32, u64) },
+    Writeback,
+}
+
+#[derive(Debug)]
+enum Event {
+    /// Run the thread's next action.
+    Step(ThreadId),
+    /// A device finished a command.
+    IoDone { dev: usize, token: CompletionToken, purpose: Purpose },
+    /// `kpoold` wakeup.
+    KpoolTick,
+    /// `kpted` wakeup.
+    KptedTick,
+}
+
+struct OsdpPending {
+    vpn: Vpn,
+    pfn: Pfn,
+    waiters: Vec<ThreadId>,
+}
+
+/// The full system under test.
+pub struct System {
+    cfg: SystemConfig,
+    queue: EventQueue<Event>,
+    /// The kernel (public for inspection in tests and benches).
+    pub os: Os,
+    smu: Smu,
+    devices: Vec<NvmeController>,
+    device_index: HashMap<(u8, u8), usize>,
+    /// OS driver queue per device (index-aligned with `devices`).
+    os_queues: Vec<QueueId>,
+    threads: Vec<Thread>,
+    hw: Vec<HwThread>,
+    runqueue: VecDeque<ThreadId>,
+    region_map: HashMap<RegionId, VmaId>,
+    next_region: u32,
+    osdp_inflight: HashMap<(u32, u64), OsdpPending>,
+    pending_misses: VecDeque<(ThreadId, Vpn)>,
+    rng: Prng,
+    wb_cid: u16,
+    last_finish: Time,
+    active_threads: usize,
+    long_io_switches: u64,
+    readahead_reads: u64,
+}
+
+impl System {
+    /// Creates a system from a configuration, with one Z-SSD-class device
+    /// attached per [`SystemConfig::device`] (socket 0, device 0,
+    /// pattern-filled namespace).
+    pub fn new(cfg: SystemConfig) -> Self {
+        let mut rng = Prng::seed_from(cfg.seed);
+        let mut os = Os::new(cfg.memory_frames);
+        let timing = SmuTiming::at(cfg.freq);
+        // The paper's 4096-entry queue is 0.05 % of a 32 GiB machine; with
+        // scaled-down DRAM, cap the queue so it can never absorb the
+        // memory the workloads need (frames parked in the queue are not
+        // reclaimable).
+        let queue_depth = cfg.free_queue_depth.min((cfg.memory_frames / 8).max(8));
+        let mut smu = Smu::new(
+            SocketId(0),
+            Pmshr::new(cfg.pmshr_entries),
+            FreePageQueue::new(queue_depth, cfg.prefetch_entries),
+            timing,
+        );
+        if cfg.per_core_free_queues {
+            // §V: split the same total capacity across per-core queues.
+            let per_core = (queue_depth / cfg.hw_threads()).max(4);
+            smu = smu.with_per_core_queues(cfg.hw_threads(), per_core, cfg.prefetch_entries);
+        }
+
+        // Device 0: a namespace 8× memory (room for any experiment's
+        // dataset), pattern-backed so unwritten blocks read deterministic
+        // data.
+        let blocks = (cfg.memory_frames as u64) * 16;
+        let mut dev = NvmeController::new(cfg.device, rng.fork(1));
+        let nsid = dev.add_namespace(BlockStore::with_pattern(blocks, cfg.seed ^ 0xB10C));
+        let os_q = dev.create_queue_pair(1024);
+        let smu_q = dev.create_queue_pair(64);
+        os.fs.register_device(SocketId(0), DeviceId(0), blocks);
+        smu.host.install(
+            DeviceId(0),
+            QueueDescriptor {
+                nsid,
+                qid: smu_q,
+                sq_base: hwdp_mem::addr::PhysAddr(0x40_0000),
+                cq_base: hwdp_mem::addr::PhysAddr(0x41_0000),
+                sq_doorbell: hwdp_mem::addr::PhysAddr(0xF000_0000),
+                cq_doorbell: hwdp_mem::addr::PhysAddr(0xF000_0004),
+                depth: 64,
+            },
+        );
+
+        let hw = (0..cfg.hw_threads())
+            .map(|_| HwThread {
+                running: None,
+                state: HwThreadState::Idle,
+                tlb: Tlb::new(64, 4),
+                walker: Walker::new(),
+            })
+            .collect();
+
+        let mut sys = System {
+            cfg,
+            queue: EventQueue::new(),
+            os,
+            smu,
+            devices: vec![dev],
+            device_index: HashMap::from([((0u8, 0u8), 0usize)]),
+            os_queues: vec![os_q],
+            threads: Vec::new(),
+            hw,
+            runqueue: VecDeque::new(),
+            region_map: HashMap::new(),
+            next_region: 0,
+            osdp_inflight: HashMap::new(),
+            pending_misses: VecDeque::new(),
+            rng,
+            wb_cid: 0,
+            last_finish: Time::ZERO,
+            active_threads: 0,
+            long_io_switches: 0,
+            readahead_reads: 0,
+        };
+        // Seed the SMU's free-page queue before anything runs (the OS does
+        // this when enabling fast mmap).
+        if sys.cfg.mode.uses_lba_ptes() {
+            sys.refill_free_queue(Time::ZERO);
+        }
+        sys
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Attaches another block device to socket 0 (the paper's SMU supports
+    /// up to 8 per socket via the 3-bit device ID, Fig. 9). Creates the
+    /// OS driver queue and the SMU's isolated queue pair + descriptor
+    /// registers, and registers the device with the file system. Returns
+    /// the new device's ID.
+    ///
+    /// # Panics
+    ///
+    /// Panics if 8 devices are already attached.
+    pub fn add_device(&mut self, profile: DeviceProfile) -> DeviceId {
+        let id = self.devices.len() as u8;
+        assert!(id < 8, "the 3-bit device ID space is full");
+        let blocks = (self.cfg.memory_frames as u64) * 16;
+        let mut dev = NvmeController::new(profile, self.rng.fork(0xD0 + id as u64));
+        let nsid = dev.add_namespace(BlockStore::with_pattern(blocks, self.cfg.seed ^ id as u64));
+        let os_q = dev.create_queue_pair(1024);
+        let smu_q = dev.create_queue_pair(64);
+        self.os.fs.register_device(SocketId(0), DeviceId(id), blocks);
+        self.smu.host.install(
+            DeviceId(id),
+            QueueDescriptor {
+                nsid,
+                qid: smu_q,
+                sq_base: hwdp_mem::addr::PhysAddr(0x40_0000 + (id as u64) * 0x2_0000),
+                cq_base: hwdp_mem::addr::PhysAddr(0x41_0000 + (id as u64) * 0x2_0000),
+                sq_doorbell: hwdp_mem::addr::PhysAddr(0xF000_0000 + (id as u64) * 8),
+                cq_doorbell: hwdp_mem::addr::PhysAddr(0xF000_0004 + (id as u64) * 8),
+                depth: 64,
+            },
+        );
+        self.devices.push(dev);
+        self.os_queues.push(os_q);
+        self.device_index.insert((0, id), self.devices.len() - 1);
+        DeviceId(id)
+    }
+
+    /// An independent RNG stream for seeding workloads.
+    pub fn fork_rng(&mut self) -> Prng {
+        self.rng.fork(0xF00D)
+    }
+
+    /// Creates a file whose blocks hold the device's deterministic pattern
+    /// (an already-initialized dataset, as FIO uses).
+    pub fn create_pattern_file(&mut self, name: &str, pages: u64) -> FileId {
+        self.create_pattern_file_on(name, DeviceId(0), pages)
+    }
+
+    /// Creates a pattern-backed file on a specific device.
+    pub fn create_pattern_file_on(&mut self, name: &str, device: DeviceId, pages: u64) -> FileId {
+        self.os.fs.create(name, SocketId(0), device, 1, pages)
+    }
+
+    /// Creates a MiniDB data file: `records` verifiable record pages, with
+    /// extent capacity for `capacity` pages (allowing YCSB inserts).
+    pub fn create_kv_file(&mut self, name: &str, records: u64, capacity: u64) -> FileId {
+        self.create_kv_file_on(name, DeviceId(0), records, capacity)
+    }
+
+    /// Creates a MiniDB data file on a specific device.
+    pub fn create_kv_file_on(
+        &mut self,
+        name: &str,
+        device: DeviceId,
+        records: u64,
+        capacity: u64,
+    ) -> FileId {
+        assert!(records <= capacity, "records exceed capacity");
+        let file = self.os.fs.create(name, SocketId(0), device, 1, capacity);
+        let dev = self.device_index[&(0, device.0)];
+        for key in 0..records {
+            let lba = self.os.fs.lba_of(file, key);
+            let mut page = PageData::Zero;
+            page.write(0, &record_header(key, 0));
+            self.devices[dev].namespace_mut(1).write_block(lba, page);
+        }
+        file
+    }
+
+    /// Maps `file` with mode-appropriate flags (fast mmap under
+    /// HWDP/SW-only, conventional under OSDP) and returns the region
+    /// handle workloads use.
+    pub fn map_file(&mut self, file: FileId) -> RegionId {
+        let flags = if self.cfg.mode.uses_lba_ptes() {
+            MmapFlags::fast()
+        } else {
+            MmapFlags::normal()
+        };
+        self.map_file_with(file, flags)
+    }
+
+    /// Maps `file` with explicit flags (e.g. [`MmapFlags::populate`] for
+    /// the "ideal" pre-loaded configuration of Fig. 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `populate` is requested but the dataset does not fit in
+    /// memory.
+    pub fn map_file_with(&mut self, file: FileId, flags: MmapFlags) -> RegionId {
+        let (id, vma) = self.os.mmap(file, flags);
+        if flags.populate {
+            let (socket, device, nsid) = self.os.fs.home(file);
+            let dev = self.device_index[&(socket.0, device.0)];
+            for p in 0..vma.pages {
+                let lba = self.os.fs.lba_of(file, p);
+                let (pfn, evictions) = self.os.alloc_frame();
+                assert!(evictions.is_empty(), "populate does not fit in memory");
+                let data = self.devices[dev].namespace(nsid).read_block(lba);
+                self.os.frames.dma_fill(pfn, data);
+                self.os.map_resident(vma, p, pfn);
+            }
+        }
+        let region = RegionId(self.next_region);
+        self.next_region += 1;
+        self.region_map.insert(region, id);
+        region
+    }
+
+    /// Maps an anonymous region of `pages` pages (paper §V): under
+    /// HWDP/SW-only every PTE carries the reserved first-touch LBA so the
+    /// SMU zero-fills without I/O; swapped-out pages come back as ordinary
+    /// hardware misses from the swap blocks.
+    pub fn map_anon(&mut self, pages: u64) -> RegionId {
+        let flags = if self.cfg.mode.uses_lba_ptes() {
+            MmapFlags::fast()
+        } else {
+            MmapFlags::normal()
+        };
+        let (id, _) = self.os.mmap_anon(SocketId(0), DeviceId(0), 1, pages, flags);
+        let region = RegionId(self.next_region);
+        self.next_region += 1;
+        self.region_map.insert(region, id);
+        region
+    }
+
+    /// `munmap()` of a region between runs (§IV-C): enforces the SMU
+    /// barrier (no outstanding misses may reference the area), updates OS
+    /// metadata for unsynced PTEs, tears the mapping down, and applies any
+    /// dirty writebacks to storage. Returns the number of pages written
+    /// back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if misses are still outstanding (call between [`System::run`]
+    /// windows) or the region is unknown.
+    pub fn munmap_region(&mut self, region: RegionId) -> usize {
+        assert_eq!(
+            self.smu.pmshr.occupancy(),
+            0,
+            "SMU barrier: outstanding hardware misses during munmap (§IV-C)"
+        );
+        assert!(
+            self.osdp_inflight.is_empty(),
+            "outstanding OS faults during munmap"
+        );
+        let vma_id = self.region_map.remove(&region).expect("unknown region");
+        let evictions = self.os.munmap(vma_id);
+        let n = evictions.len();
+        self.apply_writebacks_immediately(&evictions);
+        n
+    }
+
+    /// `msync()` of a region between runs (§IV-C): syncs OS metadata, then
+    /// flushes every dirty page to storage (the mapping stays intact).
+    /// Returns the number of pages written back.
+    pub fn msync_region(&mut self, region: RegionId) -> usize {
+        let vma_id = *self.region_map.get(&region).expect("unknown region");
+        let evictions = self.os.msync(vma_id);
+        let n = evictions.len();
+        self.apply_writebacks_immediately(&evictions);
+        n
+    }
+
+    /// A `fork()` over the region (§V): LBA-augmented PTEs revert to
+    /// normal OS-handled PTEs because fast-mmapped pages cannot be shared
+    /// across address spaces. Returns how many PTEs were reverted.
+    pub fn fork_region(&mut self, region: RegionId) -> u64 {
+        let vma_id = *self.region_map.get(&region).expect("unknown region");
+        self.os.fork_revert_lba(vma_id)
+    }
+
+    /// A log-structured / copy-on-write block relocation (§IV-B): moves
+    /// `page` of `file` to a freshly allocated block, copies its contents,
+    /// and propagates the new LBA into any LBA-augmented PTE. Returns
+    /// `(old, new)` LBAs.
+    pub fn relocate_file_page(&mut self, file: FileId, page: u64) -> (hwdp_mem::addr::Lba, hwdp_mem::addr::Lba) {
+        let (socket, device, nsid) = self.os.fs.home(file);
+        let dev = self.device_index[&(socket.0, device.0)];
+        let old_lba = self.os.fs.lba_of(file, page);
+        let data = self.devices[dev].namespace(nsid).read_block(old_lba);
+        let (old, new) = self.os.on_block_remap(file, page);
+        debug_assert_eq!(old, old_lba);
+        self.devices[dev].namespace_mut(nsid).write_block(new, data);
+        (old, new)
+    }
+
+    /// Applies writebacks synchronously to the block store and shoots down
+    /// any stale TLB entries (teardown paths, outside the event loop).
+    fn apply_writebacks_immediately(&mut self, evictions: &[Eviction]) {
+        for ev in evictions {
+            if let Some(vpn) = ev.vpn {
+                for hw in &mut self.hw {
+                    hw.tlb.invalidate(vpn);
+                }
+            }
+            if ev.dirty {
+                let dev = self.device_of(ev.block);
+                self.devices[dev].namespace_mut(1).write_block(ev.block.lba, ev.data.clone());
+            }
+        }
+    }
+
+    /// Spawns a workload thread. `base_ipc` is its unpolluted, solo IPC;
+    /// `pin` optionally fixes it to a hardware context (Fig. 16 pins FIO
+    /// and SPEC on the two hw threads of one core).
+    pub fn spawn(
+        &mut self,
+        workload: Box<dyn Workload>,
+        base_ipc: f64,
+        pin: Option<HwId>,
+    ) -> ThreadId {
+        assert!(base_ipc > 0.0, "IPC must be positive");
+        let tid = ThreadId(self.threads.len());
+        self.threads.push(Thread {
+            name: workload.name(),
+            workload,
+            base_ipc,
+            pollution: Pollution::new(self.cfg.pollution),
+            perf: PerfCounters::default(),
+            state: ThreadState::Runnable,
+            current: None,
+            last_read: None,
+            pin,
+            time: TimeBreakdown::default(),
+            miss_hist: LatencyHist::new(),
+            read_hist: LatencyHist::new(),
+            miss_start: None,
+            read_start: None,
+            runnable_since: Some(Time::ZERO),
+        });
+        self.active_threads += 1;
+        tid
+    }
+
+    // ----- hardware-context scheduling ------------------------------------
+
+    /// Preferred placement order: spread across physical cores first
+    /// (slot 0 of each core), then fill SMT slots.
+    fn free_hw_for(&self, tid: ThreadId) -> Option<HwId> {
+        if let Some(pin) = self.threads[tid.0].pin {
+            return self.hw[pin.0].running.is_none().then_some(pin);
+        }
+        let smt = self.cfg.smt_ways;
+        for slot in 0..smt {
+            for core in 0..self.cfg.physical_cores {
+                let h = core * smt + slot;
+                if self.hw[h].running.is_none() {
+                    return Some(HwId(h));
+                }
+            }
+        }
+        None
+    }
+
+    fn install(&mut self, tid: ThreadId, hw: HwId, now: Time) {
+        debug_assert!(self.hw[hw.0].running.is_none());
+        if let Some(since) = self.threads[tid.0].runnable_since.take() {
+            self.threads[tid.0].time.sched_wait += now.saturating_since(since);
+        }
+        self.hw[hw.0].running = Some(tid);
+        self.hw[hw.0].state = HwThreadState::Active;
+        self.hw[hw.0].tlb.flush();
+        self.hw[hw.0].walker.flush();
+        self.threads[tid.0].state = ThreadState::Running(hw);
+    }
+
+    /// Makes a thread runnable at `at`; installs it immediately if a
+    /// context is free.
+    fn wake(&mut self, tid: ThreadId, at: Time) {
+        match self.free_hw_for(tid) {
+            Some(hw) => {
+                self.install(tid, hw, at);
+                self.queue.schedule(at, Event::Step(tid));
+            }
+            None => {
+                self.threads[tid.0].state = ThreadState::Runnable;
+                self.threads[tid.0].runnable_since = Some(at);
+                self.runqueue.push_back(tid);
+            }
+        }
+    }
+
+    /// Releases a hardware context and pulls in the next compatible
+    /// runnable thread.
+    fn release_hw(&mut self, hw: HwId, now: Time) {
+        self.hw[hw.0].running = None;
+        self.hw[hw.0].state = HwThreadState::Idle;
+        if let Some(pos) = self
+            .runqueue
+            .iter()
+            .position(|&t| self.threads[t.0].pin.is_none_or(|p| p == hw))
+        {
+            let tid = self.runqueue.remove(pos).expect("position valid");
+            self.install(tid, hw, now);
+            self.queue.schedule(now, Event::Step(tid));
+        }
+    }
+
+    fn sibling_active(&self, hw: HwId) -> bool {
+        let smt = self.cfg.smt_ways;
+        let core = hw.0 / smt;
+        (core * smt..(core + 1) * smt)
+            .filter(|&h| h != hw.0)
+            .any(|h| self.hw[h].state.issuing())
+    }
+
+    // ----- step execution ---------------------------------------------------
+
+    fn advance(&mut self, tid: ThreadId, now: Time) {
+        let ThreadState::Running(hw) = self.threads[tid.0].state else {
+            // A stale Step event for a thread that got blocked/stalled in
+            // the meantime cannot happen (events are scheduled exactly at
+            // resume boundaries); treat as a bug.
+            panic!("Step event for non-running thread {tid:?}");
+        };
+        let step = match self.threads[tid.0].current.take() {
+            Some(s) => s,
+            None => {
+                let t = &mut self.threads[tid.0];
+                let last = t.last_read.take();
+                let step = t.workload.next(last.as_deref());
+                step.validate();
+                if matches!(step, Step::Read { .. }) {
+                    t.read_start = Some(now);
+                }
+                step
+            }
+        };
+        match step {
+            Step::Compute { instructions } => {
+                let factor = {
+                    let share = issue_factor(self.sibling_active(hw));
+                    let t = &mut self.threads[tid.0];
+                    t.base_ipc * t.pollution.retire_user(instructions) * share
+                };
+                let dt = self.cfg.freq.retire(instructions, factor);
+                let cycles = self.cfg.freq.cycles_in(dt);
+                let t = &mut self.threads[tid.0];
+                let mpki = t.pollution.mpki();
+                t.perf.record_user(instructions, cycles, mpki);
+                t.time.compute += dt;
+                self.hw[hw.0].state = HwThreadState::Active;
+                self.queue.schedule(now + dt, Event::Step(tid));
+            }
+            Step::Read { .. } | Step::Write { .. } => {
+                self.execute_access(tid, hw, step, now);
+            }
+            Step::Finish => {
+                self.threads[tid.0].state = ThreadState::Finished;
+                self.active_threads -= 1;
+                self.last_finish = self.last_finish.max(now);
+                self.release_hw(hw, now);
+            }
+        }
+    }
+
+    fn region_vpn(&self, region: RegionId, offset: u64) -> Vpn {
+        let vma_id = *self.region_map.get(&region).expect("unmapped region");
+        let vma = self.os.aspace.get(vma_id).expect("region unmapped");
+        let page = offset / 4096;
+        assert!(page < vma.pages, "access beyond the mapped region");
+        vma.base.add(page)
+    }
+
+    fn execute_access(&mut self, tid: ThreadId, hw: HwId, step: Step, now: Time) {
+        let (region, offset) = match &step {
+            Step::Read { region, offset, .. } => (*region, *offset),
+            Step::Write { region, offset, .. } => (*region, *offset),
+            _ => unreachable!("execute_access only handles accesses"),
+        };
+        let vpn = self.region_vpn(region, offset);
+        self.hw[hw.0].state = HwThreadState::Active;
+
+        let mut t = now;
+        let pfn = match self.hw[hw.0].tlb.lookup(vpn) {
+            Some(pfn) => pfn,
+            None => {
+                t += self.hw[hw.0].walker.walk(vpn);
+                let pte = self.os.page_table.pte(vpn);
+                match pte.class() {
+                    PteClass::Resident | PteClass::ResidentNeedsSync => {
+                        let pfn = pte.pfn().expect("present");
+                        self.os.page_table.update_pte(vpn, Pte::with_accessed);
+                        self.hw[hw.0].tlb.fill(vpn, pfn);
+                        pfn
+                    }
+                    PteClass::LbaAugmented => {
+                        debug_assert!(self.cfg.mode.uses_lba_ptes());
+                        self.threads[tid.0].current = Some(step);
+                        self.threads[tid.0].miss_start = Some(now);
+                        self.start_lba_miss(tid, hw, vpn, t);
+                        return;
+                    }
+                    PteClass::NotPresentOsHandled => {
+                        self.threads[tid.0].current = Some(step);
+                        self.threads[tid.0].miss_start = Some(now);
+                        self.start_osdp_fault(tid, hw, vpn, t);
+                        return;
+                    }
+                }
+            }
+        };
+
+        // Resident: perform the access against real frame contents.
+        match &step {
+            Step::Read { len, .. } => {
+                let mut buf = vec![0u8; *len as usize];
+                self.os.frames.read(pfn, (offset % 4096) as usize, &mut buf);
+                t += if *len > 64 { ACCESS_4K } else { ACCESS_SMALL };
+                let thread = &mut self.threads[tid.0];
+                thread.last_read = Some(buf);
+                if let Some(start) = thread.read_start.take() {
+                    thread.read_hist.record(t - start);
+                }
+            }
+            Step::Write { data, .. } => {
+                self.os.frames.write(pfn, (offset % 4096) as usize, data);
+                self.os.page_table.update_pte(vpn, Pte::with_dirty);
+                t += ACCESS_SMALL;
+            }
+            _ => unreachable!(),
+        }
+        self.threads[tid.0].time.access += t - now;
+        self.queue.schedule(t, Event::Step(tid));
+    }
+
+    // ----- the OSDP path ----------------------------------------------------
+
+    fn charge_kernel(&mut self, tid: ThreadId, instr: u64, latency: Duration) {
+        let cycles = self.cfg.freq.cycles_in(latency);
+        let t = &mut self.threads[tid.0];
+        t.pollution.kernel_entry(instr);
+        t.perf.record_kernel(instr, cycles);
+        t.time.kernel += latency;
+    }
+
+    fn start_osdp_fault(&mut self, tid: ThreadId, hw: HwId, vpn: Vpn, now: Time) {
+        let costs = self.os.osdp_costs;
+        let (_, vma) = self.os.aspace.resolve(vpn).expect("fault outside any VMA");
+        let key = (vma.file.0, vma.file_page(vpn));
+
+        // If the OS takes over an LBA-augmented miss (free-queue-empty
+        // fallback), it claims the PTE by clearing it first — otherwise
+        // another core could still route the same page to the SMU and
+        // create an alias while the OS read is in flight.
+        if self.os.page_table.pte(vpn).class() == PteClass::LbaAugmented {
+            self.os.page_table.set_pte(vpn, Pte::EMPTY);
+        }
+
+        // Entry + handler run in this thread's context either way.
+        let entry_instr = costs.exception.instructions + costs.fault_handler.instructions;
+        let entry_lat = costs.exception.latency + costs.fault_handler.latency;
+
+        // Join an in-flight fault for the same page (the page-lock wait in
+        // a real kernel) instead of aliasing it.
+        if let Some(pending) = self.osdp_inflight.get_mut(&key) {
+            pending.waiters.push(tid);
+            self.charge_kernel(tid, entry_instr, entry_lat);
+            self.block_thread(tid, hw, now);
+            return;
+        }
+
+        match self.os.osdp_fault(vpn) {
+            FaultPlan::Minor { pfn } => {
+                // Exception + handler + metadata, no I/O, no switch.
+                let lat = entry_lat + costs.metadata_update.latency;
+                let instr = entry_instr + costs.metadata_update.instructions;
+                self.charge_kernel(tid, instr, lat);
+                self.hw[hw.0].tlb.fill(vpn, pfn);
+                let done = now + lat;
+                if let Some(start) = self.threads[tid.0].miss_start.take() {
+                    self.threads[tid.0].miss_hist.record(done - start);
+                }
+                self.queue.schedule(done, Event::Step(tid));
+            }
+            FaultPlan::ZeroFill { pfn, evictions } => {
+                // Anonymous first touch through the OS path: allocate +
+                // zero + map; no device I/O, no context switch.
+                self.handle_evictions(evictions, now);
+                let lat = entry_lat + costs.metadata_update.latency;
+                let instr = entry_instr + costs.metadata_update.instructions;
+                self.charge_kernel(tid, instr, lat);
+                self.os.frames.dma_fill(pfn, PageData::Zero);
+                self.os.osdp_fault_complete(vpn, pfn);
+                self.hw[hw.0].tlb.fill(vpn, pfn);
+                let done = now + lat;
+                if let Some(start) = self.threads[tid.0].miss_start.take() {
+                    self.threads[tid.0].miss_hist.record(done - start);
+                }
+                self.queue.schedule(done, Event::Step(tid));
+            }
+            FaultPlan::Major { pfn, block, evictions } => {
+                self.handle_evictions(evictions, now);
+                self.charge_kernel(
+                    tid,
+                    entry_instr + costs.io_submit.instructions + costs.context_switch_out.instructions,
+                    entry_lat + costs.io_submit.latency,
+                );
+                let submit_at = now + costs.before_device();
+                self.submit_read(block, pfn, submit_at, Purpose::OsdpRead { key });
+                self.osdp_inflight.insert(key, OsdpPending { vpn, pfn, waiters: vec![tid] });
+                self.issue_os_readahead(vpn, submit_at);
+                self.block_thread(tid, hw, now);
+            }
+        }
+    }
+
+    /// OS readahead (window configured by `readahead_pages`): alongside a
+    /// major fault at `vpn`, read the next sequential file pages into the
+    /// page cache. Readahead reads share the OSDP in-flight machinery with
+    /// zero waiters, so a demand fault on a page being read ahead simply
+    /// joins it.
+    fn issue_os_readahead(&mut self, vpn: Vpn, at: Time) {
+        let window = self.cfg.readahead_pages;
+        if window == 0 {
+            return;
+        }
+        for i in 1..=window as u64 {
+            let next = Vpn(vpn.0 + i);
+            let Some((_, vma)) = self.os.aspace.resolve(next) else { break };
+            let file_page = vma.file_page(next);
+            let key = (vma.file.0, file_page);
+            if self.osdp_inflight.contains_key(&key)
+                || self.os.cache.lookup(vma.file, file_page).is_some()
+                || self.os.page_table.pte(next).is_present()
+            {
+                continue;
+            }
+            // Never-written anonymous pages have nothing to read ahead.
+            if self.os.fs.is_anon(vma.file) && !self.os.fs.is_swap_initialized(vma.file, file_page)
+            {
+                continue;
+            }
+            let (pfn, evictions) = self.os.alloc_frame();
+            self.handle_evictions(evictions, at);
+            let block = self.os.block_for(vma.file, file_page);
+            self.submit_read(block, pfn, at, Purpose::OsdpRead { key });
+            self.osdp_inflight.insert(key, OsdpPending { vpn: next, pfn, waiters: Vec::new() });
+            self.readahead_reads += 1;
+        }
+    }
+
+    /// §V SMU prefetch: alongside a demand miss at `vpn`, start detached
+    /// hardware misses for the next sequential pages whose PTEs are still
+    /// LBA-augmented.
+    fn issue_smu_prefetches(&mut self, vpn: Vpn, hw: HwId, at: Time) {
+        let window = self.cfg.smu_prefetch_pages;
+        if window == 0 {
+            return;
+        }
+        for i in 1..=window as u64 {
+            let next = Vpn(vpn.0 + i);
+            if self.os.aspace.resolve(next).is_none() {
+                break;
+            }
+            let Some(walk) = self.os.page_table.walk(next) else { continue };
+            if walk.pte.class() != PteClass::LbaAugmented {
+                continue;
+            }
+            let block = walk.pte.block().expect("LBA-augmented PTE carries a block");
+            let req = MissRequest { walk, block, waiter: 0, core: hw.0 };
+            let Some((entry, qid, cmd, _pfn, before)) = self.smu.begin_prefetch(req) else {
+                continue;
+            };
+            let dev = self.device_of(block);
+            let (token, done_at) = self.devices[dev]
+                .submit(qid, cmd, None, at + before)
+                .expect("SMU queue sized above PMSHR capacity");
+            self.queue.schedule(
+                done_at,
+                Event::IoDone { dev, token, purpose: Purpose::HwdpMiss { entry } },
+            );
+        }
+    }
+
+    fn block_thread(&mut self, tid: ThreadId, hw: HwId, now: Time) {
+        self.threads[tid.0].state = ThreadState::Blocked;
+        self.release_hw(hw, now);
+    }
+
+    fn finish_osdp_read(&mut self, key: (u32, u64), data: PageData, now: Time) {
+        let costs = self.os.osdp_costs;
+        let pending = self.osdp_inflight.remove(&key).expect("completion without pending fault");
+        self.os.frames.dma_fill(pending.pfn, data);
+        self.os.osdp_fault_complete(pending.vpn, pending.pfn);
+        let after_lat = costs.after_device();
+        let after_instr = costs.irq_delivery.instructions
+            + costs.io_completion.instructions
+            + costs.context_switch_in.instructions
+            + costs.metadata_update.instructions;
+        let resume = now + after_lat;
+        let waiters = pending.waiters;
+        for tid in waiters {
+            self.charge_kernel(tid, after_instr, after_lat);
+            let thread = &mut self.threads[tid.0];
+            if let Some(start) = thread.miss_start.take() {
+                let total = resume - start;
+                thread.miss_hist.record(total);
+                // Kernel latency was charged to time.kernel; the rest of
+                // the wait is miss time.
+                let kernel_part = costs.before_device() + after_lat;
+                thread.time.miss_wait += total.saturating_sub(kernel_part);
+            }
+            self.wake(tid, resume);
+        }
+    }
+
+    // ----- the HWDP / SW-only path -------------------------------------------
+
+    fn start_lba_miss(&mut self, tid: ThreadId, hw: HwId, vpn: Vpn, now: Time) {
+        let walk = self.os.page_table.walk(vpn).expect("fast-mmap tables are populated");
+        let block = walk.pte.block().expect("LBA-augmented PTE carries a block");
+        let req = MissRequest { walk, block, waiter: tid.0 as u64, core: hw.0 };
+        let sw = self.cfg.mode == Mode::SwOnly;
+        match self.smu.begin_miss(req) {
+            MissOutcome::Started { entry, pfn, dma: _, qid, cmd, before_device } => {
+                let before = if sw {
+                    let c = self.os.sw_costs;
+                    self.charge_kernel(
+                        tid,
+                        c.exception.instructions
+                            + c.pmshr_emulation.instructions
+                            + c.direct_submit.instructions,
+                        c.before_device(),
+                    );
+                    c.before_device()
+                } else {
+                    before_device
+                };
+                let dev = self.device_of(block);
+                let submit_at = now + before;
+                let (token, done_at) = self.devices[dev]
+                    .submit(qid, cmd, None, submit_at)
+                    .expect("SMU queue sized above PMSHR capacity");
+                let _ = pfn; // frame is delivered via finish_io
+                self.queue.schedule(
+                    done_at,
+                    Event::IoDone { dev, token, purpose: Purpose::HwdpMiss { entry } },
+                );
+                // §V "Long Latency I/O": if the device wait exceeds the
+                // configured threshold, take a timeout exception and
+                // context-switch instead of wasting the core on a stall.
+                self.issue_smu_prefetches(vpn, hw, submit_at);
+                let wait = done_at.saturating_since(now);
+                if self.cfg.long_io_timeout.is_some_and(|limit| wait > limit) {
+                    let c = self.os.osdp_costs;
+                    self.charge_kernel(
+                        tid,
+                        c.exception.instructions + c.context_switch_out.instructions,
+                        c.exception.latency,
+                    );
+                    self.long_io_switches += 1;
+                    self.block_thread(tid, hw, now);
+                } else {
+                    self.stall_thread(tid, hw);
+                }
+            }
+            MissOutcome::ZeroFill { entry, pfn, before_device, .. } => {
+                // §V: anonymous first touch — the SMU delivers a zeroed
+                // page with no device I/O at all.
+                let before = if sw {
+                    let c = self.os.sw_costs;
+                    self.charge_kernel(
+                        tid,
+                        c.exception.instructions + c.pmshr_emulation.instructions,
+                        c.exception.latency + c.pmshr_emulation.latency,
+                    );
+                    c.exception.latency + c.pmshr_emulation.latency
+                } else {
+                    before_device
+                };
+                self.os.frames.dma_fill(pfn, PageData::Zero);
+                let fin = self.smu.finish_zero_fill(entry, &mut self.os.page_table);
+                debug_assert_eq!(fin.waiters, vec![tid.0 as u64]);
+                let resume = now + before + fin.after_device;
+                let thread = &mut self.threads[tid.0];
+                if let Some(start) = thread.miss_start.take() {
+                    thread.miss_hist.record(resume - start);
+                    thread.time.miss_wait += resume - start;
+                }
+                self.queue.schedule(resume, Event::Step(tid));
+            }
+            MissOutcome::Coalesced { .. } => {
+                self.stall_thread(tid, hw);
+            }
+            MissOutcome::FreeQueueEmpty { cost } => {
+                // §IV-D: fall back to the OS fault handler, which also
+                // refills the queue, overlapped with the fault's own
+                // device time.
+                self.refill_free_queue(now);
+                self.start_osdp_fault(tid, hw, vpn, now + cost);
+            }
+            MissOutcome::PmshrFull { .. } => {
+                self.pending_misses.push_back((tid, vpn));
+                self.stall_thread(tid, hw);
+            }
+        }
+    }
+
+    fn stall_thread(&mut self, tid: ThreadId, hw: HwId) {
+        self.threads[tid.0].state = ThreadState::Stalled(hw);
+        self.hw[hw.0].state = HwThreadState::Stalled;
+    }
+
+    fn finish_hwdp_miss(&mut self, entry: EntryIdx, data: PageData, now: Time) {
+        let fin = self.smu.finish_io(entry, &mut self.os.page_table);
+        self.os.frames.dma_fill(fin.pfn, data);
+        let sw = self.cfg.mode == Mode::SwOnly;
+        let after = if sw { self.os.sw_costs.after_device() } else { fin.after_device };
+        let resume = now + after;
+        for waiter in fin.waiters {
+            let tid = ThreadId(waiter as usize);
+            if sw {
+                self.charge_kernel(
+                    tid,
+                    self.os.sw_costs.poll_completion.instructions,
+                    Duration::ZERO, // latency accounted via the resume delay
+                );
+            }
+            let thread = &mut self.threads[tid.0];
+            if let Some(start) = thread.miss_start.take() {
+                thread.miss_hist.record(resume - start);
+                thread.time.miss_wait += resume - start;
+            }
+            match thread.state {
+                ThreadState::Stalled(hw) => {
+                    thread.state = ThreadState::Running(hw);
+                    self.hw[hw.0].state = HwThreadState::Active;
+                    self.queue.schedule(resume, Event::Step(tid));
+                }
+                ThreadState::Blocked => {
+                    // §V timeout path: the thread was context-switched away;
+                    // pay the switch back in before resuming.
+                    let c = self.os.osdp_costs;
+                    self.charge_kernel(
+                        tid,
+                        c.context_switch_in.instructions,
+                        c.context_switch_in.latency,
+                    );
+                    self.wake(tid, resume + c.context_switch_in.latency);
+                }
+                other => panic!("HWDP waiter in unexpected state {other:?}"),
+            }
+        }
+        // A PMSHR slot just freed: retry queued misses.
+        while let Some((tid, vpn)) = self.pending_misses.pop_front() {
+            let ThreadState::Stalled(hw) = self.threads[tid.0].state else {
+                panic!("pending miss holder not stalled");
+            };
+            // Re-check the PTE: a coalesced completion may have resolved it.
+            let pte = self.os.page_table.pte(vpn);
+            if pte.is_present() {
+                self.threads[tid.0].state = ThreadState::Running(hw);
+                self.hw[hw.0].state = HwThreadState::Active;
+                if let Some(start) = self.threads[tid.0].miss_start.take() {
+                    self.threads[tid.0].miss_hist.record(now - start);
+                    self.threads[tid.0].time.miss_wait += now - start;
+                }
+                self.queue.schedule(now, Event::Step(tid));
+                continue;
+            }
+            self.start_lba_miss(tid, hw, vpn, now);
+            if !matches!(self.threads[tid.0].state, ThreadState::Stalled(_)) {
+                continue;
+            }
+            if self.pending_contains(tid) {
+                break; // PMSHR is full again; stop retrying.
+            }
+        }
+    }
+
+    fn pending_contains(&self, tid: ThreadId) -> bool {
+        self.pending_misses.iter().any(|&(t, _)| t == tid)
+    }
+
+    // ----- I/O plumbing -------------------------------------------------------
+
+    fn device_of(&self, block: BlockRef) -> usize {
+        *self
+            .device_index
+            .get(&(block.socket.0, block.device.0))
+            .expect("unknown device in block reference")
+    }
+
+    fn submit_read(&mut self, block: BlockRef, pfn: Pfn, at: Time, purpose: Purpose) {
+        let dev = self.device_of(block);
+        self.wb_cid = self.wb_cid.wrapping_add(1);
+        let cmd = NvmeCommand::read4k(self.wb_cid, 1, block.lba.0, pfn.base());
+        let (token, done_at) = self.devices[dev]
+            .submit(self.os_queues[dev], cmd, None, at)
+            .expect("OS queue deep enough");
+        self.queue.schedule(done_at, Event::IoDone { dev, token, purpose });
+    }
+
+    fn handle_evictions(&mut self, evictions: Vec<Eviction>, now: Time) {
+        let mut submitted = 0u64;
+        for ev in evictions {
+            if let Some(vpn) = ev.vpn {
+                for hw in &mut self.hw {
+                    hw.tlb.invalidate(vpn);
+                }
+            }
+            if ev.dirty {
+                // The device applies write data at submission (snapshot
+                // semantics), so a re-fault read of the same block can
+                // never overtake its own writeback and observe stale data
+                // (a real kernel holds the page lock across this window).
+                //
+                // Batch evictions (kpoold refills) pace their writebacks at
+                // the device's write drain rate instead of dumping the
+                // whole burst at once — the kernel's writeback throttling.
+                let dev = self.device_of(ev.block);
+                let pace = self.devices[dev].profile().write_4k
+                    / self.devices[dev].profile().channels as u64;
+                let at = now + pace * submitted;
+                submitted += 1;
+                self.wb_cid = self.wb_cid.wrapping_add(1);
+                let cmd = NvmeCommand::write4k(self.wb_cid, 1, ev.block.lba.0, Pfn(0).base());
+                let (token, done_at) = self.devices[dev]
+                    .submit(self.os_queues[dev], cmd, Some(ev.data), at)
+                    .expect("OS queue deep enough");
+                self.queue
+                    .schedule(done_at, Event::IoDone { dev, token, purpose: Purpose::Writeback });
+            }
+        }
+    }
+
+    fn refill_free_queue(&mut self, now: Time) {
+        for q in 0..self.smu.queue_count() {
+            let slack = self.smu.free_queue_for(q).slack();
+            if slack == 0 {
+                continue;
+            }
+            let batch = slack.min(SYNC_REFILL_BATCH.max(self.cfg.free_queue_depth / 8));
+            let (frames, evictions) = self.os.take_frames_for_refill(batch);
+            for pfn in frames {
+                let accepted = self.smu.free_queue_for(q).push(FreePage::of(pfn));
+                debug_assert!(accepted, "slack was checked");
+            }
+            self.handle_evictions(evictions, now);
+        }
+    }
+
+    // ----- main loop ------------------------------------------------------------
+
+    /// Runs the system for up to `limit` of virtual time (or until every
+    /// workload finishes) and returns the collected metrics.
+    pub fn run(&mut self, limit: Duration) -> RunResult {
+        let deadline = Time::ZERO + limit;
+        // Launch all threads at t=0.
+        for tid in 0..self.threads.len() {
+            if matches!(self.threads[tid].state, ThreadState::Runnable) {
+                // Take out of the implicit runnable set.
+                self.threads[tid].runnable_since = Some(Time::ZERO);
+                match self.free_hw_for(ThreadId(tid)) {
+                    Some(hw) => {
+                        self.install(ThreadId(tid), hw, Time::ZERO);
+                        self.queue.schedule(Time::ZERO, Event::Step(ThreadId(tid)));
+                    }
+                    None => self.runqueue.push_back(ThreadId(tid)),
+                }
+            }
+        }
+        if self.cfg.mode.uses_lba_ptes() {
+            if self.cfg.kpoold_enabled {
+                self.queue.schedule(Time::ZERO + self.cfg.kpoold_period, Event::KpoolTick);
+            }
+            self.queue.schedule(Time::ZERO + self.cfg.kpted_period, Event::KptedTick);
+        }
+
+        let mut end = Time::ZERO;
+        while let Some(at) = self.queue.peek_time() {
+            if at > deadline {
+                end = deadline;
+                break;
+            }
+            let (now, event) = self.queue.pop().expect("peeked");
+            end = now;
+            match event {
+                Event::Step(tid) => {
+                    if !matches!(self.threads[tid.0].state, ThreadState::Finished) {
+                        self.advance(tid, now);
+                    }
+                }
+                Event::IoDone { dev, token, purpose } => {
+                    let done = self.devices[dev].complete(token, now);
+                    // Drain the CQ like real host software (keeps queue
+                    // protocol state honest; entries checked in tests).
+                    let qid = done.qid;
+                    let _ = self.devices[dev].queue(qid).host_poll_completion();
+                    match purpose {
+                        Purpose::HwdpMiss { entry } => {
+                            let data = done.read_data.expect("read completion carries data");
+                            self.finish_hwdp_miss(entry, data, now);
+                        }
+                        Purpose::OsdpRead { key } => {
+                            let data = done.read_data.expect("read completion carries data");
+                            self.finish_osdp_read(key, data, now);
+                        }
+                        Purpose::Writeback => {}
+                    }
+                }
+                Event::KpoolTick => {
+                    if self.active_threads > 0 {
+                        self.refill_free_queue(now);
+                        self.queue.schedule(now + self.cfg.kpoold_period, Event::KpoolTick);
+                    }
+                }
+                Event::KptedTick => {
+                    if self.active_threads > 0 {
+                        self.os.kpted_scan();
+                        self.queue.schedule(now + self.cfg.kpted_period, Event::KptedTick);
+                    }
+                }
+            }
+            if self.active_threads == 0 {
+                end = self.last_finish;
+                break;
+            }
+        }
+        self.collect(end.max(self.last_finish))
+    }
+
+    fn collect(&mut self, end: Time) -> RunResult {
+        let mut miss = LatencyHist::new();
+        let mut read = LatencyHist::new();
+        let mut perf = PerfCounters::default();
+        let mut reports = Vec::new();
+        let mut ops = 0;
+        for t in &self.threads {
+            miss.merge(&t.miss_hist);
+            read.merge(&t.read_hist);
+            perf.merge(&t.perf);
+            ops += t.workload.ops_done();
+            reports.push(ThreadReport {
+                name: t.name.clone(),
+                ops: t.workload.ops_done(),
+                verify_failures: t.workload.verify_failures(),
+                perf: t.perf,
+                time: t.time,
+                miss_latency: t.miss_hist.clone(),
+            });
+        }
+        let device_reads = self.devices.iter().map(|d| d.stats().reads).sum();
+        let device_writes = self.devices.iter().map(|d| d.stats().writes).sum();
+        RunResult {
+            elapsed: end.since_start(),
+            ops,
+            threads: reports,
+            miss_latency: miss,
+            read_latency: read,
+            perf,
+            kernel: self.os.acct,
+            os: self.os.stats(),
+            smu: self.smu.stats(),
+            device_reads,
+            device_writes,
+            sync_refill_faults: self.smu.free_queue_stats().empty_events,
+            pmshr_stalls: self.smu.stats().pmshr_full,
+            long_io_switches: self.long_io_switches,
+            readahead_reads: self.readahead_reads,
+            smu_prefetches: self.smu.stats().prefetches,
+        }
+    }
+
+    /// Direct access to the SMU (ablation benches).
+    pub fn smu(&self) -> &Smu {
+        &self.smu
+    }
+
+    /// Direct access to device 0 (tests).
+    pub fn device(&self) -> &NvmeController {
+        &self.devices[0]
+    }
+}
+
+/// Builder for [`System`].
+///
+/// ```
+/// use hwdp_core::{Mode, SystemBuilder};
+/// let sys = SystemBuilder::new(Mode::Hwdp).memory_frames(1024).seed(7).build();
+/// assert_eq!(sys.config().memory_frames, 1024);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct SystemBuilder {
+    cfg: SystemConfig,
+}
+
+impl SystemBuilder {
+    /// Starts from the paper-default configuration for `mode`.
+    pub fn new(mode: Mode) -> Self {
+        SystemBuilder { cfg: SystemConfig::paper_default(mode) }
+    }
+
+    /// Sets the simulated DRAM size in frames.
+    pub fn memory_frames(mut self, frames: usize) -> Self {
+        self.cfg.memory_frames = frames;
+        self
+    }
+
+    /// Sets the storage device personality.
+    pub fn device(mut self, profile: DeviceProfile) -> Self {
+        self.cfg.device = profile;
+        self
+    }
+
+    /// Sets the number of physical cores.
+    pub fn physical_cores(mut self, cores: usize) -> Self {
+        self.cfg.physical_cores = cores;
+        self
+    }
+
+    /// Sets the PMSHR size (ablations).
+    pub fn pmshr_entries(mut self, entries: usize) -> Self {
+        self.cfg.pmshr_entries = entries;
+        self
+    }
+
+    /// Sets the free-page-queue depth (ablations).
+    pub fn free_queue_depth(mut self, depth: usize) -> Self {
+        self.cfg.free_queue_depth = depth;
+        self
+    }
+
+    /// Enables or disables `kpoold` (§IV-D ablation).
+    pub fn kpoold(mut self, enabled: bool) -> Self {
+        self.cfg.kpoold_enabled = enabled;
+        self
+    }
+
+    /// Sets the `kpted` period.
+    pub fn kpted_period(mut self, period: Duration) -> Self {
+        self.cfg.kpted_period = period;
+        self
+    }
+
+    /// Enables the §V long-latency-I/O timeout: misses whose device wait
+    /// exceeds `limit` context-switch instead of stalling.
+    pub fn long_io_timeout(mut self, limit: Duration) -> Self {
+        self.cfg.long_io_timeout = Some(limit);
+        self
+    }
+
+    /// Enables per-core free-page queues (§V future work).
+    pub fn per_core_free_queues(mut self, enabled: bool) -> Self {
+        self.cfg.per_core_free_queues = enabled;
+        self
+    }
+
+    /// Sets the OS readahead window in pages (0 disables, as in §VI-A).
+    pub fn readahead_pages(mut self, pages: usize) -> Self {
+        self.cfg.readahead_pages = pages;
+        self
+    }
+
+    /// Sets the §V SMU prefetch window in pages (0 disables).
+    pub fn smu_prefetch_pages(mut self, pages: usize) -> Self {
+        self.cfg.smu_prefetch_pages = pages;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Applies an arbitrary configuration transform.
+    pub fn tweak(mut self, f: impl FnOnce(&mut SystemConfig)) -> Self {
+        f(&mut self.cfg);
+        self
+    }
+
+    /// Builds the system.
+    pub fn build(self) -> System {
+        System::new(self.cfg)
+    }
+}

@@ -1,0 +1,175 @@
+//! Scheduler and SMT behavior of the system engine: pinning, issue-slot
+//! sharing, run-queue fairness, and accounting conservation.
+
+use hwdp_core::{HwId, Mode, SystemBuilder};
+use hwdp_sim::rng::Prng;
+use hwdp_sim::time::Duration;
+use hwdp_workloads::{FioRandRead, SpecKernel, SpecProfile};
+
+#[test]
+fn pinned_threads_stay_on_their_contexts() {
+    // Two compute threads pinned to the two hw threads of core 0 must
+    // share issue bandwidth: each runs at ~62 % of solo speed.
+    let spec = SpecProfile::by_name("gcc").unwrap();
+    let solo = {
+        let mut sys = SystemBuilder::new(Mode::Hwdp).memory_frames(128).seed(61).build();
+        sys.spawn(Box::new(SpecKernel::new(spec)), spec.base_ipc, Some(HwId(0)));
+        let r = sys.run(Duration::from_millis(10));
+        r.threads[0].perf.user_instructions
+    };
+    let shared = {
+        let mut sys = SystemBuilder::new(Mode::Hwdp).memory_frames(128).seed(61).build();
+        sys.spawn(Box::new(SpecKernel::new(spec)), spec.base_ipc, Some(HwId(0)));
+        sys.spawn(Box::new(SpecKernel::new(spec)), spec.base_ipc, Some(HwId(1)));
+        let r = sys.run(Duration::from_millis(10));
+        r.threads[0].perf.user_instructions
+    };
+    let share = shared as f64 / solo as f64;
+    assert!((0.55..0.70).contains(&share), "SMT share {share} (expected ~0.62)");
+}
+
+#[test]
+fn unpinned_threads_spread_across_physical_cores_first() {
+    // Four compute threads on four physical cores must each run at full
+    // speed (placement prefers empty cores over SMT siblings).
+    let spec = SpecProfile::by_name("xz").unwrap();
+    let mut sys =
+        SystemBuilder::new(Mode::Hwdp).physical_cores(4).memory_frames(128).seed(62).build();
+    for _ in 0..4 {
+        sys.spawn(Box::new(SpecKernel::new(spec)), spec.base_ipc, None);
+    }
+    let r = sys.run(Duration::from_millis(10));
+    let counts: Vec<u64> = r.threads.iter().map(|t| t.perf.user_instructions).collect();
+    let max = *counts.iter().max().unwrap() as f64;
+    let min = *counts.iter().min().unwrap() as f64;
+    assert!(min / max > 0.95, "threads should run at equal, full speed: {counts:?}");
+    // IPC ≈ base (no sharing): instructions ≈ 10ms × 2.8GHz × 1.3.
+    let expect = 0.010 * 2.8e9 * spec.base_ipc;
+    assert!((counts[0] as f64 / expect - 1.0).abs() < 0.05, "{} vs {expect}", counts[0]);
+}
+
+#[test]
+fn oversubscribed_threads_share_fairly_over_time() {
+    // Three I/O-bound threads on one single-threaded core: blocking I/O
+    // under OSDP releases the core, so all three make progress and finish.
+    let mut sys = SystemBuilder::new(Mode::Osdp)
+        .physical_cores(1)
+        .tweak(|c| c.smt_ways = 1)
+        .memory_frames(256)
+        .seed(63)
+        .build();
+    let file = sys.create_pattern_file("data", 2048);
+    let region = sys.map_file(file);
+    for i in 0..3 {
+        sys.spawn(
+            Box::new(FioRandRead::new(region, 2048, 200, Prng::seed_from(i))),
+            1.8,
+            None,
+        );
+    }
+    let r = sys.run(Duration::from_secs(30));
+    assert_eq!(r.ops, 600, "all three threads finish");
+    for t in &r.threads {
+        assert_eq!(t.ops, 200, "fair progress: {:?}", t.name);
+    }
+}
+
+#[test]
+fn time_breakdown_accounts_for_the_whole_run() {
+    // A single thread's breakdown buckets must sum to ≈ the elapsed time
+    // (nothing silently unaccounted).
+    let mut sys = SystemBuilder::new(Mode::Hwdp).memory_frames(256).seed(64).build();
+    let file = sys.create_pattern_file("data", 2048);
+    let region = sys.map_file(file);
+    sys.spawn(Box::new(FioRandRead::new(region, 2048, 500, Prng::seed_from(7))), 1.8, None);
+    let r = sys.run(Duration::from_secs(30));
+    let t = &r.threads[0];
+    let accounted = t.time.total().as_nanos_f64();
+    let elapsed = r.elapsed.as_nanos_f64();
+    assert!(
+        (accounted / elapsed - 1.0).abs() < 0.02,
+        "accounted {accounted} vs elapsed {elapsed}"
+    );
+}
+
+#[test]
+fn device_reads_match_miss_sources() {
+    // Read-only run: every device read is either a hardware-handled miss
+    // or an OS major fault (no phantom or lost I/O).
+    for mode in [Mode::Osdp, Mode::Hwdp] {
+        let mut sys = SystemBuilder::new(mode).memory_frames(256).seed(65).build();
+        let file = sys.create_pattern_file("data", 2048);
+        let region = sys.map_file(file);
+        for i in 0..2 {
+            sys.spawn(
+                Box::new(FioRandRead::new(region, 2048, 300, Prng::seed_from(i))),
+                1.8,
+                None,
+            );
+        }
+        let r = sys.run(Duration::from_secs(30));
+        assert_eq!(
+            r.device_reads,
+            r.smu.completed + r.os.major_faults,
+            "{mode:?}: reads {} != hw {} + os {}",
+            r.device_reads,
+            r.smu.completed,
+            r.os.major_faults
+        );
+        assert_eq!(r.device_writes, r.os.writebacks, "{mode:?}: clean dataset never writes");
+    }
+}
+
+#[test]
+fn stalled_sibling_gives_compute_thread_the_whole_core() {
+    // HWDP: an I/O thread that stalls leaves its SMT sibling at full
+    // speed; the same pair under OSDP loses compute throughput to the
+    // kernel's fault handling.
+    let spec = SpecProfile::by_name("deepsjeng").unwrap();
+    let run = |mode| {
+        let mut sys =
+            SystemBuilder::new(mode).physical_cores(1).memory_frames(256).seed(66).build();
+        let file = sys.create_pattern_file("data", 2048);
+        let region = sys.map_file(file);
+        sys.spawn(
+            Box::new(FioRandRead::new(region, 2048, u64::MAX / 2, Prng::seed_from(1))),
+            1.8,
+            Some(HwId(0)),
+        );
+        sys.spawn(Box::new(SpecKernel::new(spec)), spec.base_ipc, Some(HwId(1)));
+        let r = sys.run(Duration::from_millis(10));
+        r.threads[1].perf.user_instructions
+    };
+    let hwdp = run(Mode::Hwdp);
+    let osdp = run(Mode::Osdp);
+    assert!(
+        hwdp as f64 > osdp as f64 * 1.05,
+        "SPEC retires more next to a stalling sibling: {hwdp} vs {osdp}"
+    );
+}
+
+#[test]
+fn throughput_respects_device_peak_bandwidth() {
+    // With misses dominating, sustained FIO throughput cannot exceed the
+    // device's peak 4 KiB random-read bandwidth (a conservation law of the
+    // device model).
+    let mut sys = SystemBuilder::new(Mode::Hwdp).memory_frames(256).seed(67).build();
+    let peak_bw = sys.device().profile().peak_read_bw();
+    let file = sys.create_pattern_file("data", 4096);
+    let region = sys.map_file(file);
+    for i in 0..8 {
+        sys.spawn(
+            Box::new(FioRandRead::new(region, 4096, 400, Prng::seed_from(i))),
+            1.8,
+            None,
+        );
+    }
+    let r = sys.run(Duration::from_secs(30));
+    let achieved = r.device_reads as f64 * 4096.0 / r.elapsed.as_secs_f64();
+    assert!(
+        achieved <= peak_bw * 1.01,
+        "device bandwidth exceeded: {achieved:.0} > {peak_bw:.0} B/s"
+    );
+    // And with 8 outstanding misses it should get reasonably close.
+    assert!(achieved > peak_bw * 0.3, "utilization suspiciously low: {achieved:.0} B/s");
+}

@@ -1,0 +1,27 @@
+//! CPU model: SMT issue sharing, microarchitectural pollution, and
+//! performance counters.
+//!
+//! The paper's indirect-cost argument (§II-B, Figs. 4/14): frequent OS
+//! intervention pollutes user-level microarchitectural state (caches,
+//! branch predictors), lowering *user-level* IPC even between faults.
+//! [`pollution`] models this with a per-thread "warmth" scalar; kernel
+//! entries cool it, user execution re-warms it, and user IPC and miss
+//! rates are functions of it.
+//!
+//! The polling-vs-context-switch experiment (Fig. 16) pins an I/O-bound
+//! and a CPU-bound thread on the two hardware threads of one physical
+//! core. [`smt`] models the issue-bandwidth split: a hardware thread
+//! stalled on a memory access or an HWDP pipeline stall leaves its issue
+//! slots to its sibling, while kernel code executed during OSDP fault
+//! handling competes for them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod perf;
+pub mod pollution;
+pub mod smt;
+
+pub use perf::PerfCounters;
+pub use pollution::{Pollution, PollutionParams};
+pub use smt::{issue_factor, SMT_SHARE};

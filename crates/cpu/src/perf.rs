@@ -1,0 +1,133 @@
+//! Performance counters, mirroring the PMU events the paper reports
+//! (user/kernel instructions and cycles, cache and branch miss events —
+//! Figs. 4, 14, 15, 16).
+
+/// Per-thread (or aggregated) hardware event counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PerfCounters {
+    /// User-mode instructions retired.
+    pub user_instructions: u64,
+    /// Kernel-mode instructions retired in this context.
+    pub kernel_instructions: u64,
+    /// Cycles spent in user mode.
+    pub user_cycles: u64,
+    /// Cycles spent in kernel mode.
+    pub kernel_cycles: u64,
+    /// L1D misses attributed to user code.
+    pub l1d_misses: u64,
+    /// L2 misses attributed to user code.
+    pub l2_misses: u64,
+    /// LLC misses attributed to user code.
+    pub llc_misses: u64,
+    /// Branch mispredictions attributed to user code.
+    pub branch_misses: u64,
+}
+
+impl PerfCounters {
+    /// Records a user segment: `n` instructions over `cycles` cycles with
+    /// miss rates `mpki = [L1D, L2, LLC, branch]` per kilo-instruction.
+    pub fn record_user(&mut self, n: u64, cycles: u64, mpki: [f64; 4]) {
+        self.user_instructions += n;
+        self.user_cycles += cycles;
+        let kilo = n as f64 / 1000.0;
+        self.l1d_misses += (mpki[0] * kilo) as u64;
+        self.l2_misses += (mpki[1] * kilo) as u64;
+        self.llc_misses += (mpki[2] * kilo) as u64;
+        self.branch_misses += (mpki[3] * kilo) as u64;
+    }
+
+    /// Records a kernel segment.
+    pub fn record_kernel(&mut self, n: u64, cycles: u64) {
+        self.kernel_instructions += n;
+        self.kernel_cycles += cycles;
+    }
+
+    /// User-level IPC (0 if no user cycles).
+    pub fn user_ipc(&self) -> f64 {
+        if self.user_cycles == 0 {
+            0.0
+        } else {
+            self.user_instructions as f64 / self.user_cycles as f64
+        }
+    }
+
+    /// Total instructions (user + kernel).
+    pub fn total_instructions(&self) -> u64 {
+        self.user_instructions + self.kernel_instructions
+    }
+
+    /// Merges another counter set into this one.
+    pub fn merge(&mut self, other: &PerfCounters) {
+        self.user_instructions += other.user_instructions;
+        self.kernel_instructions += other.kernel_instructions;
+        self.user_cycles += other.user_cycles;
+        self.kernel_cycles += other.kernel_cycles;
+        self.l1d_misses += other.l1d_misses;
+        self.l2_misses += other.l2_misses;
+        self.llc_misses += other.llc_misses;
+        self.branch_misses += other.branch_misses;
+    }
+
+    /// Misses per kilo user instruction: `[L1D, L2, LLC, branch]`.
+    pub fn user_mpki(&self) -> [f64; 4] {
+        if self.user_instructions == 0 {
+            return [0.0; 4];
+        }
+        let kilo = self.user_instructions as f64 / 1000.0;
+        [
+            self.l1d_misses as f64 / kilo,
+            self.l2_misses as f64 / kilo,
+            self.llc_misses as f64 / kilo,
+            self.branch_misses as f64 / kilo,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn user_segment_accumulates() {
+        let mut c = PerfCounters::default();
+        c.record_user(10_000, 8_000, [20.0, 8.0, 3.0, 6.0]);
+        assert_eq!(c.user_instructions, 10_000);
+        assert_eq!(c.l1d_misses, 200);
+        assert_eq!(c.branch_misses, 60);
+        assert!((c.user_ipc() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kernel_segment_separate() {
+        let mut c = PerfCounters::default();
+        c.record_kernel(5_000, 7_000);
+        assert_eq!(c.kernel_instructions, 5_000);
+        assert_eq!(c.user_instructions, 0);
+        assert_eq!(c.user_ipc(), 0.0);
+        assert_eq!(c.total_instructions(), 5_000);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = PerfCounters::default();
+        a.record_user(1000, 1000, [1.0, 1.0, 1.0, 1.0]);
+        let mut b = PerfCounters::default();
+        b.record_user(1000, 2000, [1.0, 1.0, 1.0, 1.0]);
+        b.record_kernel(500, 600);
+        a.merge(&b);
+        assert_eq!(a.user_instructions, 2000);
+        assert_eq!(a.user_cycles, 3000);
+        assert_eq!(a.kernel_instructions, 500);
+        assert_eq!(a.l1d_misses, 2);
+    }
+
+    #[test]
+    fn user_mpki_roundtrip() {
+        let mut c = PerfCounters::default();
+        c.record_user(100_000, 100_000, [25.0, 10.0, 4.0, 7.0]);
+        let m = c.user_mpki();
+        assert!((m[0] - 25.0).abs() < 0.1);
+        assert!((m[3] - 7.0).abs() < 0.1);
+        assert_eq!(PerfCounters::default().user_mpki(), [0.0; 4]);
+    }
+}

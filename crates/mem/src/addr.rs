@@ -1,0 +1,375 @@
+//! Address-space newtypes and page contents.
+//!
+//! Everything is 4 KiB-page based, matching the paper (a single NVMe
+//! command reads a 4 KiB block without a PRP list, §V).
+
+use std::fmt;
+
+/// Page size in bytes (4 KiB, the paper's only first-class page size).
+pub const PAGE_SIZE: usize = 4096;
+/// log2(PAGE_SIZE).
+pub const PAGE_SHIFT: u32 = 12;
+
+/// A virtual address within a simulated process address space.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(pub u64);
+
+impl VirtAddr {
+    /// The virtual page containing this address.
+    pub const fn vpn(self) -> Vpn {
+        Vpn(self.0 >> PAGE_SHIFT)
+    }
+
+    /// Byte offset within the page.
+    pub const fn page_offset(self) -> usize {
+        (self.0 & (PAGE_SIZE as u64 - 1)) as usize
+    }
+
+    /// Raw address value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "va:{:#x}", self.0)
+    }
+}
+
+/// A virtual page number (address >> 12). 36 significant bits are used
+/// (48-bit canonical virtual addresses).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Vpn(pub u64);
+
+impl Vpn {
+    /// First byte of the page.
+    pub const fn base(self) -> VirtAddr {
+        VirtAddr(self.0 << PAGE_SHIFT)
+    }
+
+    /// The page `n` pages after this one.
+    pub const fn add(self, n: u64) -> Vpn {
+        Vpn(self.0 + n)
+    }
+
+    /// x86-64 page-table indices for this VPN: `(pgd, pud, pmd, pt)`,
+    /// 9 bits each.
+    pub const fn indices(self) -> (usize, usize, usize, usize) {
+        let v = self.0;
+        (
+            ((v >> 27) & 0x1FF) as usize,
+            ((v >> 18) & 0x1FF) as usize,
+            ((v >> 9) & 0x1FF) as usize,
+            (v & 0x1FF) as usize,
+        )
+    }
+}
+
+impl fmt::Debug for Vpn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vpn:{:#x}", self.0)
+    }
+}
+
+/// A physical (simulated-DRAM) address. Used chiefly as the PMSHR key: the
+/// physical address of a PTE uniquely identifies a virtual page (§III-C).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(pub u64);
+
+impl fmt::Debug for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pa:{:#x}", self.0)
+    }
+}
+
+/// A physical frame number.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pfn(pub u64);
+
+impl Pfn {
+    /// First byte of the frame.
+    pub const fn base(self) -> PhysAddr {
+        PhysAddr(self.0 << PAGE_SHIFT)
+    }
+}
+
+impl fmt::Debug for Pfn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pfn:{:#x}", self.0)
+    }
+}
+
+/// Socket ID selecting the home SMU for a page miss (3 bits, up to 8
+/// sockets — §III-B).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug)]
+pub struct SocketId(pub u8);
+
+/// Device ID selecting a block device / NVMe namespace within a socket
+/// (3 bits, up to 8 devices per socket — §III-B).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug)]
+pub struct DeviceId(pub u8);
+
+/// A logical block address on a block device (41 bits, up to 1 PB of 512-B
+/// blocks per the paper's layout; we address 4 KiB blocks directly).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Lba(pub u64);
+
+impl Lba {
+    /// Maximum encodable LBA (41 bits).
+    pub const MAX: Lba = Lba((1 << 41) - 1);
+
+    /// The reserved constant marking a never-written anonymous page
+    /// (paper §V: "reserve a pre-defined constant for the LBA field to
+    /// mark the first access and make SMU bypass I/O processing").
+    /// An SMU meeting this LBA delivers a zeroed page without any device
+    /// I/O.
+    pub const ANON_ZERO: Lba = Lba::MAX;
+}
+
+impl fmt::Debug for Lba {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lba:{:#x}", self.0)
+    }
+}
+
+/// The unique storage-block triple an LBA-augmented PTE points at:
+/// `<SID, device ID, LBA>` identifies one block in the whole system.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug)]
+pub struct BlockRef {
+    /// Home socket (selects the SMU that handles the miss).
+    pub socket: SocketId,
+    /// Device within the socket.
+    pub device: DeviceId,
+    /// Block on the device.
+    pub lba: Lba,
+}
+
+impl BlockRef {
+    /// Creates a block reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the socket or device exceed 3 bits, or the LBA exceeds
+    /// 41 bits (they would not fit the PTE payload).
+    pub fn new(socket: SocketId, device: DeviceId, lba: Lba) -> Self {
+        assert!(socket.0 < 8, "socket id must fit 3 bits");
+        assert!(device.0 < 8, "device id must fit 3 bits");
+        assert!(lba.0 <= Lba::MAX.0, "lba must fit 41 bits");
+        BlockRef { socket, device, lba }
+    }
+}
+
+/// Contents of a 4 KiB page or storage block.
+///
+/// Real byte buffers are only materialized when a workload actually writes
+/// distinct data; read-only synthetic datasets (e.g. FIO's pre-generated
+/// file) use the O(1) [`PageData::Pattern`] representation, whose bytes are
+/// a pure function of the seed. This keeps multi-GiB-ratio simulations
+/// cheap while still letting integration tests verify every byte.
+#[derive(Clone, PartialEq, Eq)]
+pub enum PageData {
+    /// All zeroes (fresh anonymous page / unwritten block).
+    Zero,
+    /// Deterministic pseudo-random contents generated from a seed.
+    Pattern(u64),
+    /// Explicit bytes.
+    Bytes(Box<[u8; PAGE_SIZE]>),
+}
+
+impl Default for PageData {
+    fn default() -> Self {
+        PageData::Zero
+    }
+}
+
+impl fmt::Debug for PageData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PageData::Zero => write!(f, "PageData::Zero"),
+            PageData::Pattern(s) => write!(f, "PageData::Pattern({s:#x})"),
+            PageData::Bytes(_) => write!(f, "PageData::Bytes(..)"),
+        }
+    }
+}
+
+/// Expands a pattern seed into the byte at `offset` without materializing
+/// the page (SplitMix64 per 8-byte lane).
+fn pattern_byte(seed: u64, offset: usize) -> u8 {
+    let lane = (offset / 8) as u64;
+    let mut z = seed ^ lane.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    z.to_le_bytes()[offset % 8]
+}
+
+impl PageData {
+    /// Reads `buf.len()` bytes starting at `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + buf.len()` exceeds [`PAGE_SIZE`].
+    pub fn read(&self, offset: usize, buf: &mut [u8]) {
+        assert!(offset + buf.len() <= PAGE_SIZE, "read beyond page");
+        match self {
+            PageData::Zero => buf.fill(0),
+            PageData::Pattern(seed) => {
+                for (i, b) in buf.iter_mut().enumerate() {
+                    *b = pattern_byte(*seed, offset + i);
+                }
+            }
+            PageData::Bytes(bytes) => buf.copy_from_slice(&bytes[offset..offset + buf.len()]),
+        }
+    }
+
+    /// Writes `data` at `offset`, materializing a byte buffer if needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + data.len()` exceeds [`PAGE_SIZE`].
+    pub fn write(&mut self, offset: usize, data: &[u8]) {
+        assert!(offset + data.len() <= PAGE_SIZE, "write beyond page");
+        let bytes = self.materialize();
+        bytes[offset..offset + data.len()].copy_from_slice(data);
+    }
+
+    /// Converts to an explicit byte buffer and returns it mutably.
+    pub fn materialize(&mut self) -> &mut [u8; PAGE_SIZE] {
+        if !matches!(self, PageData::Bytes(_)) {
+            let mut bytes = Box::new([0u8; PAGE_SIZE]);
+            self.read(0, &mut bytes[..]);
+            *self = PageData::Bytes(bytes);
+        }
+        match self {
+            PageData::Bytes(b) => b,
+            _ => unreachable!("just materialized"),
+        }
+    }
+
+    /// A cheap 64-bit checksum of the page contents (FNV-1a over bytes for
+    /// `Bytes`, closed-form for `Zero`/`Pattern` — consistent across
+    /// representations).
+    pub fn checksum(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut h = OFFSET;
+        let mut tmp = [0u8; 64];
+        for chunk_start in (0..PAGE_SIZE).step_by(64) {
+            self.read(chunk_start, &mut tmp);
+            for &b in &tmp {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vpn_and_offset_split() {
+        let a = VirtAddr(0x1234_5678);
+        assert_eq!(a.vpn(), Vpn(0x12345));
+        assert_eq!(a.page_offset(), 0x678);
+        assert_eq!(a.vpn().base(), VirtAddr(0x1234_5000));
+    }
+
+    #[test]
+    fn vpn_indices_roundtrip() {
+        let vpn = Vpn(0o123_456_701_234); // arbitrary 36-bit value
+        let (pgd, pud, pmd, pt) = vpn.indices();
+        let rebuilt =
+            ((pgd as u64) << 27) | ((pud as u64) << 18) | ((pmd as u64) << 9) | pt as u64;
+        assert_eq!(rebuilt, vpn.0);
+        assert!(pgd < 512 && pud < 512 && pmd < 512 && pt < 512);
+    }
+
+    #[test]
+    fn pfn_base() {
+        assert_eq!(Pfn(3).base(), PhysAddr(3 * 4096));
+    }
+
+    #[test]
+    fn block_ref_validates_fields() {
+        let b = BlockRef::new(SocketId(7), DeviceId(7), Lba::MAX);
+        assert_eq!(b.socket.0, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "3 bits")]
+    fn block_ref_rejects_wide_socket() {
+        let _ = BlockRef::new(SocketId(8), DeviceId(0), Lba(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "41 bits")]
+    fn block_ref_rejects_wide_lba() {
+        let _ = BlockRef::new(SocketId(0), DeviceId(0), Lba(1 << 41));
+    }
+
+    #[test]
+    fn zero_page_reads_zero() {
+        let p = PageData::Zero;
+        let mut buf = [0xFFu8; 16];
+        p.read(100, &mut buf);
+        assert_eq!(buf, [0u8; 16]);
+    }
+
+    #[test]
+    fn pattern_is_deterministic_and_nonzero() {
+        let p = PageData::Pattern(42);
+        let mut a = [0u8; 32];
+        let mut b = [0u8; 32];
+        p.read(64, &mut a);
+        p.read(64, &mut b);
+        assert_eq!(a, b);
+        assert!(a.iter().any(|&x| x != 0));
+        // Different seeds give different bytes.
+        let q = PageData::Pattern(43);
+        q.read(64, &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn write_materializes_and_preserves_rest() {
+        let mut p = PageData::Pattern(7);
+        let mut before = [0u8; 8];
+        p.read(0, &mut before);
+        p.write(100, b"hello");
+        let mut after = [0u8; 8];
+        p.read(0, &mut after);
+        assert_eq!(before, after, "untouched bytes preserved");
+        let mut h = [0u8; 5];
+        p.read(100, &mut h);
+        assert_eq!(&h, b"hello");
+    }
+
+    #[test]
+    fn checksum_consistent_across_representations() {
+        let pat = PageData::Pattern(99);
+        let mut mat = PageData::Pattern(99);
+        mat.materialize();
+        assert_eq!(pat.checksum(), mat.checksum());
+        assert_ne!(pat.checksum(), PageData::Zero.checksum());
+    }
+
+    #[test]
+    fn checksum_detects_single_byte_change() {
+        let mut a = PageData::Zero;
+        let base = a.checksum();
+        a.write(4095, &[1]);
+        assert_ne!(a.checksum(), base);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond page")]
+    fn read_past_end_panics() {
+        let p = PageData::Zero;
+        let mut buf = [0u8; 8];
+        p.read(PAGE_SIZE - 4, &mut buf);
+    }
+}

@@ -1,0 +1,33 @@
+//! NVMe substrate: protocol structures and ultra-low-latency SSD device
+//! models.
+//!
+//! The paper's SMU speaks a subset of NVMe 1.x: 4 KiB reads without a PRP
+//! list, submission via a 64-byte command write plus one PCIe doorbell
+//! write, and interrupt-free completion by snooping CQ memory writes
+//! (§III-C). The OS-based baseline drives the same device through the
+//! normal interrupt-driven path. Both paths share this crate:
+//!
+//! * [`command`] — NVMe command and completion-queue-entry encoding.
+//! * [`queue`] — SQ/CQ rings with doorbells and the CQ phase bit.
+//! * [`profile`] — service-time profiles for the three devices of Fig. 17
+//!   (Samsung Z-SSD, Intel Optane SSD, Optane DC PMM in App-direct mode),
+//!   with bounded internal parallelism and read/write interference.
+//! * [`device`] — the device engine: fetches commands on doorbell rings,
+//!   schedules completions in virtual time, moves real block data.
+//! * [`namespace`] — the backing block store (real or pattern-generated
+//!   block contents).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod command;
+pub mod device;
+pub mod namespace;
+pub mod profile;
+pub mod queue;
+
+pub use command::{CompletionEntry, NvmeCommand, Opcode};
+pub use device::{Completed, CompletionToken, DeviceStats, NvmeController, QueueId};
+pub use namespace::BlockStore;
+pub use profile::DeviceProfile;
+pub use queue::QueuePair;

@@ -1,0 +1,146 @@
+//! Backing block store for an NVMe namespace.
+//!
+//! A namespace is "a storage volume organized into logical blocks"
+//! (paper, footnote 1); ours stores one [`PageData`] per 4 KiB block.
+//! Blocks never explicitly written return a configurable default — either
+//! zeroes or a deterministic per-block pattern, which lets FIO-style
+//! read-only datasets exist without materializing gigabytes.
+
+use hwdp_mem::addr::{Lba, PageData};
+use std::collections::HashMap;
+
+/// Default contents of never-written blocks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DefaultContents {
+    /// Unwritten blocks read as zeroes (like a fresh namespace).
+    Zero,
+    /// Unwritten block `l` reads as `PageData::Pattern(seed ^ l)` — a
+    /// pre-initialized synthetic dataset.
+    Pattern {
+        /// Seed mixed with the LBA to derive each block's pattern.
+        seed: u64,
+    },
+}
+
+/// The block store behind one namespace.
+#[derive(Debug)]
+pub struct BlockStore {
+    blocks: u64,
+    written: HashMap<u64, PageData>,
+    default: DefaultContents,
+}
+
+impl BlockStore {
+    /// Creates a store of `blocks` 4 KiB blocks, all reading as zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is zero.
+    pub fn new(blocks: u64) -> Self {
+        assert!(blocks > 0, "namespace must have at least one block");
+        BlockStore { blocks, written: HashMap::new(), default: DefaultContents::Zero }
+    }
+
+    /// Creates a store whose unwritten blocks hold a deterministic pattern
+    /// derived from `seed` (synthetic pre-populated dataset).
+    pub fn with_pattern(blocks: u64, seed: u64) -> Self {
+        assert!(blocks > 0, "namespace must have at least one block");
+        BlockStore { blocks, written: HashMap::new(), default: DefaultContents::Pattern { seed } }
+    }
+
+    /// Capacity in blocks.
+    pub fn blocks(&self) -> u64 {
+        self.blocks
+    }
+
+    /// Capacity in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.blocks * 4096
+    }
+
+    /// Whether `lba` is within the namespace.
+    pub fn contains(&self, lba: Lba) -> bool {
+        lba.0 < self.blocks
+    }
+
+    /// Reads a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lba` is out of range (device-level code validates and
+    /// reports `LbaOutOfRange` before getting here).
+    pub fn read_block(&self, lba: Lba) -> PageData {
+        assert!(self.contains(lba), "read of {lba:?} beyond namespace end");
+        match self.written.get(&lba.0) {
+            Some(d) => d.clone(),
+            None => match self.default {
+                DefaultContents::Zero => PageData::Zero,
+                DefaultContents::Pattern { seed } => PageData::Pattern(seed ^ lba.0),
+            },
+        }
+    }
+
+    /// Writes a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lba` is out of range.
+    pub fn write_block(&mut self, lba: Lba, data: PageData) {
+        assert!(self.contains(lba), "write of {lba:?} beyond namespace end");
+        self.written.insert(lba.0, data);
+    }
+
+    /// Number of blocks holding explicitly written data.
+    pub fn written_blocks(&self) -> usize {
+        self.written.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_default() {
+        let s = BlockStore::new(10);
+        assert_eq!(s.read_block(Lba(3)), PageData::Zero);
+        assert_eq!(s.written_blocks(), 0);
+        assert_eq!(s.bytes(), 40_960);
+    }
+
+    #[test]
+    fn pattern_default_distinct_per_block() {
+        let s = BlockStore::with_pattern(10, 42);
+        let a = s.read_block(Lba(1));
+        let b = s.read_block(Lba(2));
+        assert_ne!(a.checksum(), b.checksum());
+        // Deterministic.
+        assert_eq!(a.checksum(), s.read_block(Lba(1)).checksum());
+    }
+
+    #[test]
+    fn write_overrides_default() {
+        let mut s = BlockStore::with_pattern(10, 42);
+        let mut d = PageData::Zero;
+        d.write(0, b"hello");
+        s.write_block(Lba(5), d.clone());
+        assert_eq!(s.read_block(Lba(5)), d);
+        assert_eq!(s.written_blocks(), 1);
+        // Other blocks keep the pattern.
+        assert_eq!(s.read_block(Lba(6)), PageData::Pattern(42 ^ 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond namespace end")]
+    fn read_out_of_range_panics() {
+        let s = BlockStore::new(4);
+        let _ = s.read_block(Lba(4));
+    }
+
+    #[test]
+    fn contains_boundary() {
+        let s = BlockStore::new(4);
+        assert!(s.contains(Lba(3)));
+        assert!(!s.contains(Lba(4)));
+    }
+}

@@ -1,0 +1,269 @@
+//! Calibrated latency and instruction-count models of the kernel paths.
+//!
+//! # OSDP fault path (paper Fig. 3)
+//!
+//! The paper breaks a single OS-handled page fault into components and
+//! reports each as a fraction of the host-observed device time, totalling
+//! **76.3 %** of it. With the Z-SSD's ~11 µs effective device time the
+//! absolute costs below follow; they are also chosen so the HWDP deltas
+//! of Fig. 11(a) come out right (−2.38 µs before device I/O, −6.16 µs
+//! after):
+//!
+//! | component                                   | cost     |
+//! |---------------------------------------------|----------|
+//! | exception entry + page-table walk           | 0.27 µs  |
+//! | fault handler (VMA lookup, page allocation) | 1.10 µs  |
+//! | I/O stack submission                        | 1.10 µs  |
+//! | context switch out (overlaps device I/O)    | 1.10 µs  |
+//! | interrupt delivery                          | 0.28 µs  |
+//! | I/O completion + wakeup                     | 3.02 µs  |
+//! | context switch in                           | 1.10 µs  |
+//! | OS metadata update + return                 | 1.80 µs  |
+//!
+//! Before-device total: 2.47 µs (vs HWDP's ~0.08 µs → Δ ≈ 2.39 µs);
+//! after-device total: 6.20 µs (vs HWDP's ~0.04 µs → Δ ≈ 6.16 µs).
+//!
+//! # Kernel instruction counts (Fig. 15)
+//!
+//! Per-component retired-instruction estimates for the same path; under
+//! HWDP the per-page kernel work left is `kpted`'s batched metadata update
+//! plus `kpoold`'s refill share, yielding the paper's ~62.6 % reduction.
+
+use hwdp_sim::time::Duration;
+
+/// One kernel activity: its latency contribution and the instructions the
+/// kernel retires doing it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KernelWork {
+    /// Wall-clock latency on the fault's critical path.
+    pub latency: Duration,
+    /// Kernel instructions retired.
+    pub instructions: u64,
+}
+
+impl KernelWork {
+    const fn new(ns: u64, instructions: u64) -> Self {
+        KernelWork { latency: Duration::from_nanos(ns), instructions }
+    }
+}
+
+/// The OSDP fault path cost model.
+#[derive(Clone, Copy, Debug)]
+pub struct OsdpCosts {
+    /// CPU exception entry + hardware page-table walk restart.
+    pub exception: KernelWork,
+    /// Fault handler proper: VMA lookup, page-cache probe, page allocation.
+    pub fault_handler: KernelWork,
+    /// Filesystem + block layer + NVMe driver submission.
+    pub io_submit: KernelWork,
+    /// Context switch away while the I/O is in flight (its *latency*
+    /// overlaps device time, but its instructions and pollution are real).
+    pub context_switch_out: KernelWork,
+    /// Interrupt delivery on completion.
+    pub irq_delivery: KernelWork,
+    /// Block-layer completion + thread wakeup.
+    pub io_completion: KernelWork,
+    /// Switching the faulting thread back in.
+    pub context_switch_in: KernelWork,
+    /// LRU insert, reverse-map update, PTE install, exception return.
+    pub metadata_update: KernelWork,
+}
+
+impl OsdpCosts {
+    /// The calibrated Fig. 3 model.
+    pub fn paper_default() -> Self {
+        OsdpCosts {
+            exception: KernelWork::new(270, 400),
+            fault_handler: KernelWork::new(1_100, 1_900),
+            io_submit: KernelWork::new(1_100, 2_800),
+            context_switch_out: KernelWork::new(1_100, 1_600),
+            irq_delivery: KernelWork::new(280, 500),
+            io_completion: KernelWork::new(3_020, 3_200),
+            context_switch_in: KernelWork::new(1_100, 1_600),
+            metadata_update: KernelWork::new(1_800, 1_500),
+        }
+    }
+
+    /// Critical-path latency added before the device starts working.
+    pub fn before_device(&self) -> Duration {
+        self.exception.latency + self.fault_handler.latency + self.io_submit.latency
+    }
+
+    /// Critical-path latency added after the device finishes. The switch
+    /// *out* overlaps device time so it is excluded here; the switch back
+    /// *in* (wakeup → running) is on the critical path.
+    pub fn after_device(&self) -> Duration {
+        self.irq_delivery.latency
+            + self.io_completion.latency
+            + self.context_switch_in.latency
+            + self.metadata_update.latency
+    }
+
+    /// Total critical-path overhead of one OSDP fault (excludes device
+    /// time).
+    pub fn total_overhead(&self) -> Duration {
+        self.before_device() + self.after_device()
+    }
+
+    /// Total kernel instructions retired per fault (all components,
+    /// including those whose latency overlaps device time).
+    pub fn instructions_per_fault(&self) -> u64 {
+        self.exception.instructions
+            + self.fault_handler.instructions
+            + self.io_submit.instructions
+            + self.context_switch_out.instructions
+            + self.irq_delivery.instructions
+            + self.io_completion.instructions
+            + self.context_switch_in.instructions
+            + self.metadata_update.instructions
+    }
+}
+
+/// The software-only prototype of §VI-A (evaluated in Fig. 17): the fault
+/// exception is still taken and the kernel emulates the SMU — checks the
+/// LBA bit, probes/fills a software PMSHR table, builds the NVMe command
+/// itself (skipping the whole block layer), then polls for completion with
+/// `monitor`/`mwait` instead of sleeping.
+#[derive(Clone, Copy, Debug)]
+pub struct SwOnlyCosts {
+    /// Exception entry + LBA-bit check.
+    pub exception: KernelWork,
+    /// Software PMSHR probe/insert + free-page grab.
+    pub pmshr_emulation: KernelWork,
+    /// Direct NVMe command build + doorbell (no block layer).
+    pub direct_submit: KernelWork,
+    /// `monitor`/`mwait` arm + wake + completion handling + PTE install +
+    /// exception return.
+    pub poll_completion: KernelWork,
+}
+
+impl SwOnlyCosts {
+    /// Calibrated so HWDP is ~14 % faster on the Z-SSD and ~44 % faster on
+    /// Optane DC PMM (Fig. 17): the software path adds ~1.6 µs of fixed
+    /// kernel overhead per fault where the hardware adds ~0.12 µs.
+    pub fn paper_default() -> Self {
+        SwOnlyCosts {
+            exception: KernelWork::new(270, 400),
+            pmshr_emulation: KernelWork::new(260, 450),
+            direct_submit: KernelWork::new(330, 700),
+            poll_completion: KernelWork::new(750, 900),
+        }
+    }
+
+    /// Latency before the doorbell.
+    pub fn before_device(&self) -> Duration {
+        self.exception.latency + self.pmshr_emulation.latency + self.direct_submit.latency
+    }
+
+    /// Latency after the device's CQ write.
+    pub fn after_device(&self) -> Duration {
+        self.poll_completion.latency
+    }
+
+    /// Total software-only overhead per fault.
+    pub fn total_overhead(&self) -> Duration {
+        self.before_device() + self.after_device()
+    }
+
+    /// Kernel instructions retired per software-only fault.
+    pub fn instructions_per_fault(&self) -> u64 {
+        self.exception.instructions
+            + self.pmshr_emulation.instructions
+            + self.direct_submit.instructions
+            + self.poll_completion.instructions
+    }
+}
+
+/// Background kernel-thread cost model (Fig. 15's `kpted`/`kpoold` bars).
+#[derive(Clone, Copy, Debug)]
+pub struct BackgroundCosts {
+    /// `kpted` instructions per synchronized PTE (LRU insert, rmap, page
+    /// metadata, page-cache insert — batched, so cheaper per page than the
+    /// same work inline).
+    pub kpted_instr_per_page: u64,
+    /// `kpted` fixed instructions per scan pass (walking upper levels).
+    pub kpted_instr_per_scan: u64,
+    /// `kpted` IPC advantage from batching (×IPC vs inline kernel code).
+    pub kpted_batch_speedup: f64,
+    /// `kpoold` instructions per refilled page.
+    pub kpoold_instr_per_page: u64,
+    /// Latency of `kpted` work per page (off the critical path).
+    pub kpted_latency_per_page: Duration,
+    /// Latency of `kpoold` work per page (off the critical path).
+    pub kpoold_latency_per_page: Duration,
+}
+
+impl BackgroundCosts {
+    /// Calibrated so total HWDP kernel instructions land near the paper's
+    /// −62.6 % vs OSDP for YCSB-C.
+    pub fn paper_default() -> Self {
+        BackgroundCosts {
+            kpted_instr_per_page: 3_600,
+            kpted_instr_per_scan: 2_000,
+            kpted_batch_speedup: 1.6,
+            kpoold_instr_per_page: 900,
+            kpted_latency_per_page: Duration::from_nanos(450),
+            kpoold_latency_per_page: Duration::from_nanos(260),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn osdp_overhead_matches_fig3_fraction() {
+        let c = OsdpCosts::paper_default();
+        let total = c.total_overhead();
+        // Fig. 3: overhead ≈ 76.3 % of an ~11.4 µs effective device time.
+        let device = Duration::from_nanos(11_360);
+        let frac = total.as_nanos_f64() / device.as_nanos_f64();
+        assert!((frac - 0.763).abs() < 0.02, "overhead fraction {frac}");
+    }
+
+    #[test]
+    fn before_after_split_matches_fig11_deltas() {
+        let c = OsdpCosts::paper_default();
+        // HWDP before ≈ 81 ns, after ≈ 36 ns; paper deltas 2.38 / 6.16 µs.
+        let before_delta = c.before_device().as_micros_f64() - 0.081;
+        let after_delta = c.after_device().as_micros_f64() - 0.036;
+        assert!((before_delta - 2.38).abs() < 0.05, "before delta {before_delta}");
+        assert!((after_delta - 6.16).abs() < 0.05, "after delta {after_delta}");
+    }
+
+    #[test]
+    fn osdp_instruction_count_plausible() {
+        // A Linux major-fault path retires on the order of 10⁴ instructions.
+        let n = OsdpCosts::paper_default().instructions_per_fault();
+        assert!((8_000..20_000).contains(&n), "instructions {n}");
+    }
+
+    #[test]
+    fn sw_only_sits_between_osdp_and_hwdp() {
+        let sw = SwOnlyCosts::paper_default().total_overhead();
+        let osdp = OsdpCosts::paper_default().total_overhead();
+        assert!(sw < osdp, "SW-only skips the block layer and context switch");
+        assert!(sw > Duration::from_nanos(1_000), "but still pays exception + kernel code");
+        // Fig. 17 shape: with Z-SSD (10.9 µs) HWDP ≈ 14 % lower than SW-only.
+        let hw = Duration::from_nanos(117);
+        let z = Duration::from_nanos(10_900);
+        let ratio = (z + hw).as_nanos_f64() / (z + sw).as_nanos_f64();
+        assert!((0.82..0.90).contains(&ratio), "Z-SSD HWDP/SW ratio {ratio}");
+        // With Optane DC PMM (2.1 µs) HWDP is ~44 % lower.
+        let p = Duration::from_nanos(2_100);
+        let ratio = (p + hw).as_nanos_f64() / (p + sw).as_nanos_f64();
+        assert!((0.50..0.65).contains(&ratio), "PMM HWDP/SW ratio {ratio}");
+    }
+
+    #[test]
+    fn kpted_cheaper_than_inline_metadata_work() {
+        let bg = BackgroundCosts::paper_default();
+        let osdp = OsdpCosts::paper_default();
+        // Per-page kernel work under HWDP (kpted + kpoold) must be well
+        // under the full fault path — that is the Fig. 15 claim.
+        let hwdp_per_page = bg.kpted_instr_per_page + bg.kpoold_instr_per_page;
+        let reduction = 1.0 - hwdp_per_page as f64 / osdp.instructions_per_fault() as f64;
+        assert!((0.55..0.72).contains(&reduction), "kernel instruction reduction {reduction}");
+    }
+}

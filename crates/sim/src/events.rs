@@ -1,0 +1,232 @@
+//! A deterministic event queue.
+//!
+//! Events are ordered by `(time, sequence)` where the sequence number is
+//! assigned at scheduling time, so two events scheduled for the same instant
+//! fire in the order they were scheduled. This makes whole-system runs
+//! bit-for-bit reproducible, which the calibration tests rely on.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Time;
+
+/// A handle to a scheduled event, usable for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    at: Time,
+    seq: u64,
+    id: EventId,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to get earliest-first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A time-ordered queue of events with stable same-time ordering and
+/// O(log n) cancellation (lazy deletion).
+///
+/// ```
+/// use hwdp_sim::events::EventQueue;
+/// use hwdp_sim::time::{Duration, Time};
+///
+/// let mut q = EventQueue::new();
+/// let a = q.schedule(Time::ZERO + Duration::from_nanos(10), 'a');
+/// q.schedule(Time::ZERO + Duration::from_nanos(10), 'b');
+/// q.cancel(a);
+/// assert_eq!(q.pop().map(|(_, e)| e), Some('b'));
+/// assert!(q.pop().is_none());
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    next_id: u64,
+    cancelled: std::collections::HashSet<EventId>,
+    now: Time,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue positioned at [`Time::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            next_id: 0,
+            cancelled: std::collections::HashSet::new(),
+            now: Time::ZERO,
+        }
+    }
+
+    /// The time of the most recently popped event ([`Time::ZERO`] before the
+    /// first pop). Popping never moves time backwards.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Schedules `payload` to fire at `at`, returning a cancellation handle.
+    ///
+    /// Scheduling in the past is permitted (the event fires "immediately",
+    /// i.e. before any later event) but never rewinds [`Self::now`].
+    pub fn schedule(&mut self, at: Time, payload: E) -> EventId {
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, id, payload });
+        id
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the event had
+    /// not yet fired or been cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_id {
+            return false;
+        }
+        self.cancelled.insert(id)
+    }
+
+    /// Pops the earliest pending event, advancing [`Self::now`] to its
+    /// timestamp (clamped so time never goes backwards).
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.id) {
+                continue;
+            }
+            self.now = self.now.max(entry.at);
+            return Some((self.now, entry.payload));
+        }
+        None
+    }
+
+    /// The timestamp of the next pending event, if any.
+    pub fn peek_time(&mut self) -> Option<Time> {
+        // Purge cancelled heads so peek agrees with the next pop.
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.id) {
+                let entry = self.heap.pop().expect("peeked entry exists");
+                self.cancelled.remove(&entry.id);
+                continue;
+            }
+            return Some(entry.at);
+        }
+        None
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("len", &self.len())
+            .field("now", &self.now)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    fn at(ns: u64) -> Time {
+        Time::ZERO + Duration::from_nanos(ns)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(at(30), 3);
+        q.schedule(at(10), 1);
+        q.schedule(at(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn same_time_fires_in_scheduling_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(at(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn now_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule(at(50), ());
+        q.pop();
+        assert_eq!(q.now(), at(50));
+        // Scheduling in the past fires but does not rewind the clock.
+        q.schedule(at(10), ());
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, at(50));
+        assert_eq!(q.now(), at(50));
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(at(10), 'a');
+        q.schedule(at(20), 'b');
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double-cancel reports false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().map(|(_, e)| e), Some('b'));
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(at(10), 'a');
+        q.schedule(at(20), 'b');
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(at(20)));
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.peek_time(), None);
+    }
+}

@@ -1,0 +1,42 @@
+//! Deterministic discrete-event simulation kernel for the HWDP reproduction.
+//!
+//! This crate provides the engine-level substrate every other crate builds
+//! on:
+//!
+//! * [`time`] — picosecond-resolution virtual time ([`time::Time`],
+//!   [`time::Duration`]), CPU frequencies and cycle/nanosecond conversion.
+//! * [`events`] — a stable, deterministic event queue ([`events::EventQueue`])
+//!   keyed by `(time, sequence)` so same-time events fire in insertion order.
+//! * [`rng`] — a small, seedable, portable PRNG ([`rng::Prng`], SplitMix64 +
+//!   xoshiro256**) so simulations never depend on platform entropy.
+//! * [`dist`] — workload distributions (uniform, Zipfian, scrambled Zipfian,
+//!   latest, lognormal-ish service jitter) used by the YCSB/FIO generators
+//!   and the device model.
+//! * [`stats`] — counters, running means, and fixed-bucket latency
+//!   histograms with percentile queries.
+//!
+//! # Example
+//!
+//! ```
+//! use hwdp_sim::events::EventQueue;
+//! use hwdp_sim::time::{Duration, Time};
+//!
+//! let mut q: EventQueue<&'static str> = EventQueue::new();
+//! q.schedule(Time::ZERO + Duration::from_nanos(5), "later");
+//! q.schedule(Time::ZERO, "now");
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!((t, ev), (Time::ZERO, "now"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod events;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use events::EventQueue;
+pub use rng::Prng;
+pub use time::{Duration, Freq, Time};

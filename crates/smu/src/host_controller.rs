@@ -1,0 +1,241 @@
+//! The SMU's NVMe host controller (paper Fig. 8 and Fig. 9).
+//!
+//! The host controller keeps one set of **queue descriptor registers** per
+//! block device (up to 8 per SMU, selected by the 3-bit device ID). Each
+//! set describes the isolated I/O queue pair the OS allocated for the SMU
+//! when fast mmap was enabled on that device: SQ/CQ base addresses, SQ
+//! tail / CQ head pointers, the CQ phase state, the two doorbell register
+//! addresses, and the namespace ID. A set is 352 bits (§VI-D).
+//!
+//! To issue an I/O the controller generates a 64-byte NVMe read command,
+//! writes it at `SQ base + tail`, and rings the SQ doorbell. Completions
+//! are detected *without interrupts*: the completion unit snoops memory
+//! writes from the PCIe root complex for the address `CQ base + head`.
+
+use hwdp_mem::addr::{DeviceId, Lba, PhysAddr};
+use hwdp_nvme::command::NvmeCommand;
+use hwdp_nvme::device::QueueId;
+
+/// Bits in one queue-descriptor register set (§VI-D: eight 352-bit
+/// registers): 4 × 64-bit addresses + 2 × 16-bit ring pointers + 32-bit
+/// NSID + 16-bit queue id + phase/valid flags, padded to 352.
+pub const DESCRIPTOR_BITS: u64 = 352;
+
+/// Maximum devices per SMU (3-bit device ID).
+pub const MAX_DEVICES: usize = 8;
+
+/// One device's queue descriptor register set (Fig. 9).
+#[derive(Clone, Copy, Debug)]
+pub struct QueueDescriptor {
+    /// Namespace the fast-mmap'd file lives on.
+    pub nsid: u32,
+    /// The isolated queue pair the OS created for this SMU (§III-C).
+    pub qid: QueueId,
+    /// Submission-queue ring base (host memory).
+    pub sq_base: PhysAddr,
+    /// Completion-queue ring base (host memory) — the snoop target.
+    pub cq_base: PhysAddr,
+    /// SQ tail doorbell register (PCIe BAR address).
+    pub sq_doorbell: PhysAddr,
+    /// CQ head doorbell register (PCIe BAR address).
+    pub cq_doorbell: PhysAddr,
+    /// Ring depth (entries).
+    pub depth: u16,
+}
+
+/// Host-controller activity counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HostControllerStats {
+    /// 64-byte NVMe command writes to memory.
+    pub command_writes: u64,
+    /// SQ doorbell rings (PCIe register writes).
+    pub sq_doorbells: u64,
+    /// CQ doorbell rings.
+    pub cq_doorbells: u64,
+    /// Completions detected by snooping.
+    pub snooped_completions: u64,
+}
+
+/// The SMU's NVMe host controller: per-device descriptor registers plus
+/// per-device CQ head/phase tracking for the snooping completion unit.
+#[derive(Debug)]
+pub struct HostController {
+    descriptors: [Option<QueueDescriptor>; MAX_DEVICES],
+    cq_head: [u16; MAX_DEVICES],
+    stats: HostControllerStats,
+}
+
+impl Default for HostController {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HostController {
+    /// Creates a controller with no devices installed.
+    pub fn new() -> Self {
+        HostController {
+            descriptors: [None; MAX_DEVICES],
+            cq_head: [0; MAX_DEVICES],
+            stats: HostControllerStats::default(),
+        }
+    }
+
+    /// OS control-plane: installs the queue descriptor for `dev` when fast
+    /// mmap is enabled on a file of that device (§III-C).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dev` exceeds the 3-bit device ID space.
+    pub fn install(&mut self, dev: DeviceId, desc: QueueDescriptor) {
+        assert!((dev.0 as usize) < MAX_DEVICES, "device id must fit 3 bits");
+        self.descriptors[dev.0 as usize] = Some(desc);
+        self.cq_head[dev.0 as usize] = 0;
+    }
+
+    /// The descriptor for `dev`, if installed.
+    pub fn descriptor(&self, dev: DeviceId) -> Option<&QueueDescriptor> {
+        self.descriptors.get(dev.0 as usize).and_then(|d| d.as_ref())
+    }
+
+    /// Number of installed device descriptors.
+    pub fn installed(&self) -> usize {
+        self.descriptors.iter().filter(|d| d.is_some()).count()
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> HostControllerStats {
+        self.stats
+    }
+
+    /// Builds the 4 KiB read command for a page miss (cid = PMSHR entry
+    /// index) and accounts for the command write + doorbell ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no descriptor is installed for `dev` — the OS must set up
+    /// the queue pair before augmenting PTEs that point at the device.
+    pub fn issue_read(&mut self, dev: DeviceId, lba: Lba, dma: PhysAddr, cid: u16) -> (QueueId, NvmeCommand) {
+        let desc = self
+            .descriptor(dev)
+            .copied()
+            .unwrap_or_else(|| panic!("no queue descriptor installed for {dev:?}"));
+        self.stats.command_writes += 1;
+        self.stats.sq_doorbells += 1;
+        (desc.qid, NvmeCommand::read4k(cid, desc.nsid, lba.0, dma))
+    }
+
+    /// Completion-unit address match: does a memory write at `addr` land on
+    /// some device's current CQ head slot? (CQ entries are 16 bytes.)
+    pub fn snoop_match(&self, addr: PhysAddr) -> Option<DeviceId> {
+        for (i, d) in self.descriptors.iter().enumerate() {
+            if let Some(d) = d {
+                let head_slot = PhysAddr(d.cq_base.0 + self.cq_head[i] as u64 * 16);
+                if head_slot == addr {
+                    return Some(DeviceId(i as u8));
+                }
+            }
+        }
+        None
+    }
+
+    /// Completion unit: handles one snooped completion for `dev` —
+    /// advances the CQ head pointer and rings the CQ doorbell (§III-C
+    /// step 5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no descriptor is installed for `dev`.
+    pub fn handle_completion(&mut self, dev: DeviceId) {
+        let depth = self
+            .descriptor(dev)
+            .unwrap_or_else(|| panic!("no queue descriptor installed for {dev:?}"))
+            .depth;
+        let head = &mut self.cq_head[dev.0 as usize];
+        *head = (*head + 1) % depth;
+        self.stats.snooped_completions += 1;
+        self.stats.cq_doorbells += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn desc(qid: u16) -> QueueDescriptor {
+        QueueDescriptor {
+            nsid: 1,
+            qid: QueueId(qid),
+            sq_base: PhysAddr(0x10_0000),
+            cq_base: PhysAddr(0x20_0000),
+            sq_doorbell: PhysAddr(0xF000_1000),
+            cq_doorbell: PhysAddr(0xF000_1004),
+            depth: 32,
+        }
+    }
+
+    #[test]
+    fn descriptor_is_352_bits() {
+        assert_eq!(DESCRIPTOR_BITS, 352, "§VI-D register width");
+    }
+
+    #[test]
+    fn install_and_issue() {
+        let mut hc = HostController::new();
+        hc.install(DeviceId(2), desc(5));
+        assert_eq!(hc.installed(), 1);
+        let (qid, cmd) = hc.issue_read(DeviceId(2), Lba(99), PhysAddr(0x3000), 7);
+        assert_eq!(qid, QueueId(5));
+        assert_eq!(cmd.slba, 99);
+        assert_eq!(cmd.cid, 7);
+        assert_eq!(cmd.nsid, 1);
+        let s = hc.stats();
+        assert_eq!((s.command_writes, s.sq_doorbells), (1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "no queue descriptor")]
+    fn issue_without_descriptor_panics() {
+        let mut hc = HostController::new();
+        hc.issue_read(DeviceId(0), Lba(0), PhysAddr(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "3 bits")]
+    fn install_out_of_range_panics() {
+        let mut hc = HostController::new();
+        hc.install(DeviceId(8), desc(0));
+    }
+
+    #[test]
+    fn snoop_matches_cq_head_only() {
+        let mut hc = HostController::new();
+        hc.install(DeviceId(1), desc(0));
+        assert_eq!(hc.snoop_match(PhysAddr(0x20_0000)), Some(DeviceId(1)));
+        assert_eq!(hc.snoop_match(PhysAddr(0x20_0010)), None, "next slot not yet head");
+        hc.handle_completion(DeviceId(1));
+        assert_eq!(hc.snoop_match(PhysAddr(0x20_0010)), Some(DeviceId(1)));
+        assert_eq!(hc.stats().cq_doorbells, 1);
+        assert_eq!(hc.stats().snooped_completions, 1);
+    }
+
+    #[test]
+    fn cq_head_wraps_at_depth() {
+        let mut hc = HostController::new();
+        let mut d = desc(0);
+        d.depth = 2;
+        hc.install(DeviceId(0), d);
+        hc.handle_completion(DeviceId(0));
+        hc.handle_completion(DeviceId(0));
+        assert_eq!(hc.snoop_match(PhysAddr(0x20_0000)), Some(DeviceId(0)), "wrapped to slot 0");
+    }
+
+    #[test]
+    fn eight_devices_supported() {
+        let mut hc = HostController::new();
+        for i in 0..8u8 {
+            hc.install(DeviceId(i), desc(i as u16));
+        }
+        assert_eq!(hc.installed(), 8);
+    }
+}

@@ -1,0 +1,39 @@
+//! The Storage Management Unit (SMU) — the paper's central hardware
+//! contribution (§III).
+//!
+//! The SMU handles a page miss entirely in hardware: the extended MMU
+//! detects a non-present, LBA-augmented PTE during a walk and, instead of
+//! raising an exception, sends the SMU a miss request carrying five
+//! parameters — the addresses of the PUD entry, PMD entry and PTE, plus the
+//! device ID and LBA (§III-C). The SMU then:
+//!
+//! 1. looks the PTE address up in the **PMSHR** ([`pmshr`]), coalescing
+//!    duplicate misses to the same page;
+//! 2. pulls a frame from the **free-page queue** ([`free_queue`]), a
+//!    single-producer/single-consumer ring refilled by the OS, fronted by
+//!    a small prefetch buffer that hides the memory round trip;
+//! 3. generates a 64-byte NVMe read command and rings the doorbell via the
+//!    **NVMe host controller** ([`host_controller`], Fig. 8/9);
+//! 4. on the snooped completion, updates the PTE (LBA → PFN, present set,
+//!    LBA bit *left set* for `kpted`) and the upper-level LBA bits, then
+//!    broadcasts completion to the waiting core(s).
+//!
+//! Per-step cycle/nanosecond costs ([`timing`]) come from Fig. 11(b); the
+//! die-area model ([`area`]) reproduces §VI-D.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod free_queue;
+pub mod host_controller;
+pub mod pmshr;
+pub mod smu;
+pub mod timing;
+
+pub use area::SmuArea;
+pub use free_queue::{FreePageQueue, FreeQueueStats};
+pub use host_controller::{HostController, QueueDescriptor};
+pub use pmshr::{EntryIdx, Pmshr, PmshrError, PmshrStats};
+pub use smu::{FinishResult, MissOutcome, MissRequest, Smu, SmuStats};
+pub use timing::SmuTiming;

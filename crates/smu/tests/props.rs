@@ -1,0 +1,97 @@
+//! Property-based tests of the SMU: PMSHR conservation and coalescing,
+//! free-queue SPSC semantics, and area-model monotonicity.
+
+use hwdp_mem::addr::{BlockRef, DeviceId, Lba, Pfn, PhysAddr, SocketId, Vpn};
+use hwdp_mem::page_table::PageTable;
+use hwdp_mem::pte::{Pte, PteFlags};
+use hwdp_smu::area::SmuArea;
+use hwdp_smu::free_queue::{FreePage, FreePageQueue};
+use hwdp_smu::pmshr::{Pmshr, Presented};
+use proptest::prelude::*;
+
+fn blk(l: u64) -> BlockRef {
+    BlockRef::new(SocketId(0), DeviceId(0), Lba(l % (1 << 41)))
+}
+
+proptest! {
+    /// PMSHR: for any request stream, requests to the same page coalesce
+    /// (one entry), distinct pages get distinct entries, occupancy equals
+    /// live entries, and invalidation returns all registered waiters.
+    #[test]
+    fn pmshr_conservation(pages in prop::collection::vec(0u64..16u64, 1..64)) {
+        let mut pt = PageTable::new();
+        for p in 0..16u64 {
+            pt.set_pte(Vpn(p), Pte::lba_augmented(blk(p), PteFlags::user_data()));
+        }
+        let mut pmshr = Pmshr::new(16);
+        let mut model: std::collections::HashMap<u64, Vec<u64>> = Default::default();
+        let mut entry_of = std::collections::HashMap::new();
+        for (waiter, &page) in pages.iter().enumerate() {
+            let walk = pt.walk(Vpn(page)).unwrap();
+            match pmshr.present(walk, blk(page), waiter as u64).unwrap() {
+                Presented::Allocated(idx) => {
+                    prop_assert!(!model.contains_key(&page), "fresh page allocates once");
+                    entry_of.insert(page, idx);
+                    model.entry(page).or_default().push(waiter as u64);
+                }
+                Presented::Coalesced(idx) => {
+                    prop_assert_eq!(entry_of[&page], idx, "coalesces onto the same entry");
+                    model.get_mut(&page).unwrap().push(waiter as u64);
+                }
+            }
+        }
+        prop_assert_eq!(pmshr.occupancy() as usize, model.len());
+        for (page, idx) in entry_of {
+            let entry = pmshr.invalidate(idx);
+            prop_assert_eq!(&entry.waiters, &model[&page], "waiters preserved in order");
+        }
+        prop_assert_eq!(pmshr.occupancy(), 0);
+    }
+
+    /// Free queue: strict FIFO across any interleaving of pushes, fetches
+    /// and prefetch refills; nothing lost, nothing duplicated.
+    #[test]
+    fn free_queue_fifo(ops in prop::collection::vec(0u8..3u8, 1..200)) {
+        let mut q = FreePageQueue::new(64, 8);
+        let mut pushed = 0u64;
+        let mut fetched = 0u64;
+        for op in ops {
+            match op {
+                0 => {
+                    if q.push(FreePage::of(Pfn(pushed))) {
+                        pushed += 1;
+                    }
+                }
+                1 => {
+                    if let Some((page, _)) = q.fetch() {
+                        prop_assert_eq!(page.pfn, Pfn(fetched), "FIFO order");
+                        prop_assert_eq!(page.dma, PhysAddr(fetched * 4096));
+                        fetched += 1;
+                    }
+                }
+                _ => {
+                    q.refill_prefetch();
+                }
+            }
+        }
+        while let Some((page, _)) = q.fetch() {
+            prop_assert_eq!(page.pfn, Pfn(fetched));
+            fetched += 1;
+        }
+        prop_assert_eq!(fetched, pushed, "conservation");
+        prop_assert_eq!(q.stats().pops, pushed);
+    }
+
+    /// Area model: monotone in every structural parameter and always a
+    /// negligible die fraction for sane sizes.
+    #[test]
+    fn area_monotone(p1 in 1usize..256, p2 in 1usize..256, d in 1usize..8, pf in 1usize..64) {
+        let (small, big) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let a = SmuArea::estimate(small, d, pf);
+        let b = SmuArea::estimate(big, d, pf);
+        prop_assert!(b.total() >= a.total());
+        prop_assert!(a.die_fraction() < 0.01);
+        let (pm, rg, pb, mi) = a.shares();
+        prop_assert!((pm + rg + pb + mi - 1.0).abs() < 1e-9, "shares sum to 1");
+    }
+}

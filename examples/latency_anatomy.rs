@@ -1,0 +1,47 @@
+//! Anatomy of a single page miss: where each nanosecond goes on the OSDP,
+//! SW-only and HWDP paths, across the three devices of Fig. 17.
+//!
+//! ```text
+//! cargo run --example latency_anatomy --release
+//! ```
+
+use hwdp::core::anatomy::{hwdp_anatomy, osdp_anatomy, swonly_anatomy, Anatomy};
+use hwdp_nvme::profile::DeviceProfile;
+use hwdp_os::costs::{OsdpCosts, SwOnlyCosts};
+use hwdp_smu::timing::SmuTiming;
+
+fn print_anatomy(a: &Anatomy) {
+    println!("--- {} (total {}) ---", a.scheme, a.total());
+    for c in &a.components {
+        let share = c.time.as_nanos_f64() / a.total().as_nanos_f64() * 100.0;
+        println!("  {:<34} {:>10}   {:>5.1}%", c.label, format!("{}", c.time), share);
+    }
+    println!(
+        "  host overhead: {} ({:.1}% of device time)\n",
+        a.overhead(),
+        a.overhead_fraction_of_device() * 100.0
+    );
+}
+
+fn main() {
+    let osdp = OsdpCosts::paper_default();
+    let sw = SwOnlyCosts::paper_default();
+    let hw = SmuTiming::paper_default();
+
+    for dev in DeviceProfile::FIG17_DEVICES {
+        println!("============ {} (4 KiB read: {}) ============\n", dev.name, dev.read_4k);
+        let a_os = osdp_anatomy(&osdp, &dev);
+        let a_sw = swonly_anatomy(&sw, &dev);
+        let a_hw = hwdp_anatomy(&hw, &dev);
+        print_anatomy(&a_os);
+        print_anatomy(&a_sw);
+        print_anatomy(&a_hw);
+        println!(
+            "HWDP vs OSDP: -{:.1}%   HWDP vs SW-only: -{:.1}%\n",
+            (1.0 - a_hw.total().as_nanos_f64() / a_os.total().as_nanos_f64()) * 100.0,
+            (1.0 - a_hw.total().as_nanos_f64() / a_sw.total().as_nanos_f64()) * 100.0,
+        );
+    }
+    println!("paper: hardware support matters more as the device gets faster —");
+    println!("-14% vs SW-only on the Z-SSD, -44% on Optane DC PMM (Fig. 17).");
+}

@@ -1,0 +1,54 @@
+//! Quickstart: measure demand-paging latency under OS-based (OSDP) and
+//! hardware-based (HWDP) demand paging with a FIO-style random-read
+//! workload.
+//!
+//! ```text
+//! cargo run --example quickstart --release
+//! ```
+
+use hwdp::core::{Mode, SystemBuilder};
+use hwdp::sim::rng::Prng;
+use hwdp::sim::time::Duration;
+use hwdp::workloads::FioRandRead;
+
+fn main() {
+    println!("hwdp quickstart — 4 KiB random reads over a cold memory-mapped file\n");
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>14}",
+        "mode", "mean", "p50", "p99", "throughput"
+    );
+
+    let mut means = Vec::new();
+    for mode in [Mode::Osdp, Mode::SwOnly, Mode::Hwdp] {
+        // 16 MiB of simulated DRAM, a 128 MiB file: almost every read is a
+        // page miss, exposing raw demand-paging latency.
+        let mut sys = SystemBuilder::new(mode).memory_frames(4096).seed(42).build();
+        let pages = 32_768;
+        let file = sys.create_pattern_file("dataset", pages);
+        let region = sys.map_file(file);
+        sys.spawn(
+            Box::new(FioRandRead::new(region, pages, 5_000, Prng::seed_from(7))),
+            1.8,
+            None,
+        );
+        let r = sys.run(Duration::from_secs(10));
+        assert_eq!(r.verify_failures(), 0);
+        let lat = &r.read_latency;
+        println!(
+            "{:<8} {:>12} {:>12} {:>12} {:>10.0} op/s",
+            mode.label(),
+            format!("{}", lat.mean()),
+            format!("{}", lat.percentile(0.5)),
+            format!("{}", lat.percentile(0.99)),
+            r.throughput_ops_s()
+        );
+        means.push(lat.mean());
+    }
+
+    let reduction = 1.0 - means[2].as_nanos_f64() / means[0].as_nanos_f64();
+    println!(
+        "\nHWDP cuts mean demand-paging latency by {:.1}% vs OSDP \
+         (paper: 37.0% single-threaded on a Z-SSD).",
+        reduction * 100.0
+    );
+}

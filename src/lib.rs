@@ -1,0 +1,32 @@
+//! # hwdp — Hardware-Based Demand Paging (ISCA 2020) reproduction
+//!
+//! Facade crate re-exporting the public API of the reproduction of
+//! *"A Case for Hardware-Based Demand Paging"* (Lee et al., ISCA 2020).
+//!
+//! The heavy lifting lives in the workspace crates:
+//!
+//! * [`hwdp_core`] (re-exported as [`core`]) — the integrated full-system
+//!   simulator: [`core::SystemBuilder`], demand-paging modes, metrics.
+//! * [`hwdp_workloads`] (re-exported as [`workloads`]) — FIO, YCSB,
+//!   DBBench, MiniDB, SPEC-like kernels.
+//! * [`hwdp_sim`] (re-exported as [`sim`]) — the simulation kernel.
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios and
+//! `crates/bench` for the per-figure reproduction harness.
+//!
+//! ```
+//! // The facade re-exports the most commonly used items at the root.
+//! use hwdp::{Mode, SystemBuilder};
+//! let _builder = SystemBuilder::new(Mode::Hwdp);
+//! ```
+
+pub use hwdp_core as core;
+pub use hwdp_cpu as cpu;
+pub use hwdp_mem as mem;
+pub use hwdp_nvme as nvme;
+pub use hwdp_os as os;
+pub use hwdp_sim as sim;
+pub use hwdp_smu as smu;
+pub use hwdp_workloads as workloads;
+
+pub use hwdp_core::{Mode, SystemBuilder};

@@ -1,0 +1,75 @@
+//! Workspace-level integration tests through the `hwdp` facade: cross-crate
+//! consistency between the closed-form anatomy and the full simulator, and
+//! the headline end-to-end claims.
+
+use hwdp::core::anatomy::{hwdp_anatomy, osdp_anatomy};
+use hwdp::core::{Mode, SystemBuilder};
+use hwdp::nvme::profile::DeviceProfile;
+use hwdp::os::costs::OsdpCosts;
+use hwdp::sim::rng::Prng;
+use hwdp::sim::time::Duration;
+use hwdp::smu::timing::SmuTiming;
+use hwdp::workloads::FioRandRead;
+
+fn single_thread_miss_latency(mode: Mode, device: DeviceProfile) -> Duration {
+    let mut sys = SystemBuilder::new(mode).memory_frames(512).device(device).seed(77).build();
+    let pages = 8192; // 16x memory: all cold misses
+    let file = sys.create_pattern_file("data", pages);
+    let region = sys.map_file(file);
+    sys.spawn(Box::new(FioRandRead::new(region, pages, 500, Prng::seed_from(5))), 1.8, None);
+    let r = sys.run(Duration::from_secs(10));
+    assert_eq!(r.verify_failures(), 0);
+    r.miss_latency.mean()
+}
+
+#[test]
+fn simulator_agrees_with_closed_form_anatomy() {
+    // The full event-driven run's mean single-threaded miss latency must
+    // agree with the closed-form anatomy within jitter (±10 %).
+    let dev = DeviceProfile::Z_SSD;
+    let analytic_osdp = osdp_anatomy(&OsdpCosts::paper_default(), &dev).total().as_nanos_f64();
+    let analytic_hwdp = hwdp_anatomy(&SmuTiming::paper_default(), &dev).total().as_nanos_f64();
+    let sim_osdp = single_thread_miss_latency(Mode::Osdp, dev).as_nanos_f64();
+    let sim_hwdp = single_thread_miss_latency(Mode::Hwdp, dev).as_nanos_f64();
+    assert!(
+        (sim_osdp / analytic_osdp - 1.0).abs() < 0.10,
+        "OSDP: sim {sim_osdp} vs anatomy {analytic_osdp}"
+    );
+    assert!(
+        (sim_hwdp / analytic_hwdp - 1.0).abs() < 0.10,
+        "HWDP: sim {sim_hwdp} vs anatomy {analytic_hwdp}"
+    );
+}
+
+#[test]
+fn hwdp_wins_on_every_fig17_device() {
+    for dev in DeviceProfile::FIG17_DEVICES {
+        let osdp = single_thread_miss_latency(Mode::Osdp, dev);
+        let sw = single_thread_miss_latency(Mode::SwOnly, dev);
+        let hwdp = single_thread_miss_latency(Mode::Hwdp, dev);
+        assert!(hwdp < sw && sw < osdp, "{}: {hwdp} / {sw} / {osdp}", dev.name);
+    }
+}
+
+#[test]
+fn hw_benefit_over_sw_grows_as_devices_get_faster() {
+    // Fig. 17's key trend, measured end to end rather than in closed form.
+    let mut reductions = Vec::new();
+    for dev in DeviceProfile::FIG17_DEVICES {
+        let sw = single_thread_miss_latency(Mode::SwOnly, dev).as_nanos_f64();
+        let hw = single_thread_miss_latency(Mode::Hwdp, dev).as_nanos_f64();
+        reductions.push(1.0 - hw / sw);
+    }
+    assert!(
+        reductions[0] < reductions[1] && reductions[1] < reductions[2],
+        "reductions should grow as device time shrinks: {reductions:?}"
+    );
+}
+
+#[test]
+fn facade_reexports_work() {
+    // The README's one-liner imports.
+    use hwdp::{Mode as M, SystemBuilder as B};
+    let sys = B::new(M::Hwdp).memory_frames(128).build();
+    assert_eq!(sys.config().memory_frames, 128);
+}
