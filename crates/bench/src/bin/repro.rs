@@ -5,16 +5,33 @@
 //! cargo run -p hwdp-bench --bin repro --release -- fig12    # one experiment
 //! cargo run -p hwdp-bench --bin repro --release -- --quick  # smaller scale
 //! cargo run -p hwdp-bench --bin repro --release -- --markdown > results.md
+//! cargo run -p hwdp-bench --bin repro --release -- --workers 8
 //! ```
 
 use hwdp_bench::scenarios::Scale;
-use hwdp_bench::{all_tables, figures};
+use hwdp_bench::{all_tables_with, campaigns, figures};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let markdown = args.iter().any(|a| a == "--markdown");
-    let filter: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    // Worker-pool size for the campaign-backed figures; results are
+    // identical for any value (harness determinism), only wall time moves.
+    let workers = args
+        .iter()
+        .position(|a| a == "--workers")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(campaigns::default_workers);
+    let filter: Vec<&String> = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| {
+            !a.starts_with("--")
+                && !matches!(i.checked_sub(1).and_then(|p| args.get(p)), Some(prev) if prev == "--workers")
+        })
+        .map(|(_, a)| a)
+        .collect();
 
     let scale = if quick { Scale::quick() } else { Scale::default() };
 
@@ -23,7 +40,7 @@ fn main() {
         println!("{}", figures::table2_config());
     }
 
-    for table in all_tables(&scale) {
+    for table in all_tables_with(&scale, workers) {
         if !filter.is_empty() && !filter.iter().any(|f| table.id.contains(f.as_str())) {
             continue;
         }

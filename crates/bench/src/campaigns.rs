@@ -1,0 +1,192 @@
+//! Harness campaigns behind the repro figures.
+//!
+//! Fig. 12/13/17 used to drive the simulator through bespoke nested
+//! loops; they now expand to `hwdp-harness` [`Campaign`]s and execute on
+//! a worker pool. Campaigns use `fixed_seed` (every job gets the scale's
+//! master seed) and the harness runner mirrors [`crate::scenarios`]'s
+//! setup exactly, so the figure numbers are identical to the historical
+//! loop-based ones — worker count only changes wall time.
+
+use hwdp_core::Mode;
+use hwdp_harness::{
+    execute_campaign, progress::Silent, Artifact, Campaign, DeviceKind, Grid, Scenario,
+};
+use hwdp_workloads::YcsbKind;
+
+use crate::figures::THREADS;
+use crate::scenarios::Scale;
+
+/// Fig. 13's x-axis as harness scenarios (FIO, DBBench, YCSB A–F).
+pub const FIG13_SCENARIOS: [Scenario; 8] = [
+    Scenario::FioRand,
+    Scenario::DbBench,
+    Scenario::Ycsb(YcsbKind::A),
+    Scenario::Ycsb(YcsbKind::B),
+    Scenario::Ycsb(YcsbKind::C),
+    Scenario::Ycsb(YcsbKind::D),
+    Scenario::Ycsb(YcsbKind::E),
+    Scenario::Ycsb(YcsbKind::F),
+];
+
+/// Worker-pool size for figure campaigns: the machine's parallelism,
+/// capped — figure jobs are short, and results don't depend on this.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get().min(8))
+}
+
+/// A grid preconfigured from `scale`: its sizing, its time cap, and the
+/// historic fixed-seed behaviour (each figure run used `scale.seed`
+/// directly).
+fn scale_grid(name: &str, scale: &Scale) -> Grid {
+    Grid::new(name, scale.seed)
+        .memory_frames(scale.memory_frames)
+        .ops(scale.ops_per_thread)
+        .time_cap_ms(scale.time_cap.as_millis_f64() as u64)
+        .fixed_seed()
+}
+
+/// Fig. 12: FIO latency, OSDP vs HWDP, across thread counts (dataset
+/// 8:1).
+pub fn fig12_campaign(scale: &Scale) -> Campaign {
+    scale_grid("fig12", scale)
+        .scenarios([Scenario::FioRand])
+        .modes([Mode::Osdp, Mode::Hwdp])
+        .threads(THREADS)
+        .ratios([8.0])
+        .expand()
+}
+
+/// Fig. 13: throughput across all eight workloads, both modes, all
+/// thread counts (dataset 2:1).
+pub fn fig13_campaign(scale: &Scale) -> Campaign {
+    scale_grid("fig13", scale)
+        .scenarios(FIG13_SCENARIOS)
+        .modes([Mode::Osdp, Mode::Hwdp])
+        .threads(THREADS)
+        .ratios([2.0])
+        .expand()
+}
+
+/// Fig. 17: closed-form single-fault anatomy, SW-only vs HWDP, across
+/// the three device profiles.
+pub fn fig17_campaign() -> Campaign {
+    Grid::new("fig17", 0)
+        .scenarios([Scenario::Anatomy])
+        .modes([Mode::SwOnly, Mode::Hwdp])
+        .devices([DeviceKind::ZSsd, DeviceKind::OptaneSsd, DeviceKind::OptanePmm])
+        .expand()
+}
+
+/// Figure-campaign results with metric lookup by configuration.
+pub struct CampaignResults {
+    artifact: Artifact,
+}
+
+impl CampaignResults {
+    /// Executes `campaign` on `workers` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any job fails — figure inputs must be complete.
+    pub fn collect(campaign: &Campaign, workers: usize) -> CampaignResults {
+        let artifact = execute_campaign(campaign, workers, &mut Silent);
+        if let Some(job) = artifact.jobs.iter().find(|j| !j.is_ok()) {
+            panic!("figure job {} failed: {:?}", job.spec.label(), job.status);
+        }
+        CampaignResults { artifact }
+    }
+
+    /// The underlying artifact (e.g. to persist alongside the tables).
+    pub fn artifact(&self) -> &Artifact {
+        &self.artifact
+    }
+
+    /// The named metric of the unique job matching `predicate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no job matches or the metric is absent — a figure
+    /// querying a job outside its own campaign is a bug.
+    pub fn metric(
+        &self,
+        name: &str,
+        predicate: impl Fn(&hwdp_harness::JobSpec) -> bool,
+    ) -> f64 {
+        let job = self
+            .artifact
+            .jobs
+            .iter()
+            .find(|j| predicate(&j.spec))
+            .unwrap_or_else(|| panic!("no job in '{}' matches", self.artifact.campaign));
+        job.metric(name)
+            .unwrap_or_else(|| panic!("job {} has no metric '{name}'", job.spec.label()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwdp_harness::runner::run_job;
+
+    #[test]
+    fn campaign_sizes() {
+        let scale = Scale::quick();
+        assert_eq!(fig12_campaign(&scale).jobs.len(), 2 * THREADS.len());
+        assert_eq!(fig13_campaign(&scale).jobs.len(), 8 * 2 * THREADS.len());
+        assert_eq!(fig17_campaign().jobs.len(), 2 * 3);
+    }
+
+    #[test]
+    fn harness_runner_matches_legacy_scenario_loop() {
+        // The contract the figure migration rests on: a harness job with
+        // the scale's seed reproduces scenarios::run_fio exactly.
+        let scale = Scale { memory_frames: 128, ops_per_thread: 60, ..Scale::quick() };
+        let legacy = crate::scenarios::run_fio(Mode::Hwdp, 2, 4.0, &scale);
+        let campaign = scale_grid("parity", &scale)
+            .scenarios([Scenario::FioRand])
+            .modes([Mode::Hwdp])
+            .threads([2])
+            .ratios([4.0])
+            .expand();
+        let metrics = run_job(&campaign.jobs[0]);
+        let get = |n: &str| metrics.iter().find(|(k, _)| k == n).unwrap().1;
+        assert_eq!(get("ops"), legacy.ops as f64);
+        assert_eq!(get("elapsed_ns"), legacy.elapsed.as_nanos_f64());
+        assert_eq!(get("read_lat_mean_ns"), legacy.read_latency.mean().as_nanos_f64());
+        assert_eq!(get("device_reads"), legacy.device_reads as f64);
+        assert_eq!(get("user_instructions"), legacy.perf.user_instructions as f64);
+    }
+
+    #[test]
+    fn kv_parity_with_legacy_loop() {
+        let scale = Scale { memory_frames: 128, ops_per_thread: 60, ..Scale::quick() };
+        let legacy = crate::scenarios::run_kv(
+            Mode::Osdp,
+            crate::scenarios::KvWorkload::Ycsb(YcsbKind::C),
+            1,
+            2.0,
+            &scale,
+        );
+        let campaign = scale_grid("parity-kv", &scale)
+            .scenarios([Scenario::Ycsb(YcsbKind::C)])
+            .modes([Mode::Osdp])
+            .expand();
+        let metrics = run_job(&campaign.jobs[0]);
+        let get = |n: &str| metrics.iter().find(|(k, _)| k == n).unwrap().1;
+        assert_eq!(get("throughput_ops_s"), legacy.throughput_ops_s());
+        assert_eq!(get("elapsed_ns"), legacy.elapsed.as_nanos_f64());
+    }
+
+    #[test]
+    fn results_lookup_panics_on_missing_job() {
+        let results = CampaignResults::collect(&fig17_campaign(), 2);
+        let total = results.metric("anatomy_total_ns", |s| {
+            s.mode == Mode::Hwdp && s.device == DeviceKind::ZSsd
+        });
+        assert!(total > 0.0);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            results.metric("anatomy_total_ns", |s| s.mode == Mode::Osdp)
+        }));
+        assert!(r.is_err(), "OSDP is not part of fig17");
+    }
+}

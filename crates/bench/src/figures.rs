@@ -6,18 +6,21 @@
 //! comparison. `repro` prints all of them and EXPERIMENTS.md records a
 //! reference run.
 
-use hwdp_core::anatomy::{hwdp_anatomy, osdp_anatomy, swonly_anatomy, Anatomy};
+use hwdp_core::anatomy::{hwdp_anatomy, osdp_anatomy, Anatomy};
 use hwdp_core::{Mode, SystemConfig};
 use hwdp_mem::addr::{BlockRef, DeviceId, Lba, Pfn, SocketId};
 use hwdp_mem::pte::{Pte, PteFlags};
 use hwdp_nvme::profile::DeviceProfile;
-use hwdp_os::costs::{OsdpCosts, SwOnlyCosts};
+use hwdp_os::costs::OsdpCosts;
 use hwdp_smu::area::SmuArea;
 use hwdp_smu::timing::SmuTiming;
 use hwdp_sim::time::Duration;
 use hwdp_workloads::{SpecProfile, YcsbKind};
 
-use crate::scenarios::{run_fio, run_kv, run_smt_corun, KvWorkload, Scale};
+use hwdp_harness::DeviceKind;
+
+use crate::campaigns::{self, CampaignResults};
+use crate::scenarios::{run_kv, run_smt_corun, KvWorkload, Scale};
 use crate::tables::{f2, f3, pct, us, Table};
 
 /// Thread counts used by Figs. 12/13.
@@ -278,15 +281,25 @@ pub struct Fig12Row {
 
 /// Fig. 12: demand-paging (4 KiB read) latency vs thread count.
 pub fn fig12_latency(scale: &Scale) -> (Table, Vec<Fig12Row>) {
+    fig12_latency_with(scale, campaigns::default_workers())
+}
+
+/// [`fig12_latency`] with an explicit harness worker count.
+pub fn fig12_latency_with(scale: &Scale, workers: usize) -> (Table, Vec<Fig12Row>) {
     let mut t = Table::new(
         "fig12",
         "FIO mmap 4 KiB randread latency vs threads (dataset 8:1)",
         &["threads", "OSDP", "HWDP", "reduction"],
     );
+    let results = CampaignResults::collect(&campaigns::fig12_campaign(scale), workers);
     let mut rows = Vec::new();
     for &threads in &THREADS {
-        let o = run_fio(Mode::Osdp, threads, 8.0, scale).read_latency.mean();
-        let h = run_fio(Mode::Hwdp, threads, 8.0, scale).read_latency.mean();
+        let mean = |mode: Mode| {
+            Duration::from_nanos_f64(results.metric("read_lat_mean_ns", |s| {
+                s.mode == mode && s.threads == threads
+            }))
+        };
+        let (o, h) = (mean(Mode::Osdp), mean(Mode::Hwdp));
         let reduction = 1.0 - h.as_nanos_f64() / o.as_nanos_f64();
         t.row(vec![threads.to_string(), us(o), us(h), pct(reduction)]);
         rows.push(Fig12Row { threads, osdp: o, hwdp: h, reduction });
@@ -300,6 +313,11 @@ pub fn fig12_latency(scale: &Scale) -> (Table, Vec<Fig12Row>) {
 /// Fig. 13: throughput improvement of HWDP over OSDP across workloads and
 /// thread counts.
 pub fn fig13_throughput(scale: &Scale) -> Table {
+    fig13_throughput_with(scale, campaigns::default_workers())
+}
+
+/// [`fig13_throughput`] with an explicit harness worker count.
+pub fn fig13_throughput_with(scale: &Scale, workers: usize) -> Table {
     let mut headers = vec!["workload".to_string()];
     headers.extend(THREADS.iter().map(|t| format!("{t} thr")));
     let mut t = Table::new(
@@ -307,20 +325,17 @@ pub fn fig13_throughput(scale: &Scale) -> Table {
         "throughput gain of HWDP over OSDP (dataset 2:1)",
         &headers.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
     );
+    let results = CampaignResults::collect(&campaigns::fig13_campaign(scale), workers);
     // FIO first, then DBBench and YCSB A–F, as in the paper.
-    let mut row = vec!["fio".to_string()];
-    for &threads in &THREADS {
-        let o = run_fio(Mode::Osdp, threads, 2.0, scale).throughput_ops_s();
-        let h = run_fio(Mode::Hwdp, threads, 2.0, scale).throughput_ops_s();
-        row.push(pct(h / o - 1.0));
-    }
-    t.row(row);
-    for w in KvWorkload::ALL {
-        let mut row = vec![w.name()];
+    for scenario in campaigns::FIG13_SCENARIOS {
+        let mut row = vec![scenario.name().to_string()];
         for &threads in &THREADS {
-            let o = run_kv(Mode::Osdp, w, threads, 2.0, scale).throughput_ops_s();
-            let h = run_kv(Mode::Hwdp, w, threads, 2.0, scale).throughput_ops_s();
-            row.push(pct(h / o - 1.0));
+            let tp = |mode: Mode| {
+                results.metric("throughput_ops_s", |s| {
+                    s.scenario == scenario && s.mode == mode && s.threads == threads
+                })
+            };
+            row.push(pct(tp(Mode::Hwdp) / tp(Mode::Osdp) - 1.0));
         }
         t.row(row);
     }
@@ -452,11 +467,15 @@ pub fn fig17_sw_vs_hw() -> Table {
         "single-fault latency: SW-only vs HWDP across devices",
         &["device", "device time", "SW-only", "HWDP", "HWDP vs SW"],
     );
-    let sw_costs = SwOnlyCosts::paper_default();
-    let timing = SmuTiming::paper_default();
-    for dev in DeviceProfile::FIG17_DEVICES {
-        let sw = swonly_anatomy(&sw_costs, &dev).total();
-        let hw = hwdp_anatomy(&timing, &dev).total();
+    let results = CampaignResults::collect(&campaigns::fig17_campaign(), campaigns::default_workers());
+    for kind in [DeviceKind::ZSsd, DeviceKind::OptaneSsd, DeviceKind::OptanePmm] {
+        let dev = kind.profile();
+        let total = |mode: Mode| {
+            Duration::from_nanos_f64(
+                results.metric("anatomy_total_ns", |s| s.mode == mode && s.device == kind),
+            )
+        };
+        let (sw, hw) = (total(Mode::SwOnly), total(Mode::Hwdp));
         t.row(vec![
             dev.name.into(),
             us(dev.read_4k),

@@ -6,6 +6,8 @@
 //! * [`ablations`] — `kpoold`, PMSHR size, free-queue depth, prefetch
 //!   buffer, and `kpted` period sweeps.
 //! * [`scenarios`] — shared scaled workload setups.
+//! * [`campaigns`] — `hwdp-harness` campaign definitions for the figure
+//!   sweeps (Fig. 12/13/17 run on a worker pool).
 //!
 //! Run everything with `cargo run -p hwdp-bench --bin repro --release`;
 //! Criterion wrappers live in `benches/`.
@@ -14,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod campaigns;
 pub mod figures;
 pub mod scenarios;
 pub mod tables;
@@ -21,8 +24,15 @@ pub mod tables;
 use scenarios::Scale;
 use tables::Table;
 
-/// Generates every experiment table at the given scale, in paper order.
+/// Generates every experiment table at the given scale, in paper order,
+/// running the campaign-backed figures on the default worker pool.
 pub fn all_tables(scale: &Scale) -> Vec<Table> {
+    all_tables_with(scale, campaigns::default_workers())
+}
+
+/// [`all_tables`] with an explicit harness worker count for the
+/// campaign-backed figures (Fig. 12/13).
+pub fn all_tables_with(scale: &Scale, workers: usize) -> Vec<Table> {
     vec![
         figures::fig01_breakdown(scale),
         figures::fig02_trends(),
@@ -32,8 +42,8 @@ pub fn all_tables(scale: &Scale) -> Vec<Table> {
         figures::table2_config(),
         figures::fig11a_split(),
         figures::fig11b_timeline(),
-        figures::fig12_latency(scale).0,
-        figures::fig13_throughput(scale),
+        figures::fig12_latency_with(scale, workers).0,
+        figures::fig13_throughput_with(scale, workers),
         figures::fig14_user_ipc(scale),
         figures::fig15_kernel_cost(scale),
         figures::fig16_smt(scale),

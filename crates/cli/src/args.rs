@@ -65,6 +65,31 @@ impl Args {
         self.options.get(name).map(|s| s.as_str())
     }
 
+    /// A comma-separated list option (`--modes osdp,hwdp`), or `default`
+    /// when absent. Empty segments are skipped.
+    pub fn list(&self, name: &str, default: &str) -> Vec<String> {
+        self.get(name)
+            .unwrap_or(default)
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect()
+    }
+
+    /// A floating-point option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the value does not parse.
+    pub fn float(&self, name: &str, default: f64) -> Result<f64, ArgError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{name} expects a number, got '{v}'"))),
+        }
+    }
+
     /// A numeric option with a default.
     ///
     /// # Errors
@@ -159,6 +184,17 @@ mod tests {
         assert!(parse("fio --mode turbo").unwrap().mode().is_err());
         assert!(parse("fio --device floppy").unwrap().device().is_err());
         assert!(parse("ycsb --kind z").unwrap().ycsb_kind().is_err());
+    }
+
+    #[test]
+    fn list_and_float_options() {
+        let a = parse("sweep --modes osdp,hwdp --ratios 2,4.5").unwrap();
+        assert_eq!(a.list("modes", "hwdp"), vec!["osdp", "hwdp"]);
+        assert_eq!(a.list("scenarios", "fio"), vec!["fio"]);
+        assert_eq!(a.float("threshold", 5.0).unwrap(), 5.0);
+        let b = parse("compare --threshold 2.5").unwrap();
+        assert_eq!(b.float("threshold", 5.0).unwrap(), 2.5);
+        assert!(parse("compare --threshold abc").unwrap().float("threshold", 5.0).is_err());
     }
 
     #[test]

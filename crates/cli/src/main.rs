@@ -8,6 +8,8 @@
 //! hwdp ycsb [--kind a..f] [--mode ...] [--threads N] [--ratio R] [--ops N]
 //! hwdp anon [--mode ...] [--ratio R] [--ops N]
 //! hwdp anatomy [--device ...]
+//! hwdp sweep [--name S] [--scenarios a,b] [--modes ...] [--workers N] ...
+//! hwdp compare --baseline FILE --current FILE [--threshold PCT]
 //! hwdp config
 //! hwdp help
 //! ```
@@ -19,6 +21,7 @@ use std::process::ExitCode;
 use args::{ArgError, Args};
 use hwdp_core::anatomy::{hwdp_anatomy, osdp_anatomy, swonly_anatomy};
 use hwdp_core::{Mode, RunResult, SystemBuilder, SystemConfig};
+use hwdp_harness as harness;
 use hwdp_sim::rng::Prng;
 use hwdp_sim::time::Duration;
 use hwdp_workloads::{
@@ -37,6 +40,8 @@ COMMANDS:
   dbbench   DBBench readrandom on MiniDB
   anon      anonymous-memory churn (zero-fill + swap, value-verified)
   anatomy   closed-form single-miss latency breakdowns (Figs. 3/11/17)
+  sweep     run a scenario x config campaign and write BENCH_<name>.json
+  compare   gate a result artifact against a stored baseline
   config    print the Table II system configuration
   help      this text
 
@@ -53,6 +58,23 @@ FIO OPTIONS:
   --seq                      sequential instead of random reads
   --prefetch N               SMU prefetch window (HWDP, section V)
   --readahead N              OS readahead window (disabled in the paper)
+
+SWEEP OPTIONS (axes are comma-separated lists; cross product = campaign):
+  --name S                   campaign name          (default sweep)
+  --scenarios a,b            fio|dbbench|ycsb-a..f|anon|anatomy (default fio)
+  --modes a,b                osdp|hwdp|sw-only      (default osdp,hwdp)
+  --devices a,b              zssd|optane|pmm        (default zssd)
+  --threads-list a,b         client thread counts   (default 1)
+  --ratios a,b               dataset:memory ratios  (default 2)
+  --workers N                executor threads       (default 4)
+  --out DIR                  artifact directory     (default .)
+  --fixed-seed               every job uses the campaign seed itself
+  --baseline FILE            also gate the fresh artifact against FILE
+
+COMPARE OPTIONS:
+  --baseline FILE            stored BENCH_*.json to gate against (required)
+  --current FILE             freshly produced artifact (required)
+  --threshold PCT            max tolerated regression (default 5)
 ";
 
 fn main() -> ExitCode {
@@ -62,7 +84,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     match run(raw) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!("try `hwdp help`");
@@ -71,7 +93,7 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(raw: Vec<String>) -> Result<(), ArgError> {
+fn run(raw: Vec<String>) -> Result<ExitCode, ArgError> {
     let args = Args::parse(raw)?;
     match args.command.as_str() {
         "help" | "--help" | "-h" => println!("{HELP}"),
@@ -80,9 +102,136 @@ fn run(raw: Vec<String>) -> Result<(), ArgError> {
         "fio" => fio(&args)?,
         "ycsb" | "dbbench" => kv(&args)?,
         "anon" => anon(&args)?,
+        "sweep" => return sweep(&args),
+        "compare" => return compare_cmd(&args),
         other => return Err(ArgError(format!("unknown command '{other}'"))),
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Expands the `sweep` axis options into a harness campaign.
+fn sweep_campaign(args: &Args) -> Result<harness::Campaign, ArgError> {
+    let parse_axis = |name: &str, default: &str, f: &dyn Fn(&str) -> Option<String>| {
+        let mut bad = Vec::new();
+        let ok: Vec<String> = args
+            .list(name, default)
+            .iter()
+            .filter_map(|s| f(s).or_else(|| {
+                bad.push(s.clone());
+                None
+            }))
+            .collect();
+        if bad.is_empty() {
+            Ok(ok)
+        } else {
+            Err(ArgError(format!("--{name}: unknown value(s) {bad:?}")))
+        }
+    };
+    let scenarios: Vec<harness::Scenario> = parse_axis("scenarios", "fio", &|s| {
+        harness::Scenario::parse(s).map(|_| s.to_string())
+    })?
+    .iter()
+    .map(|s| harness::Scenario::parse(s).expect("validated"))
+    .collect();
+    let modes: Vec<Mode> = args
+        .list("modes", "osdp,hwdp")
+        .iter()
+        .map(|m| match m.as_str() {
+            "osdp" => Ok(Mode::Osdp),
+            "hwdp" => Ok(Mode::Hwdp),
+            "sw" | "sw-only" | "swonly" => Ok(Mode::SwOnly),
+            other => Err(ArgError(format!("--modes: unknown mode '{other}'"))),
+        })
+        .collect::<Result<_, _>>()?;
+    let devices: Vec<harness::DeviceKind> = args
+        .list("devices", "zssd")
+        .iter()
+        .map(|d| {
+            harness::DeviceKind::parse(d)
+                .ok_or_else(|| ArgError(format!("--devices: unknown device '{d}'")))
+        })
+        .collect::<Result<_, _>>()?;
+    let threads: Vec<usize> = args
+        .list("threads-list", "1")
+        .iter()
+        .map(|t| t.parse().map_err(|_| ArgError(format!("--threads-list: bad count '{t}'"))))
+        .collect::<Result<_, _>>()?;
+    let ratios: Vec<f64> = args
+        .list("ratios", "2")
+        .iter()
+        .map(|r| r.parse().map_err(|_| ArgError(format!("--ratios: bad ratio '{r}'"))))
+        .collect::<Result<_, _>>()?;
+
+    let mut grid = harness::Grid::new(
+        args.get("name").unwrap_or("sweep"),
+        args.num("seed", 42)?,
+    )
+    .scenarios(scenarios)
+    .modes(modes)
+    .devices(devices)
+    .threads(threads)
+    .ratios(ratios)
+    .memory_frames(args.num("memory", 1024)? as usize)
+    .ops(args.num("ops", 2000)?);
+    if args.flag("fixed-seed") {
+        grid = grid.fixed_seed();
+    }
+    if grid.is_empty() {
+        return Err(ArgError("sweep has no jobs (an axis list is empty)".into()));
+    }
+    Ok(grid.expand())
+}
+
+fn sweep(args: &Args) -> Result<ExitCode, ArgError> {
+    let campaign = sweep_campaign(args)?;
+    let workers = args.num("workers", 4)? as usize;
+    eprintln!("campaign '{}': {} job(s) on {} worker(s)", campaign.name, campaign.jobs.len(), workers);
+    let mut progress = harness::progress::Stderr::new(campaign.jobs.len());
+    let artifact = harness::execute_campaign(&campaign, workers, &mut progress);
+    let dir = std::path::Path::new(args.get("out").unwrap_or("."));
+    std::fs::create_dir_all(dir)
+        .map_err(|e| ArgError(format!("cannot create {}: {e}", dir.display())))?;
+    let path = dir.join(artifact.file_name());
+    std::fs::write(&path, artifact.to_json_string())
+        .map_err(|e| ArgError(format!("cannot write {}: {e}", path.display())))?;
+    println!("wrote {}", path.display());
+    let failed = artifact.jobs.iter().filter(|j| !j.is_ok()).count();
+    if failed > 0 {
+        eprintln!("{failed} job(s) failed");
+        return Ok(ExitCode::FAILURE);
+    }
+    if let Some(baseline_path) = args.get("baseline") {
+        return gate(baseline_path, &artifact, args);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn compare_cmd(args: &Args) -> Result<ExitCode, ArgError> {
+    let baseline_path =
+        args.get("baseline").ok_or_else(|| ArgError("compare needs --baseline FILE".into()))?;
+    let current_path =
+        args.get("current").ok_or_else(|| ArgError("compare needs --current FILE".into()))?;
+    let current = read_artifact(current_path)?;
+    gate(baseline_path, &current, args)
+}
+
+fn read_artifact(path: &str) -> Result<harness::Artifact, ArgError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+    harness::Artifact::parse(&text).map_err(|e| ArgError(format!("{path}: {e}")))
+}
+
+/// Compares `current` against the artifact stored at `baseline_path` and
+/// converts the verdict into an exit code (nonzero on regression).
+fn gate(baseline_path: &str, current: &harness::Artifact, args: &Args) -> Result<ExitCode, ArgError> {
+    let baseline = read_artifact(baseline_path)?;
+    let thresholds = harness::Thresholds {
+        relative: args.float("threshold", 5.0)? / 100.0,
+        ..harness::Thresholds::default()
+    };
+    let report = harness::compare::compare(&baseline, current, &thresholds);
+    print!("{}", report.render());
+    Ok(if report.passed() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
 }
 
 fn builder(args: &Args) -> Result<(SystemBuilder, usize, u64, u64), ArgError> {

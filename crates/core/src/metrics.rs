@@ -117,11 +117,97 @@ impl RunResult {
     pub fn mean_miss_latency(&self) -> Duration {
         self.miss_latency.mean()
     }
+
+    /// Flattens the run into `(name, value)` pairs for machine-readable
+    /// sinks (the `hwdp-harness` JSON artifact, CSV exporters, …).
+    ///
+    /// Names are stable identifiers; order is fixed. Counter values are
+    /// exact up to 2^53 (they cross an `f64`); latencies are nanoseconds.
+    pub fn export_metrics(&self) -> Vec<(&'static str, f64)> {
+        let lat = |h: &LatencyHist, q: f64| h.percentile(q).as_nanos_f64();
+        vec![
+            ("elapsed_ns", self.elapsed.as_nanos_f64()),
+            ("ops", self.ops as f64),
+            ("throughput_ops_s", self.throughput_ops_s()),
+            ("user_ipc", self.user_ipc()),
+            ("verify_failures", self.verify_failures() as f64),
+            ("read_lat_mean_ns", self.read_latency.mean().as_nanos_f64()),
+            ("read_lat_p50_ns", lat(&self.read_latency, 0.50)),
+            ("read_lat_p99_ns", lat(&self.read_latency, 0.99)),
+            ("read_lat_count", self.read_latency.count() as f64),
+            ("miss_lat_mean_ns", self.miss_latency.mean().as_nanos_f64()),
+            ("miss_lat_p50_ns", lat(&self.miss_latency, 0.50)),
+            ("miss_lat_p99_ns", lat(&self.miss_latency, 0.99)),
+            ("miss_lat_count", self.miss_latency.count() as f64),
+            ("user_instructions", self.perf.user_instructions as f64),
+            ("kernel_instructions", self.perf.kernel_instructions as f64),
+            ("user_cycles", self.perf.user_cycles as f64),
+            ("kernel_cycles", self.perf.kernel_cycles as f64),
+            ("l1d_misses", self.perf.l1d_misses as f64),
+            ("l2_misses", self.perf.l2_misses as f64),
+            ("llc_misses", self.perf.llc_misses as f64),
+            ("branch_misses", self.perf.branch_misses as f64),
+            ("app_kernel_instr", self.kernel.app_kernel_instr as f64),
+            ("kpted_instr", self.kernel.kpted_instr as f64),
+            ("kpoold_instr", self.kernel.kpoold_instr as f64),
+            ("minor_faults", self.os.minor_faults as f64),
+            ("major_faults", self.os.major_faults as f64),
+            ("evictions", self.os.evictions as f64),
+            ("writebacks", self.os.writebacks as f64),
+            ("kpted_synced", self.os.kpted_synced as f64),
+            ("kpted_scans", self.os.kpted_scans as f64),
+            ("refilled_frames", self.os.refilled_frames as f64),
+            ("smu_started", self.smu.started as f64),
+            ("smu_coalesced", self.smu.coalesced as f64),
+            ("smu_free_queue_empty", self.smu.free_queue_empty as f64),
+            ("smu_pmshr_full", self.smu.pmshr_full as f64),
+            ("smu_completed", self.smu.completed as f64),
+            ("smu_zero_fills", self.smu.zero_fills as f64),
+            ("device_reads", self.device_reads as f64),
+            ("device_writes", self.device_writes as f64),
+            ("sync_refill_faults", self.sync_refill_faults as f64),
+            ("pmshr_stalls", self.pmshr_stalls as f64),
+            ("long_io_switches", self.long_io_switches as f64),
+            ("readahead_reads", self.readahead_reads as f64),
+            ("smu_prefetches", self.smu_prefetches as f64),
+        ]
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn export_metrics_names_unique_and_stable() {
+        let r = RunResult {
+            elapsed: Duration::from_micros(10),
+            ops: 5,
+            threads: Vec::new(),
+            miss_latency: LatencyHist::new(),
+            read_latency: LatencyHist::new(),
+            perf: PerfCounters::default(),
+            kernel: KernelAccounting::default(),
+            os: OsStats::default(),
+            smu: SmuStats::default(),
+            device_reads: 3,
+            device_writes: 1,
+            sync_refill_faults: 0,
+            pmshr_stalls: 0,
+            long_io_switches: 0,
+            readahead_reads: 0,
+            smu_prefetches: 0,
+        };
+        let kv = r.export_metrics();
+        let mut names: Vec<&str> = kv.iter().map(|(n, _)| *n).collect();
+        assert_eq!(kv[0].0, "elapsed_ns");
+        assert_eq!(kv[1], ("ops", 5.0));
+        let len = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), len, "duplicate metric names");
+        assert!(kv.iter().all(|(_, v)| v.is_finite()));
+    }
 
     #[test]
     fn breakdown_fraction() {

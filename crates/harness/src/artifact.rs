@@ -1,0 +1,310 @@
+//! The `BENCH_<campaign>.json` result artifact.
+//!
+//! Schema (version 1):
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "campaign": "smoke",
+//!   "seed": "0x000000000000002a",
+//!   "jobs": [
+//!     {
+//!       "index": 0,
+//!       "status": "ok",
+//!       "wall_ms": 12.5,
+//!       "config": { "scenario": "fio", "mode": "HWDP", ... },
+//!       "metrics": { "elapsed_ns": 1.0e9, "ops": 1500, ... }
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! Everything except `wall_ms` is a deterministic function of the campaign
+//! definition; [`Artifact::canonical_string`] zeroes the wall-time fields
+//! so artifacts from different worker counts (or machines) compare
+//! byte-for-byte equal.
+
+use crate::json::{Json, ParseError};
+use crate::spec::JobSpec;
+
+/// Artifact schema version.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// How a job ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Completed; metrics are valid.
+    Ok,
+    /// Panicked; the payload is the panic message.
+    Failed(String),
+}
+
+/// One job's result inside an artifact.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobRecord {
+    /// Position in the campaign's job list.
+    pub index: usize,
+    /// The job's full configuration.
+    pub spec: JobSpec,
+    /// Completion status.
+    pub status: JobStatus,
+    /// Flattened metrics (empty for failed jobs).
+    pub metrics: Vec<(String, f64)>,
+    /// Host wall time spent on the job, in milliseconds (not
+    /// deterministic; excluded from canonical comparison).
+    pub wall_ms: f64,
+}
+
+impl JobRecord {
+    /// Whether the job completed.
+    pub fn is_ok(&self) -> bool {
+        self.status == JobStatus::Ok
+    }
+
+    /// Looks up a metric by name.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    fn to_json(&self) -> Json {
+        let status = match &self.status {
+            JobStatus::Ok => Json::str("ok"),
+            JobStatus::Failed(msg) => Json::obj([("failed", Json::str(msg.clone()))]),
+        };
+        Json::obj([
+            ("index", Json::Num(self.index as f64)),
+            ("status", status),
+            ("wall_ms", Json::Num(self.wall_ms)),
+            ("config", self.spec.to_json()),
+            (
+                "metrics",
+                Json::Obj(
+                    self.metrics.iter().map(|(k, v)| (k.clone(), Json::Num(*v))).collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// A complete campaign result set.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Artifact {
+    /// Campaign name.
+    pub campaign: String,
+    /// Campaign master seed.
+    pub seed: u64,
+    /// Per-job records in campaign order.
+    pub jobs: Vec<JobRecord>,
+}
+
+impl Artifact {
+    /// The conventional file name for this artifact.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.campaign)
+    }
+
+    /// Serializes to pretty JSON (with real wall times).
+    pub fn to_json_string(&self) -> String {
+        self.render(false)
+    }
+
+    /// Serializes with every `wall_ms` zeroed: the canonical form used for
+    /// determinism checks — byte-identical across worker counts and hosts.
+    pub fn canonical_string(&self) -> String {
+        self.render(true)
+    }
+
+    fn render(&self, canonical: bool) -> String {
+        let jobs = self
+            .jobs
+            .iter()
+            .map(|j| {
+                if canonical {
+                    let mut j = j.clone();
+                    j.wall_ms = 0.0;
+                    j.to_json()
+                } else {
+                    j.to_json()
+                }
+            })
+            .collect();
+        Json::obj([
+            ("schema", Json::Num(SCHEMA_VERSION as f64)),
+            ("campaign", Json::str(self.campaign.clone())),
+            ("seed", Json::Str(format!("{:#018x}", self.seed))),
+            ("jobs", Json::Arr(jobs)),
+        ])
+        .pretty()
+    }
+
+    /// Parses an artifact back from JSON text (e.g. a stored baseline).
+    ///
+    /// Only the fields the comparator needs are reconstructed
+    /// structurally; job configs are re-read for labels, and metrics in
+    /// full.
+    pub fn parse(text: &str) -> Result<Artifact, ParseError> {
+        let root = Json::parse(text)?;
+        let bad = |msg: &str| ParseError { offset: 0, message: msg.to_string() };
+        let schema = root.get("schema").and_then(Json::as_f64).ok_or_else(|| bad("missing schema"))?;
+        if schema as u64 != SCHEMA_VERSION {
+            return Err(bad(&format!("unsupported schema version {schema}")));
+        }
+        let campaign = root
+            .get("campaign")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("missing campaign name"))?
+            .to_string();
+        let seed = parse_hex_seed(root.get("seed").and_then(Json::as_str))
+            .ok_or_else(|| bad("missing or malformed seed"))?;
+        let jobs_json = root.get("jobs").and_then(Json::as_arr).ok_or_else(|| bad("missing jobs"))?;
+        let mut jobs = Vec::with_capacity(jobs_json.len());
+        for (i, j) in jobs_json.iter().enumerate() {
+            jobs.push(parse_job(j, i).map_err(|msg| bad(&format!("job {i}: {msg}")))?);
+        }
+        Ok(Artifact { campaign, seed, jobs })
+    }
+}
+
+fn parse_hex_seed(s: Option<&str>) -> Option<u64> {
+    let s = s?.strip_prefix("0x")?;
+    u64::from_str_radix(s, 16).ok()
+}
+
+fn parse_job(j: &Json, fallback_index: usize) -> Result<JobRecord, String> {
+    use crate::spec::{DeviceKind, Scenario};
+    use hwdp_core::Mode;
+
+    let index = j.get("index").and_then(Json::as_f64).map_or(fallback_index, |n| n as usize);
+    let status = match j.get("status") {
+        Some(Json::Str(s)) if s == "ok" => JobStatus::Ok,
+        Some(obj) => JobStatus::Failed(
+            obj.get("failed").and_then(Json::as_str).unwrap_or("unknown failure").to_string(),
+        ),
+        None => return Err("missing status".into()),
+    };
+    let wall_ms = j.get("wall_ms").and_then(Json::as_f64).unwrap_or(0.0);
+    let cfg = j.get("config").ok_or("missing config")?;
+    let req_str = |key: &str| cfg.get(key).and_then(Json::as_str).ok_or(format!("missing {key}"));
+    let req_num = |key: &str| cfg.get(key).and_then(Json::as_f64).ok_or(format!("missing {key}"));
+    let opt_num = |key: &str| cfg.get(key).and_then(Json::as_f64);
+
+    let scenario = Scenario::parse(req_str("scenario")?).ok_or("unknown scenario")?;
+    let mode = match req_str("mode")? {
+        "OSDP" => Mode::Osdp,
+        "HWDP" => Mode::Hwdp,
+        "SW-only" => Mode::SwOnly,
+        other => return Err(format!("unknown mode {other}")),
+    };
+    let device = DeviceKind::parse(req_str("device")?).ok_or("unknown device")?;
+    let seed = parse_hex_seed(cfg.get("seed").and_then(Json::as_str)).ok_or("malformed seed")?;
+
+    let spec = JobSpec {
+        scenario,
+        mode,
+        device,
+        threads: req_num("threads")? as usize,
+        ratio: req_num("ratio")?,
+        memory_frames: req_num("memory_frames")? as usize,
+        ops: req_num("ops")? as u64,
+        pmshr_entries: opt_num("pmshr_entries").map(|n| n as usize),
+        free_queue_depth: opt_num("free_queue_depth").map(|n| n as usize),
+        kpoold_enabled: matches!(cfg.get("kpoold_enabled"), Some(Json::Bool(true))),
+        kpoold_period_us: opt_num("kpoold_period_us").map(|n| n as u64),
+        kpted_period_us: req_num("kpted_period_us")? as u64,
+        readahead_pages: req_num("readahead_pages")? as usize,
+        smu_prefetch_pages: req_num("smu_prefetch_pages")? as usize,
+        per_core_free_queues: matches!(cfg.get("per_core_free_queues"), Some(Json::Bool(true))),
+        long_io_timeout_us: opt_num("long_io_timeout_us").map(|n| n as u64),
+        time_cap_ms: req_num("time_cap_ms")? as u64,
+        seed,
+    };
+
+    let metrics = match j.get("metrics") {
+        Some(Json::Obj(pairs)) => pairs
+            .iter()
+            .filter_map(|(k, v)| v.as_f64().map(|n| (k.clone(), n)))
+            .collect(),
+        _ => Vec::new(),
+    };
+    Ok(JobRecord { index, spec, status, metrics, wall_ms })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{DeviceKind, Scenario};
+    use hwdp_core::Mode;
+
+    fn sample() -> Artifact {
+        let mut spec = JobSpec::new(Scenario::Ycsb(hwdp_workloads::YcsbKind::C), Mode::Hwdp, 0xABCD_EF01_2345_6789);
+        spec.device = DeviceKind::OptaneSsd;
+        spec.pmshr_entries = Some(64);
+        spec.long_io_timeout_us = Some(25);
+        Artifact {
+            campaign: "unit".into(),
+            seed: 42,
+            jobs: vec![
+                JobRecord {
+                    index: 0,
+                    spec,
+                    status: JobStatus::Ok,
+                    metrics: vec![("ops".into(), 1500.0), ("user_ipc".into(), 1.25)],
+                    wall_ms: 12.5,
+                },
+                JobRecord {
+                    index: 1,
+                    spec: JobSpec::new(Scenario::FioRand, Mode::Osdp, 7),
+                    status: JobStatus::Failed("boom".into()),
+                    metrics: Vec::new(),
+                    wall_ms: 3.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let a = sample();
+        let parsed = Artifact::parse(&a.to_json_string()).unwrap();
+        assert_eq!(parsed, a);
+    }
+
+    #[test]
+    fn canonical_form_zeroes_wall_time_only() {
+        let a = sample();
+        let mut b = a.clone();
+        b.jobs[0].wall_ms = 9999.0;
+        assert_ne!(a.to_json_string(), b.to_json_string());
+        assert_eq!(a.canonical_string(), b.canonical_string());
+    }
+
+    #[test]
+    fn file_name_follows_convention() {
+        assert_eq!(sample().file_name(), "BENCH_unit.json");
+    }
+
+    #[test]
+    fn seed_survives_full_u64_range() {
+        let mut a = sample();
+        a.jobs[0].spec.seed = u64::MAX;
+        a.seed = u64::MAX - 3;
+        let parsed = Artifact::parse(&a.to_json_string()).unwrap();
+        assert_eq!(parsed.jobs[0].spec.seed, u64::MAX);
+        assert_eq!(parsed.seed, u64::MAX - 3);
+    }
+
+    #[test]
+    fn rejects_wrong_schema_version() {
+        let text = sample().to_json_string().replace("\"schema\": 1", "\"schema\": 99");
+        assert!(Artifact::parse(&text).is_err());
+    }
+
+    #[test]
+    fn metric_lookup() {
+        let a = sample();
+        assert_eq!(a.jobs[0].metric("ops"), Some(1500.0));
+        assert_eq!(a.jobs[0].metric("nope"), None);
+        assert!(a.jobs[0].is_ok());
+        assert!(!a.jobs[1].is_ok());
+    }
+}

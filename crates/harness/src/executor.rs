@@ -1,0 +1,195 @@
+//! The thread-pool executor.
+//!
+//! Workers are scoped `std::thread`s draining a shared queue of job
+//! indices. Each job runs under `catch_unwind`, so a panicking simulation
+//! surfaces as a `Failed` record instead of tearing down the campaign.
+//! Results land in a slot per job index — output order is grid order, never
+//! completion order — and job *metrics* are pure functions of the spec, so
+//! worker count affects only wall time.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::artifact::{Artifact, JobRecord, JobStatus};
+use crate::progress::Progress;
+use crate::runner::run_job;
+use crate::spec::{Campaign, JobSpec};
+
+/// What one job produced.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JobOutcome {
+    /// Metrics from a completed run.
+    Ok(Vec<(String, f64)>),
+    /// The job panicked; the payload is the panic message.
+    Panicked(String),
+}
+
+/// Runs every job of `campaign` on `workers` threads via the default
+/// runner and packages the results as an [`Artifact`].
+pub fn execute_campaign(campaign: &Campaign, workers: usize, progress: &mut dyn Progress) -> Artifact {
+    let results = execute(campaign, workers, progress);
+    Artifact::from_outcomes(campaign, &results)
+}
+
+/// Runs every job through [`run_job`](crate::runner::run_job), returning
+/// `(outcome, wall_ms)` per job in campaign order.
+pub fn execute(
+    campaign: &Campaign,
+    workers: usize,
+    progress: &mut dyn Progress,
+) -> Vec<(JobOutcome, f64)> {
+    execute_with(campaign, workers, progress, run_job)
+}
+
+/// [`execute`] with a custom job function — the panic-isolation and
+/// ordering machinery under test-controlled workloads.
+pub fn execute_with(
+    campaign: &Campaign,
+    workers: usize,
+    progress: &mut dyn Progress,
+    job_fn: impl Fn(&JobSpec) -> Vec<(String, f64)> + Sync,
+) -> Vec<(JobOutcome, f64)> {
+    let jobs = &campaign.jobs;
+    let workers = workers.max(1).min(jobs.len().max(1));
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<(JobOutcome, f64)>> = Vec::new();
+    slots.resize_with(jobs.len(), || None);
+    let shared = Mutex::new((slots, progress));
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                let Some(spec) = jobs.get(index) else { break };
+                shared.lock().unwrap().1.job_started(index, spec);
+                let start = Instant::now();
+                let outcome = match catch_unwind(AssertUnwindSafe(|| job_fn(spec))) {
+                    Ok(metrics) => JobOutcome::Ok(metrics),
+                    Err(payload) => JobOutcome::Panicked(panic_message(&payload)),
+                };
+                let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+                let ok = matches!(outcome, JobOutcome::Ok(_));
+                let mut guard = shared.lock().unwrap();
+                guard.0[index] = Some((outcome, wall_ms));
+                guard.1.job_finished(index, spec, ok, wall_ms);
+            });
+        }
+    });
+
+    let (slots, _) = shared.into_inner().unwrap();
+    slots.into_iter().map(|s| s.expect("every job index was claimed")).collect()
+}
+
+fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+impl Artifact {
+    /// Packages executor outcomes for `campaign` into an artifact.
+    pub fn from_outcomes(campaign: &Campaign, outcomes: &[(JobOutcome, f64)]) -> Artifact {
+        let jobs = campaign
+            .jobs
+            .iter()
+            .zip(outcomes)
+            .enumerate()
+            .map(|(index, (spec, (outcome, wall_ms)))| {
+                let (status, metrics) = match outcome {
+                    JobOutcome::Ok(m) => (JobStatus::Ok, m.clone()),
+                    JobOutcome::Panicked(msg) => (JobStatus::Failed(msg.clone()), Vec::new()),
+                };
+                JobRecord { index, spec: *spec, status, metrics, wall_ms: *wall_ms }
+            })
+            .collect();
+        Artifact { campaign: campaign.name.clone(), seed: campaign.seed, jobs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::progress::Counting;
+    use crate::spec::{Grid, Scenario};
+    use hwdp_core::Mode;
+
+    fn fake_campaign(n: usize) -> Campaign {
+        let ratios: Vec<f64> = (0..n).map(|i| 2.0 + i as f64).collect();
+        Grid::new("fake", 7).scenarios([Scenario::FioRand]).ratios(ratios).expand()
+    }
+
+    fn spec_metric(spec: &JobSpec) -> Vec<(String, f64)> {
+        vec![("ratio".into(), spec.ratio), ("seed_low".into(), (spec.seed & 0xFFFF) as f64)]
+    }
+
+    #[test]
+    fn results_in_campaign_order_regardless_of_workers() {
+        let campaign = fake_campaign(9);
+        let single = execute_with(&campaign, 1, &mut Counting::default(), spec_metric);
+        let pooled = execute_with(&campaign, 4, &mut Counting::default(), spec_metric);
+        // Outcomes (not wall times) must be identical across worker counts.
+        let outcomes = |r: &[(JobOutcome, f64)]| r.iter().map(|(o, _)| o.clone()).collect::<Vec<_>>();
+        assert_eq!(outcomes(&single), outcomes(&pooled));
+        for (i, (outcome, _)) in single.iter().enumerate() {
+            let JobOutcome::Ok(m) = outcome else { panic!("job {i} failed") };
+            assert_eq!(m[0].1, campaign.jobs[i].ratio);
+        }
+    }
+
+    #[test]
+    fn panicking_job_is_isolated() {
+        let campaign = fake_campaign(5);
+        let mut progress = Counting::default();
+        let results = execute_with(&campaign, 2, &mut progress, |spec| {
+            assert!(spec.ratio != 4.0, "boom at ratio 4");
+            spec_metric(spec)
+        });
+        let failed: Vec<usize> = results
+            .iter()
+            .enumerate()
+            .filter(|(_, (o, _))| matches!(o, JobOutcome::Panicked(_)))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(failed, vec![2], "only the ratio-4 job fails");
+        let JobOutcome::Panicked(msg) = &results[2].0 else { unreachable!() };
+        assert!(msg.contains("boom"), "panic message captured: {msg}");
+        assert_eq!(progress.finished, 5);
+        assert_eq!(progress.failed, 1);
+    }
+
+    #[test]
+    fn worker_count_clamps_to_job_count() {
+        let campaign = fake_campaign(2);
+        let results = execute_with(&campaign, 64, &mut Counting::default(), spec_metric);
+        assert_eq!(results.len(), 2);
+    }
+
+    #[test]
+    fn progress_sees_every_job() {
+        let campaign = fake_campaign(6);
+        let mut progress = Counting::default();
+        execute_with(&campaign, 3, &mut progress, spec_metric);
+        assert_eq!(progress.started, 6);
+        assert_eq!(progress.finished, 6);
+        assert_eq!(progress.failed, 0);
+    }
+
+    #[test]
+    fn real_runner_executes_small_campaign() {
+        let campaign = Grid::new("exec-smoke", 3)
+            .scenarios([Scenario::FioRand])
+            .modes([Mode::Osdp, Mode::Hwdp])
+            .memory_frames(96)
+            .ops(30)
+            .expand();
+        let artifact = execute_campaign(&campaign, 2, &mut Counting::default());
+        assert_eq!(artifact.jobs.len(), 2);
+        assert!(artifact.jobs.iter().all(|j| j.is_ok()));
+    }
+}

@@ -1,0 +1,74 @@
+//! Live progress reporting for campaign execution.
+
+use crate::spec::JobSpec;
+
+/// Receives execution events. Implementations must be cheap; callbacks run
+/// under the executor's result lock.
+pub trait Progress: Send {
+    /// A worker picked up job `index`.
+    fn job_started(&mut self, index: usize, spec: &JobSpec);
+    /// Job `index` finished (`ok == false` means it panicked).
+    fn job_finished(&mut self, index: usize, spec: &JobSpec, ok: bool, wall_ms: f64);
+}
+
+/// Discards all events.
+pub struct Silent;
+
+impl Progress for Silent {
+    fn job_started(&mut self, _index: usize, _spec: &JobSpec) {}
+    fn job_finished(&mut self, _index: usize, _spec: &JobSpec, _ok: bool, _wall_ms: f64) {}
+}
+
+/// Prints one line per job completion to stderr (stdout stays clean for
+/// piped artifacts).
+pub struct Stderr {
+    total: usize,
+    done: usize,
+}
+
+impl Stderr {
+    /// Creates a reporter expecting `total` jobs.
+    pub fn new(total: usize) -> Stderr {
+        Stderr { total, done: 0 }
+    }
+}
+
+impl Progress for Stderr {
+    fn job_started(&mut self, _index: usize, _spec: &JobSpec) {}
+
+    fn job_finished(&mut self, _index: usize, spec: &JobSpec, ok: bool, wall_ms: f64) {
+        self.done += 1;
+        let status = if ok { "done" } else { "FAILED" };
+        eprintln!(
+            "[{}/{}] {} {} ({wall_ms:.0} ms)",
+            self.done,
+            self.total,
+            spec.label(),
+            status,
+        );
+    }
+}
+
+/// Counts events; used by tests.
+#[derive(Default)]
+pub struct Counting {
+    /// Started-event count.
+    pub started: usize,
+    /// Finished-event count.
+    pub finished: usize,
+    /// Finished events reporting failure.
+    pub failed: usize,
+}
+
+impl Progress for Counting {
+    fn job_started(&mut self, _index: usize, _spec: &JobSpec) {
+        self.started += 1;
+    }
+
+    fn job_finished(&mut self, _index: usize, _spec: &JobSpec, ok: bool, _wall_ms: f64) {
+        self.finished += 1;
+        if !ok {
+            self.failed += 1;
+        }
+    }
+}

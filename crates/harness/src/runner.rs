@@ -1,0 +1,185 @@
+//! Maps a [`JobSpec`] onto a concrete simulator run.
+//!
+//! Workload setup mirrors `hwdp-bench`'s scenario scaffolding exactly
+//! (thread-RNG derivation, IPC settings, KV capacity headroom), so a
+//! harness job with `fixed_seed` campaign seeding reproduces the historic
+//! figure numbers bit for bit.
+
+use crate::spec::{JobSpec, Scenario};
+use hwdp_core::anatomy::{hwdp_anatomy, osdp_anatomy, swonly_anatomy};
+use hwdp_core::{Mode, RunResult, SystemBuilder};
+use hwdp_os::costs::{OsdpCosts, SwOnlyCosts};
+use hwdp_sim::rng::Prng;
+use hwdp_sim::time::Duration;
+use hwdp_smu::SmuTiming;
+use hwdp_workloads::{
+    DbBenchReadRandom, FioRandRead, MiniDb, ScratchChurn, Workload, Ycsb,
+};
+
+/// Runs one job to completion and returns its flattened metrics.
+///
+/// Deterministic: the same spec always yields the same metric values
+/// (virtual time only; no wall-clock inputs).
+pub fn run_job(spec: &JobSpec) -> Vec<(String, f64)> {
+    match spec.scenario {
+        Scenario::Anatomy => anatomy_metrics(spec),
+        _ => {
+            let result = simulate(spec);
+            result
+                .export_metrics()
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect()
+        }
+    }
+}
+
+/// Builds the system described by `spec` and runs its workload.
+pub fn simulate(spec: &JobSpec) -> RunResult {
+    let mut builder = SystemBuilder::new(spec.mode)
+        .memory_frames(spec.memory_frames)
+        .device(spec.device.profile())
+        .kpted_period(Duration::from_micros(spec.kpted_period_us))
+        .kpoold(spec.kpoold_enabled)
+        .per_core_free_queues(spec.per_core_free_queues)
+        .readahead_pages(spec.readahead_pages)
+        .smu_prefetch_pages(spec.smu_prefetch_pages)
+        .seed(spec.seed);
+    if let Some(entries) = spec.pmshr_entries {
+        builder = builder.pmshr_entries(entries);
+    }
+    if let Some(depth) = spec.free_queue_depth {
+        builder = builder.free_queue_depth(depth);
+    }
+    if let Some(us) = spec.kpoold_period_us {
+        builder = builder.tweak(|cfg| cfg.kpoold_period = Duration::from_micros(us));
+    }
+    if let Some(us) = spec.long_io_timeout_us {
+        builder = builder.long_io_timeout(Duration::from_micros(us));
+    }
+    let mut sys = builder.build();
+    let time_cap = Duration::from_millis(spec.time_cap_ms);
+    let pages = spec.dataset_pages();
+
+    match spec.scenario {
+        Scenario::FioRand => {
+            let file = sys.create_pattern_file("fio-data", pages);
+            let region = sys.map_file(file);
+            for i in 0..spec.threads {
+                let rng = Prng::seed_from(spec.seed ^ (0xF10 + i as u64));
+                sys.spawn(Box::new(FioRandRead::new(region, pages, spec.ops, rng)), 1.8, None);
+            }
+        }
+        Scenario::DbBench | Scenario::Ycsb(_) => {
+            let records = pages;
+            let capacity = records + records / 4; // headroom for inserts (D/E)
+            let file = sys.create_kv_file("db", records, capacity);
+            let region = sys.map_file(file);
+            for i in 0..spec.threads {
+                let db = MiniDb::new(region, records, capacity);
+                let rng = Prng::seed_from(spec.seed ^ (0x2B + i as u64));
+                let workload: Box<dyn Workload> = match spec.scenario {
+                    Scenario::DbBench => Box::new(DbBenchReadRandom::new(db, spec.ops, rng)),
+                    Scenario::Ycsb(kind) => Box::new(Ycsb::new(kind, db, spec.ops, rng)),
+                    _ => unreachable!(),
+                };
+                sys.spawn(workload, 1.6, None);
+            }
+        }
+        Scenario::Anon => {
+            let region = sys.map_anon(pages);
+            for i in 0..spec.threads {
+                let rng = Prng::seed_from(spec.seed ^ (0xA40 + i as u64));
+                sys.spawn(Box::new(ScratchChurn::new(region, pages, spec.ops, rng)), 1.6, None);
+            }
+        }
+        Scenario::Anatomy => unreachable!("anatomy jobs are closed-form"),
+    }
+    sys.run(time_cap)
+}
+
+/// Closed-form Fig. 10/17 anatomy metrics (no event simulation).
+fn anatomy_metrics(spec: &JobSpec) -> Vec<(String, f64)> {
+    let device = spec.device.profile();
+    let a = match spec.mode {
+        Mode::Osdp => osdp_anatomy(&OsdpCosts::paper_default(), &device),
+        Mode::Hwdp => hwdp_anatomy(&SmuTiming::paper_default(), &device),
+        Mode::SwOnly => swonly_anatomy(&SwOnlyCosts::paper_default(), &device),
+    };
+    vec![
+        ("anatomy_total_ns".into(), a.total().as_nanos_f64()),
+        ("anatomy_overhead_ns".into(), a.overhead().as_nanos_f64()),
+        ("anatomy_before_device_ns".into(), a.before_device().as_nanos_f64()),
+        ("anatomy_after_device_ns".into(), a.after_device().as_nanos_f64()),
+        ("anatomy_overhead_frac_of_device".into(), a.overhead_fraction_of_device()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DeviceKind;
+    use hwdp_core::Mode;
+
+    fn quick(scenario: Scenario, mode: Mode) -> JobSpec {
+        let mut spec = JobSpec::new(scenario, mode, 0xD15C);
+        spec.memory_frames = 128;
+        spec.ops = 60;
+        spec
+    }
+
+    #[test]
+    fn fio_job_is_deterministic() {
+        let spec = quick(Scenario::FioRand, Mode::Hwdp);
+        let a = run_job(&spec);
+        let b = run_job(&spec);
+        assert_eq!(a, b);
+        let ops = a.iter().find(|(k, _)| k == "ops").unwrap().1;
+        assert_eq!(ops, 60.0);
+        let fails = a.iter().find(|(k, _)| k == "verify_failures").unwrap().1;
+        assert_eq!(fails, 0.0);
+    }
+
+    #[test]
+    fn modes_produce_different_metrics() {
+        let hw = run_job(&quick(Scenario::FioRand, Mode::Hwdp));
+        let os = run_job(&quick(Scenario::FioRand, Mode::Osdp));
+        let lat = |m: &[(String, f64)]| {
+            m.iter().find(|(k, _)| k == "miss_lat_mean_ns").unwrap().1
+        };
+        assert!(lat(&hw) < lat(&os), "HWDP should cut miss latency");
+    }
+
+    #[test]
+    fn kv_and_anon_scenarios_run() {
+        for scenario in [Scenario::DbBench, Scenario::Anon] {
+            let m = run_job(&quick(scenario, Mode::Hwdp));
+            let ops = m.iter().find(|(k, _)| k == "ops").unwrap().1;
+            assert!(ops > 0.0, "{}", scenario.name());
+        }
+    }
+
+    #[test]
+    fn anatomy_is_closed_form() {
+        let mut spec = quick(Scenario::Anatomy, Mode::Hwdp);
+        spec.device = DeviceKind::OptanePmm;
+        let m = run_job(&spec);
+        assert!(m.iter().any(|(k, _)| k == "anatomy_total_ns"));
+        let hw_total = m[0].1;
+        spec.mode = Mode::Osdp;
+        let os_total = run_job(&spec)[0].1;
+        assert!(hw_total < os_total, "HWDP anatomy must beat OSDP");
+    }
+
+    #[test]
+    fn knob_overrides_apply() {
+        let mut spec = quick(Scenario::FioRand, Mode::Hwdp);
+        spec.pmshr_entries = Some(2);
+        spec.threads = 4;
+        let m = run_job(&spec);
+        let stalls = m.iter().find(|(k, _)| k == "pmshr_stalls").unwrap().1;
+        let baseline = run_job(&quick(Scenario::FioRand, Mode::Hwdp));
+        let base_stalls = baseline.iter().find(|(k, _)| k == "pmshr_stalls").unwrap().1;
+        assert!(stalls >= base_stalls, "tiny PMSHR should not reduce stalls");
+    }
+}

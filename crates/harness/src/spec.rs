@@ -1,0 +1,432 @@
+//! Campaign and job specifications.
+//!
+//! A [`Campaign`] is a named, seeded list of [`JobSpec`]s. The [`Grid`]
+//! builder expands axis lists (scenario × mode × device × threads × ratio)
+//! into that list in a fixed nesting order, deriving each job's simulator
+//! seed from the campaign seed and the job's index ([`crate::seed`]).
+
+use crate::json::Json;
+use crate::seed::job_seed;
+use hwdp_core::Mode;
+use hwdp_nvme::profile::DeviceProfile;
+use hwdp_workloads::YcsbKind;
+
+/// What a job runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scenario {
+    /// FIO 4 KiB random read over an mmapped file (§VI-B).
+    FioRand,
+    /// DBBench `readrandom` over MiniDB (§VI-C).
+    DbBench,
+    /// A YCSB core workload over MiniDB (§VI-C).
+    Ycsb(YcsbKind),
+    /// Anonymous-memory touch loop (zero-fill path).
+    Anon,
+    /// Closed-form single-miss anatomy (Fig. 10/17); no simulation.
+    Anatomy,
+}
+
+impl Scenario {
+    /// Stable identifier used in artifacts and on the CLI.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::FioRand => "fio",
+            Scenario::DbBench => "dbbench",
+            Scenario::Ycsb(k) => k.name(),
+            Scenario::Anon => "anon",
+            Scenario::Anatomy => "anatomy",
+        }
+    }
+
+    /// Parses a scenario identifier (the inverse of [`Scenario::name`]).
+    pub fn parse(s: &str) -> Option<Scenario> {
+        match s {
+            "fio" => Some(Scenario::FioRand),
+            "dbbench" => Some(Scenario::DbBench),
+            "anon" => Some(Scenario::Anon),
+            "anatomy" => Some(Scenario::Anatomy),
+            _ => YcsbKind::ALL.iter().find(|k| k.name() == s).map(|&k| Scenario::Ycsb(k)),
+        }
+    }
+
+    /// All scenario identifiers, for CLI help text.
+    pub const ALL_NAMES: [&'static str; 10] = [
+        "fio", "dbbench", "ycsb-a", "ycsb-b", "ycsb-c", "ycsb-d", "ycsb-e", "ycsb-f", "anon",
+        "anatomy",
+    ];
+}
+
+/// Which device profile a job simulates.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DeviceKind {
+    /// Samsung Z-SSD (the paper's testbed device).
+    ZSsd,
+    /// Intel Optane SSD.
+    OptaneSsd,
+    /// Intel Optane PMM treated as a block device.
+    OptanePmm,
+}
+
+impl DeviceKind {
+    /// Stable identifier used in artifacts and on the CLI.
+    pub fn name(self) -> &'static str {
+        match self {
+            DeviceKind::ZSsd => "zssd",
+            DeviceKind::OptaneSsd => "optane",
+            DeviceKind::OptanePmm => "pmm",
+        }
+    }
+
+    /// Parses a device identifier.
+    pub fn parse(s: &str) -> Option<DeviceKind> {
+        match s {
+            "zssd" => Some(DeviceKind::ZSsd),
+            "optane" => Some(DeviceKind::OptaneSsd),
+            "pmm" => Some(DeviceKind::OptanePmm),
+            _ => None,
+        }
+    }
+
+    /// The simulator profile for this device.
+    pub fn profile(self) -> DeviceProfile {
+        match self {
+            DeviceKind::ZSsd => DeviceProfile::Z_SSD,
+            DeviceKind::OptaneSsd => DeviceProfile::OPTANE_SSD,
+            DeviceKind::OptanePmm => DeviceProfile::OPTANE_PMM,
+        }
+    }
+}
+
+/// One fully specified experiment.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct JobSpec {
+    /// Workload scenario.
+    pub scenario: Scenario,
+    /// Demand-paging mode.
+    pub mode: Mode,
+    /// Storage device profile.
+    pub device: DeviceKind,
+    /// Workload threads.
+    pub threads: usize,
+    /// Dataset:memory ratio (dataset pages = `memory_frames × ratio`).
+    pub ratio: f64,
+    /// Simulated DRAM in 4 KiB frames.
+    pub memory_frames: usize,
+    /// Operations per workload thread.
+    pub ops: u64,
+    /// PMSHR entries (`None` = paper default).
+    pub pmshr_entries: Option<usize>,
+    /// Free-page queue depth (`None` = paper default).
+    pub free_queue_depth: Option<usize>,
+    /// Whether the `kpoold` refill daemon runs.
+    pub kpoold_enabled: bool,
+    /// `kpoold` wake period in microseconds (`None` = default).
+    pub kpoold_period_us: Option<u64>,
+    /// `kpted` sync-scan period in microseconds.
+    pub kpted_period_us: u64,
+    /// OS readahead window in pages.
+    pub readahead_pages: usize,
+    /// SMU detached-prefetch window in pages.
+    pub smu_prefetch_pages: usize,
+    /// Per-core free-page queues instead of one shared queue.
+    pub per_core_free_queues: bool,
+    /// §V long-latency miss timeout in microseconds (`None` = always
+    /// stall).
+    pub long_io_timeout_us: Option<u64>,
+    /// Virtual-time cap in milliseconds.
+    pub time_cap_ms: u64,
+    /// Simulator master seed (derived from the campaign seed).
+    pub seed: u64,
+}
+
+impl JobSpec {
+    /// A baseline job: paper-default knobs, `Scale::default()`-compatible
+    /// sizing.
+    pub fn new(scenario: Scenario, mode: Mode, seed: u64) -> JobSpec {
+        JobSpec {
+            scenario,
+            mode,
+            device: DeviceKind::ZSsd,
+            threads: 1,
+            ratio: 2.0,
+            memory_frames: 1024,
+            ops: 1_500,
+            pmshr_entries: None,
+            free_queue_depth: None,
+            kpoold_enabled: true,
+            kpoold_period_us: None,
+            kpted_period_us: 1_000,
+            readahead_pages: 0,
+            smu_prefetch_pages: 0,
+            per_core_free_queues: false,
+            long_io_timeout_us: None,
+            time_cap_ms: 30_000,
+            seed,
+        }
+    }
+
+    /// Dataset size in pages.
+    pub fn dataset_pages(&self) -> u64 {
+        ((self.memory_frames as f64) * self.ratio) as u64
+    }
+
+    /// A short human-readable label (`fio/HWDP/zssd t=4 r=2`).
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/{} t={} r={}",
+            self.scenario.name(),
+            self.mode.label(),
+            self.device.name(),
+            self.threads,
+            self.ratio
+        )
+    }
+
+    /// Serializes the full configuration. The seed crosses as a hex
+    /// *string* because JSON numbers (f64) lose u64 precision above 2^53.
+    pub fn to_json(&self) -> Json {
+        let opt_num = |v: Option<u64>| v.map_or(Json::Null, |n| Json::Num(n as f64));
+        Json::obj([
+            ("scenario", Json::str(self.scenario.name())),
+            ("mode", Json::str(self.mode.label())),
+            ("device", Json::str(self.device.name())),
+            ("threads", Json::Num(self.threads as f64)),
+            ("ratio", Json::Num(self.ratio)),
+            ("memory_frames", Json::Num(self.memory_frames as f64)),
+            ("ops", Json::Num(self.ops as f64)),
+            ("pmshr_entries", opt_num(self.pmshr_entries.map(|v| v as u64))),
+            ("free_queue_depth", opt_num(self.free_queue_depth.map(|v| v as u64))),
+            ("kpoold_enabled", Json::Bool(self.kpoold_enabled)),
+            ("kpoold_period_us", opt_num(self.kpoold_period_us)),
+            ("kpted_period_us", Json::Num(self.kpted_period_us as f64)),
+            ("readahead_pages", Json::Num(self.readahead_pages as f64)),
+            ("smu_prefetch_pages", Json::Num(self.smu_prefetch_pages as f64)),
+            ("per_core_free_queues", Json::Bool(self.per_core_free_queues)),
+            ("long_io_timeout_us", opt_num(self.long_io_timeout_us)),
+            ("time_cap_ms", Json::Num(self.time_cap_ms as f64)),
+            ("seed", Json::Str(format!("{:#018x}", self.seed))),
+        ])
+    }
+}
+
+/// A named, seeded set of jobs.
+#[derive(Clone, Debug)]
+pub struct Campaign {
+    /// Campaign name (becomes `BENCH_<name>.json`).
+    pub name: String,
+    /// Master seed from which all job seeds derive.
+    pub seed: u64,
+    /// The jobs, in grid-expansion order.
+    pub jobs: Vec<JobSpec>,
+}
+
+/// Builds a [`Campaign`] by taking the cross product of axis lists.
+///
+/// Axes nest in a fixed order — scenario (outermost), mode, device,
+/// threads, ratio (innermost) — so job index, and therefore each job's
+/// derived seed, is a pure function of the grid definition.
+#[derive(Clone, Debug)]
+pub struct Grid {
+    name: String,
+    seed: u64,
+    scenarios: Vec<Scenario>,
+    modes: Vec<Mode>,
+    devices: Vec<DeviceKind>,
+    threads: Vec<usize>,
+    ratios: Vec<f64>,
+    template: JobSpec,
+    fixed_seed: bool,
+}
+
+impl Grid {
+    /// Starts a grid with single-point default axes (fio, HWDP, Z-SSD,
+    /// 1 thread, 2:1).
+    pub fn new(name: impl Into<String>, seed: u64) -> Grid {
+        Grid {
+            name: name.into(),
+            seed,
+            scenarios: vec![Scenario::FioRand],
+            modes: vec![Mode::Hwdp],
+            devices: vec![DeviceKind::ZSsd],
+            threads: vec![1],
+            ratios: vec![2.0],
+            template: JobSpec::new(Scenario::FioRand, Mode::Hwdp, 0),
+            fixed_seed: false,
+        }
+    }
+
+    /// Sets the scenario axis.
+    pub fn scenarios(mut self, s: impl IntoIterator<Item = Scenario>) -> Grid {
+        self.scenarios = s.into_iter().collect();
+        self
+    }
+
+    /// Sets the mode axis.
+    pub fn modes(mut self, m: impl IntoIterator<Item = Mode>) -> Grid {
+        self.modes = m.into_iter().collect();
+        self
+    }
+
+    /// Sets the device axis.
+    pub fn devices(mut self, d: impl IntoIterator<Item = DeviceKind>) -> Grid {
+        self.devices = d.into_iter().collect();
+        self
+    }
+
+    /// Sets the thread-count axis.
+    pub fn threads(mut self, t: impl IntoIterator<Item = usize>) -> Grid {
+        self.threads = t.into_iter().collect();
+        self
+    }
+
+    /// Sets the dataset:memory ratio axis.
+    pub fn ratios(mut self, r: impl IntoIterator<Item = f64>) -> Grid {
+        self.ratios = r.into_iter().collect();
+        self
+    }
+
+    /// Sets DRAM frames for every job.
+    pub fn memory_frames(mut self, frames: usize) -> Grid {
+        self.template.memory_frames = frames;
+        self
+    }
+
+    /// Sets per-thread operations for every job.
+    pub fn ops(mut self, ops: u64) -> Grid {
+        self.template.ops = ops;
+        self
+    }
+
+    /// Sets the virtual-time cap (milliseconds) for every job.
+    pub fn time_cap_ms(mut self, ms: u64) -> Grid {
+        self.template.time_cap_ms = ms;
+        self
+    }
+
+    /// Applies arbitrary knob edits to the job template (PMSHR size,
+    /// queue depth, readahead, …).
+    pub fn tweak(mut self, f: impl FnOnce(&mut JobSpec)) -> Grid {
+        f(&mut self.template);
+        self
+    }
+
+    /// Gives every job the campaign seed itself instead of a per-index
+    /// derived seed. Used when reproducing figure tables whose historical
+    /// runs all shared one master seed.
+    pub fn fixed_seed(mut self) -> Grid {
+        self.fixed_seed = true;
+        self
+    }
+
+    /// Number of jobs `expand` will produce.
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+            * self.modes.len()
+            * self.devices.len()
+            * self.threads.len()
+            * self.ratios.len()
+    }
+
+    /// Whether any axis is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Expands the cross product into a [`Campaign`].
+    pub fn expand(self) -> Campaign {
+        let mut jobs = Vec::with_capacity(self.len());
+        for &scenario in &self.scenarios {
+            for &mode in &self.modes {
+                for &device in &self.devices {
+                    for &threads in &self.threads {
+                        for &ratio in &self.ratios {
+                            let index = jobs.len() as u64;
+                            let mut job = self.template;
+                            job.scenario = scenario;
+                            job.mode = mode;
+                            job.device = device;
+                            job.threads = threads;
+                            job.ratio = ratio;
+                            job.seed = if self.fixed_seed {
+                                self.seed
+                            } else {
+                                job_seed(self.seed, index)
+                            };
+                            jobs.push(job);
+                        }
+                    }
+                }
+            }
+        }
+        Campaign { name: self.name, seed: self.seed, jobs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_names_round_trip() {
+        for name in Scenario::ALL_NAMES {
+            let s = Scenario::parse(name).expect(name);
+            assert_eq!(s.name(), name);
+        }
+        assert!(Scenario::parse("nope").is_none());
+    }
+
+    #[test]
+    fn device_names_round_trip() {
+        for d in [DeviceKind::ZSsd, DeviceKind::OptaneSsd, DeviceKind::OptanePmm] {
+            assert_eq!(DeviceKind::parse(d.name()), Some(d));
+        }
+        assert!(DeviceKind::parse("floppy").is_none());
+    }
+
+    #[test]
+    fn grid_expands_full_cross_product() {
+        let c = Grid::new("t", 1)
+            .scenarios([Scenario::FioRand, Scenario::DbBench])
+            .modes([Mode::Osdp, Mode::Hwdp, Mode::SwOnly])
+            .threads([1, 4])
+            .ratios([2.0, 4.0])
+            .expand();
+        assert_eq!(c.jobs.len(), 2 * 3 * 2 * 2);
+        // Innermost axis (ratio) varies fastest.
+        assert_eq!(c.jobs[0].ratio, 2.0);
+        assert_eq!(c.jobs[1].ratio, 4.0);
+        assert_eq!(c.jobs[0].threads, 1);
+        assert_eq!(c.jobs[2].threads, 4);
+    }
+
+    #[test]
+    fn job_seeds_derive_from_index() {
+        let c = Grid::new("t", 99).ratios([2.0, 4.0, 8.0]).expand();
+        assert_eq!(c.jobs[0].seed, job_seed(99, 0));
+        assert_eq!(c.jobs[2].seed, job_seed(99, 2));
+        assert_ne!(c.jobs[0].seed, c.jobs[1].seed);
+    }
+
+    #[test]
+    fn fixed_seed_grid_shares_master_seed() {
+        let c = Grid::new("t", 0xD15C).ratios([2.0, 4.0]).fixed_seed().expand();
+        assert!(c.jobs.iter().all(|j| j.seed == 0xD15C));
+    }
+
+    #[test]
+    fn job_json_carries_seed_as_hex_string() {
+        let job = JobSpec::new(Scenario::FioRand, Mode::Hwdp, u64::MAX - 1);
+        let j = job.to_json();
+        assert_eq!(j.get("seed").and_then(Json::as_str), Some("0xfffffffffffffffe"));
+        assert_eq!(j.get("scenario").and_then(Json::as_str), Some("fio"));
+        assert_eq!(j.get("pmshr_entries"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn dataset_pages_scale_with_ratio() {
+        let mut job = JobSpec::new(Scenario::FioRand, Mode::Hwdp, 0);
+        job.memory_frames = 512;
+        job.ratio = 4.0;
+        assert_eq!(job.dataset_pages(), 2048);
+    }
+}

@@ -359,7 +359,7 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest"))]
 mod prop_tests {
     use super::*;
     use proptest::prelude::*;

@@ -2,10 +2,11 @@
 //!
 //! All simulation randomness flows through [`Prng`], a xoshiro256** core
 //! seeded via SplitMix64. The implementation is self-contained (no platform
-//! entropy) so every run is reproducible from its seed alone. `Prng` also
-//! implements [`rand::RngCore`] so it composes with the `rand` ecosystem
-//! where convenient.
+//! entropy) so every run is reproducible from its seed alone. With the
+//! non-default `rand` feature, `Prng` also implements `rand::RngCore` so it
+//! composes with the `rand` ecosystem where convenient.
 
+#[cfg(feature = "rand")]
 use rand::RngCore;
 
 /// SplitMix64 step, used to expand a single `u64` seed into xoshiro state.
@@ -123,6 +124,7 @@ impl Prng {
     }
 }
 
+#[cfg(feature = "rand")]
 impl RngCore for Prng {
     fn next_u32(&mut self) -> u32 {
         (self.next_u64() >> 32) as u32
@@ -258,6 +260,7 @@ mod tests {
         assert_ne!(v, (0..50).collect::<Vec<_>>(), "shuffle should move elements");
     }
 
+    #[cfg(feature = "rand")]
     #[test]
     fn rngcore_fill_bytes() {
         let mut r = Prng::seed_from(4);

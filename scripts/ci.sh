@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus the harness smoke campaign and regression gate.
+#
+#   scripts/ci.sh            # build, test, sweep, compare against baseline
+#   scripts/ci.sh --refresh  # additionally rewrite baselines/BENCH_seed.json
+#
+# The smoke campaign is deterministic (virtual-time simulation, per-job
+# seeds derived from the campaign seed), so the comparison against the
+# committed baseline is exact: any drift beyond the 5 % gate threshold —
+# on any machine, any worker count, debug or release — is a real change
+# in simulated behaviour.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: build =="
+cargo build --release --workspace --offline
+
+echo "== tier-1: tests =="
+cargo test -q --workspace --offline
+
+echo "== harness: smoke campaign (16 jobs, 4 workers) =="
+out="$(mktemp -d)"
+trap 'rm -rf "$out"' EXIT
+./target/release/hwdp sweep \
+  --name seed \
+  --scenarios fio,ycsb-c --modes osdp,hwdp \
+  --threads-list 1,2 --ratios 2,4 \
+  --memory 256 --ops 150 --seed 42 \
+  --workers 4 --out "$out"
+
+if [[ "${1:-}" == "--refresh" ]]; then
+  cp "$out/BENCH_seed.json" baselines/BENCH_seed.json
+  echo "refreshed baselines/BENCH_seed.json"
+fi
+
+echo "== harness: regression gate =="
+./target/release/hwdp compare \
+  --baseline baselines/BENCH_seed.json \
+  --current "$out/BENCH_seed.json" \
+  --threshold 5
+
+echo "== ci: ok =="

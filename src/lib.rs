@@ -10,6 +10,9 @@
 //! * [`hwdp_workloads`] (re-exported as [`workloads`]) — FIO, YCSB,
 //!   DBBench, MiniDB, SPEC-like kernels.
 //! * [`hwdp_sim`] (re-exported as [`sim`]) — the simulation kernel.
+//! * [`hwdp_harness`] (re-exported as [`harness`]) — parallel experiment
+//!   orchestration: campaign grids, JSON result artifacts, and baseline
+//!   regression gating (`hwdp sweep` / `hwdp compare`).
 //!
 //! See the `examples/` directory for runnable end-to-end scenarios and
 //! `crates/bench` for the per-figure reproduction harness.
@@ -22,6 +25,7 @@
 
 pub use hwdp_core as core;
 pub use hwdp_cpu as cpu;
+pub use hwdp_harness as harness;
 pub use hwdp_mem as mem;
 pub use hwdp_nvme as nvme;
 pub use hwdp_os as os;

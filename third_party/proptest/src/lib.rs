@@ -1,0 +1,476 @@
+//! Offline stand-in for the `proptest` crate (see `third_party/README.md`).
+//!
+//! A small but genuine property-test runner, API-compatible with the
+//! subset of `proptest` 1.x this workspace uses:
+//!
+//! * the [`proptest!`] macro, with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` inner attribute,
+//!   parameters of the form `name: Type` (via [`arbitrary::Arbitrary`])
+//!   or `pat in strategy`;
+//! * range strategies over the integer types and `f64`, tuples of
+//!   strategies, [`prop::collection`]`::{vec, hash_set, btree_map}`,
+//!   [`prop::bool`]`::ANY`, and [`arbitrary::any`];
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`].
+//!
+//! Every case's inputs derive from a SplitMix64 stream seeded by the
+//! test-function name and case index, so each test is deterministic and
+//! a failure reproduces exactly. Unlike upstream there is no shrinking:
+//! the panic message of the failing assertion identifies the case.
+
+#![forbid(unsafe_code)]
+
+/// Test-runner configuration and the deterministic case RNG.
+pub mod test_runner {
+    /// Runner configuration (the subset of upstream's `Config` in use).
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Upstream's default case count.
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// FNV-1a hash of a string, used to give each property its own
+    /// deterministic stream.
+    pub fn fnv1a(s: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Deterministic SplitMix64 generator driving case generation.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Stream for case `case` of the property with seed `fn_seed`.
+        pub fn for_case(fn_seed: u64, case: u64) -> Self {
+            TestRng { state: fn_seed ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15) }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "below(0)");
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+/// The strategy abstraction: a recipe producing values from a [`TestRng`].
+pub mod strategy {
+    use super::test_runner::TestRng;
+
+    /// A generator of values of type [`Strategy::Value`].
+    pub trait Strategy {
+        /// The produced value type.
+        type Value;
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! uint_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u64) - (self.start as u64);
+                    self.start + (rng.below(span) as $t)
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as u64) - (lo as u64);
+                    if span == u64::MAX {
+                        rng.next_u64() as $t
+                    } else {
+                        lo + (rng.below(span + 1) as $t)
+                    }
+                }
+            }
+        )*};
+    }
+    uint_range_strategy!(u8, u16, u32, u64, usize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.f64() * (self.end - self.start)
+        }
+    }
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.generate(rng), self.1.generate(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+        type Value = (A::Value, B::Value, C::Value, D::Value);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (
+                self.0.generate(rng),
+                self.1.generate(rng),
+                self.2.generate(rng),
+                self.3.generate(rng),
+            )
+        }
+    }
+}
+
+/// `any::<T>()`-style type-directed generation.
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Types with a canonical full-domain generator.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! uint_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    uint_arbitrary!(u8, u16, u32, u64, usize);
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    int_arbitrary!(i8, i16, i32, i64, isize);
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    /// A full-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// The `prop::` namespace (`prop::collection`, `prop::bool`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        use core::ops::Range;
+
+        fn draw_len(sizes: &Range<usize>, rng: &mut TestRng) -> usize {
+            assert!(sizes.start < sizes.end, "empty size range");
+            sizes.start + rng.below((sizes.end - sizes.start) as u64) as usize
+        }
+
+        /// `Vec` strategy with element strategy `element` and a size drawn
+        /// from `sizes`.
+        pub fn vec<S: Strategy>(element: S, sizes: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, sizes }
+        }
+
+        /// See [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            sizes: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let n = draw_len(&self.sizes, rng);
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// `HashSet` strategy; duplicates are retried a bounded number of
+        /// times, so the result can fall short of the drawn size only when
+        /// the element domain is nearly exhausted.
+        pub fn hash_set<S>(element: S, sizes: Range<usize>) -> HashSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: core::hash::Hash + Eq,
+        {
+            HashSetStrategy { element, sizes }
+        }
+
+        /// See [`hash_set`].
+        pub struct HashSetStrategy<S> {
+            element: S,
+            sizes: Range<usize>,
+        }
+
+        impl<S> Strategy for HashSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: core::hash::Hash + Eq,
+        {
+            type Value = std::collections::HashSet<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let n = draw_len(&self.sizes, rng);
+                let mut out = std::collections::HashSet::new();
+                let mut attempts = 10 * n + 16;
+                while out.len() < n && attempts > 0 {
+                    out.insert(self.element.generate(rng));
+                    attempts -= 1;
+                }
+                out
+            }
+        }
+
+        /// `BTreeMap` strategy over key/value strategies.
+        pub fn btree_map<K, V>(keys: K, values: V, sizes: Range<usize>) -> BTreeMapStrategy<K, V>
+        where
+            K: Strategy,
+            K::Value: Ord,
+            V: Strategy,
+        {
+            BTreeMapStrategy { keys, values, sizes }
+        }
+
+        /// See [`btree_map`].
+        pub struct BTreeMapStrategy<K, V> {
+            keys: K,
+            values: V,
+            sizes: Range<usize>,
+        }
+
+        impl<K, V> Strategy for BTreeMapStrategy<K, V>
+        where
+            K: Strategy,
+            K::Value: Ord,
+            V: Strategy,
+        {
+            type Value = std::collections::BTreeMap<K::Value, V::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let n = draw_len(&self.sizes, rng);
+                let mut out = std::collections::BTreeMap::new();
+                let mut attempts = 10 * n + 16;
+                while out.len() < n && attempts > 0 {
+                    out.insert(self.keys.generate(rng), self.values.generate(rng));
+                    attempts -= 1;
+                }
+                out
+            }
+        }
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// The full-domain boolean strategy.
+        pub struct AnyBool;
+
+        /// Draws `true`/`false` uniformly.
+        pub const ANY: AnyBool = AnyBool;
+
+        impl Strategy for AnyBool {
+            type Value = bool;
+            fn generate(&self, rng: &mut TestRng) -> bool {
+                rng.next_u64() & 1 == 1
+            }
+        }
+    }
+}
+
+/// Everything the repo's property tests import.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines deterministic property tests; see the crate docs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!{
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal: expands each `fn` in a [`proptest!`] block into a case loop.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($params:tt)* ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let __fn_seed: u64 = $crate::test_runner::fnv1a(stringify!($name));
+            for __case in 0..__config.cases {
+                let mut __rng =
+                    $crate::test_runner::TestRng::for_case(__fn_seed, __case as u64);
+                $crate::__proptest_bind!{ __rng, $($params)* }
+                $body
+            }
+        }
+        $crate::__proptest_tests!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Internal: binds one `proptest!` parameter per step.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, $name:ident : $ty:ty $(, $($rest:tt)*)?) => {
+        let $name: $ty = <$ty as $crate::arbitrary::Arbitrary>::arbitrary(&mut $rng);
+        $crate::__proptest_bind!{ $rng $(, $($rest)*)? }
+    };
+    ($rng:ident, $pat:pat in $strat:expr $(, $($rest:tt)*)?) => {
+        let $pat = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bind!{ $rng $(, $($rest)*)? }
+    };
+}
+
+/// Property assertion; panics (fails the case) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Property inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Typed parameters and range strategies bind as expected.
+        #[test]
+        fn mixed_params(seed: u64, flag: bool, small in 1u8..9, big in 1u64..u64::MAX) {
+            let _ = (seed, flag);
+            prop_assert!((1..9).contains(&small));
+            prop_assert!(big >= 1);
+        }
+
+        /// Collection strategies respect their size ranges.
+        #[test]
+        fn collections(v in prop::collection::vec(0u64..100, 2..10),
+                       s in prop::collection::hash_set(0u64..1_000_000, 1..8),
+                       m in prop::collection::btree_map(0u64..1_000_000, 0u64..10, 1..8)) {
+            prop_assert!((2..10).contains(&v.len()));
+            prop_assert!(!s.is_empty() && s.len() < 8);
+            prop_assert!(!m.is_empty() && m.len() < 8);
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        /// Tuple strategies and `prop::bool::ANY` compose.
+        #[test]
+        fn tuples(ops in prop::collection::vec((0u64..64, 0u64..1000, prop::bool::ANY), 1..50)) {
+            for (a, b, _flag) in ops {
+                prop_assert!(a < 64 && b < 1000);
+            }
+        }
+
+        /// f64 ranges stay in range.
+        #[test]
+        fn floats(theta in 0.01f64..0.999) {
+            prop_assert!((0.01..0.999).contains(&theta));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::{fnv1a, TestRng};
+        let seed = fnv1a("some_property");
+        let a: Vec<u64> =
+            (0..5).map(|c| (0u64..1000).generate(&mut TestRng::for_case(seed, c))).collect();
+        let b: Vec<u64> =
+            (0..5).map(|c| (0u64..1000).generate(&mut TestRng::for_case(seed, c))).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,78 @@
+//! Offline stand-in for the `rand` crate (see `third_party/README.md`).
+//!
+//! Provides exactly the subset `hwdp-sim` implements against: the
+//! [`RngCore`] trait and its [`Error`] type, signature-compatible with
+//! `rand` 0.8 so the gated code compiles against either this stand-in or
+//! the real crate.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// Error type for fallible RNG operations (never produced by `hwdp-sim`'s
+/// deterministic generator, but required by the trait signature).
+#[derive(Debug)]
+pub struct Error {
+    msg: &'static str,
+}
+
+impl Error {
+    /// Creates an error with a static message.
+    pub fn new(msg: &'static str) -> Self {
+        Error { msg }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rng error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core random-number-generator trait of `rand` 0.8.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible variant of [`RngCore::fill_bytes`].
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 += 1;
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for b in dest {
+                *b = self.next_u64() as u8;
+            }
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe_and_usable() {
+        let mut c: Box<dyn RngCore> = Box::new(Counter(0));
+        assert_eq!(c.next_u64(), 1);
+        let mut buf = [0u8; 3];
+        c.try_fill_bytes(&mut buf).unwrap();
+        assert_eq!(buf, [2, 3, 4]);
+        assert!(format!("{}", Error::new("x")).contains("x"));
+    }
+}
