@@ -31,6 +31,7 @@ pub const FIG13_SCENARIOS: [Scenario; 8] = [
 /// Worker-pool size for figure campaigns: the machine's parallelism,
 /// capped — figure jobs are short, and results don't depend on this.
 pub fn default_workers() -> usize {
+    // hwdp-lint: allow(det-thread): pool sizing only; artifacts are byte-identical for any worker count
     std::thread::available_parallelism().map_or(1, |n| n.get().min(8))
 }
 

@@ -42,6 +42,7 @@ COMMANDS:
   anatomy   closed-form single-miss latency breakdowns (Figs. 3/11/17)
   sweep     run a scenario x config campaign and write BENCH_<name>.json
   compare   gate a result artifact against a stored baseline
+  lint      determinism & panic-policy static analysis over the workspace
   config    print the Table II system configuration
   help      this text
 
@@ -69,12 +70,20 @@ SWEEP OPTIONS (axes are comma-separated lists; cross product = campaign):
   --workers N                executor threads       (default 4)
   --out DIR                  artifact directory     (default .)
   --fixed-seed               every job uses the campaign seed itself
+  --resume                   reuse completed jobs from an existing artifact
   --baseline FILE            also gate the fresh artifact against FILE
 
 COMPARE OPTIONS:
   --baseline FILE            stored BENCH_*.json to gate against (required)
   --current FILE             freshly produced artifact (required)
   --threshold PCT            max tolerated regression (default 5)
+
+LINT OPTIONS:
+  --deny                     exit nonzero on any unsuppressed finding (CI)
+  --json                     machine-readable report on stdout
+  --rules                    print the rule table and exit
+  --root DIR                 workspace root (default: discovered upward)
+  --write-baseline           rewrite baselines/LINT_allow.txt from findings
 ";
 
 fn main() -> ExitCode {
@@ -104,6 +113,7 @@ fn run(raw: Vec<String>) -> Result<ExitCode, ArgError> {
         "anon" => anon(&args)?,
         "sweep" => return sweep(&args),
         "compare" => return compare_cmd(&args),
+        "lint" => return lint_cmd(&args),
         other => return Err(ArgError(format!("unknown command '{other}'"))),
     }
     Ok(ExitCode::SUCCESS)
@@ -186,9 +196,27 @@ fn sweep(args: &Args) -> Result<ExitCode, ArgError> {
     let campaign = sweep_campaign(args)?;
     let workers = args.num("workers", 4)? as usize;
     eprintln!("campaign '{}': {} job(s) on {} worker(s)", campaign.name, campaign.jobs.len(), workers);
-    let mut progress = harness::progress::Stderr::new(campaign.jobs.len());
-    let artifact = harness::execute_campaign(&campaign, workers, &mut progress);
     let dir = std::path::Path::new(args.get("out").unwrap_or("."));
+    // --resume reuses completed jobs from an existing artifact at the
+    // output path; a half-written campaign finishes with only the missing
+    // or failed jobs rerun.
+    let prior = if args.flag("resume") {
+        let prior_path = dir.join(format!("BENCH_{}.json", campaign.name));
+        match std::fs::read_to_string(&prior_path) {
+            Ok(text) => {
+                let a = harness::Artifact::parse(&text)
+                    .map_err(|e| ArgError(format!("--resume: {}: {e}", prior_path.display())))?;
+                eprintln!("resuming from {}", prior_path.display());
+                Some(a)
+            }
+            Err(_) => None, // nothing to resume from; run everything
+        }
+    } else {
+        None
+    };
+    let mut progress = harness::progress::Stderr::new(campaign.jobs.len());
+    let artifact =
+        harness::execute_campaign_resume(&campaign, prior.as_ref(), workers, &mut progress);
     std::fs::create_dir_all(dir)
         .map_err(|e| ArgError(format!("cannot create {}: {e}", dir.display())))?;
     let path = dir.join(artifact.file_name());
@@ -232,6 +260,79 @@ fn gate(baseline_path: &str, current: &harness::Artifact, args: &Args) -> Result
     let report = harness::compare::compare(&baseline, current, &thresholds);
     print!("{}", report.render());
     Ok(if report.passed() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+}
+
+/// `hwdp lint [--json] [--deny] [--rules] [--root DIR] [--write-baseline]`.
+fn lint_cmd(args: &Args) -> Result<ExitCode, ArgError> {
+    if args.flag("rules") {
+        println!("{:<20} {:<34} {}", "RULE", "SCOPE", "GUARDS AGAINST");
+        for r in &hwdp_lint::rules::RULES {
+            println!("{:<20} {:<34} {}", r.id, r.scope, r.summary);
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+    let root = match args.get("root") {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => {
+            let cwd = std::env::current_dir()
+                .map_err(|e| ArgError(format!("cannot determine working directory: {e}")))?;
+            hwdp_lint::find_workspace_root(&cwd).ok_or_else(|| {
+                ArgError("no workspace root found upward of here; pass --root DIR".into())
+            })?
+        }
+    };
+    let report = hwdp_lint::lint_workspace(&root)
+        .map_err(|e| ArgError(format!("lint failed under {}: {e}", root.display())))?;
+
+    if args.flag("write-baseline") {
+        let path = hwdp_lint::baseline_path(&root);
+        std::fs::write(&path, hwdp_lint::baseline::render(&report.findings))
+            .map_err(|e| ArgError(format!("cannot write {}: {e}", path.display())))?;
+        println!(
+            "wrote {} ({} finding(s) grandfathered)",
+            path.display(),
+            report.findings.len()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let baseline_file = hwdp_lint::baseline_path(&root);
+    let entries = match std::fs::read_to_string(&baseline_file) {
+        Ok(text) => hwdp_lint::baseline::parse(&text)
+            .map_err(|e| ArgError(format!("{}: {e}", baseline_file.display())))?,
+        Err(_) => Vec::new(),
+    };
+    let outcome = hwdp_lint::baseline::apply(report.findings.clone(), &entries);
+
+    if args.flag("json") {
+        let stripped = hwdp_lint::Report {
+            findings: outcome.remaining.clone(),
+            inline_suppressed: report.inline_suppressed,
+            files_scanned: report.files_scanned,
+        };
+        print!("{}", stripped.to_json(outcome.grandfathered, outcome.stale.len()).pretty());
+    } else {
+        for f in &outcome.remaining {
+            println!("{}", f.render());
+        }
+        for (entry, actual) in &outcome.stale {
+            eprintln!(
+                "note: stale baseline budget '{} {} {}' (now {actual}); tighten it or run --write-baseline",
+                entry.count, entry.rule, entry.path
+            );
+        }
+        eprintln!(
+            "lint: {} file(s), {} finding(s), {} inline-suppressed, {} grandfathered",
+            report.files_scanned,
+            outcome.remaining.len(),
+            report.inline_suppressed,
+            outcome.grandfathered
+        );
+    }
+    if args.flag("deny") && !outcome.remaining.is_empty() {
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn builder(args: &Args) -> Result<(SystemBuilder, usize, u64, u64), ArgError> {

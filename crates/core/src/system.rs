@@ -10,7 +10,7 @@
 //! completions and kernel-thread ticks are events on one deterministic
 //! queue.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use hwdp_cpu::perf::PerfCounters;
 use hwdp_cpu::pollution::Pollution;
@@ -131,15 +131,15 @@ pub struct System {
     pub os: Os,
     smu: Smu,
     devices: Vec<NvmeController>,
-    device_index: HashMap<(u8, u8), usize>,
+    device_index: BTreeMap<(u8, u8), usize>,
     /// OS driver queue per device (index-aligned with `devices`).
     os_queues: Vec<QueueId>,
     threads: Vec<Thread>,
     hw: Vec<HwThread>,
     runqueue: VecDeque<ThreadId>,
-    region_map: HashMap<RegionId, VmaId>,
+    region_map: BTreeMap<RegionId, VmaId>,
     next_region: u32,
-    osdp_inflight: HashMap<(u32, u64), OsdpPending>,
+    osdp_inflight: BTreeMap<(u32, u64), OsdpPending>,
     pending_misses: VecDeque<(ThreadId, Vpn)>,
     rng: Prng,
     wb_cid: u16,
@@ -211,14 +211,14 @@ impl System {
             os,
             smu,
             devices: vec![dev],
-            device_index: HashMap::from([((0u8, 0u8), 0usize)]),
+            device_index: BTreeMap::from([((0u8, 0u8), 0usize)]),
             os_queues: vec![os_q],
             threads: Vec::new(),
             hw,
             runqueue: VecDeque::new(),
-            region_map: HashMap::new(),
+            region_map: BTreeMap::new(),
             next_region: 0,
-            osdp_inflight: HashMap::new(),
+            osdp_inflight: BTreeMap::new(),
             pending_misses: VecDeque::new(),
             rng,
             wb_cid: 0,

@@ -43,6 +43,79 @@ pub fn execute(
     execute_with(campaign, workers, progress, run_job)
 }
 
+/// Like [`execute_campaign`], but reuses successful records from `prior`
+/// — the machinery behind `hwdp sweep --resume`. A record is reused only
+/// when the campaign name and master seed match and the record at the
+/// same index has an equal [`JobSpec`] and completed without failing;
+/// everything else (missing, failed, or spec-mismatched jobs) reruns.
+/// Because job metrics are pure functions of the spec, the merged
+/// artifact is canonically identical to a from-scratch run.
+pub fn execute_campaign_resume(
+    campaign: &Campaign,
+    prior: Option<&Artifact>,
+    workers: usize,
+    progress: &mut dyn Progress,
+) -> Artifact {
+    execute_resume_with(campaign, prior, workers, progress, run_job)
+}
+
+/// [`execute_campaign_resume`] with a custom job function (test hook).
+pub fn execute_resume_with(
+    campaign: &Campaign,
+    prior: Option<&Artifact>,
+    workers: usize,
+    progress: &mut dyn Progress,
+    job_fn: impl Fn(&JobSpec) -> Vec<(String, f64)> + Sync,
+) -> Artifact {
+    let prior = prior.filter(|a| a.campaign == campaign.name && a.seed == campaign.seed);
+    let reused: Vec<Option<JobRecord>> = campaign
+        .jobs
+        .iter()
+        .enumerate()
+        .map(|(index, spec)| {
+            let record = prior?
+                .jobs
+                .iter()
+                .find(|r| r.index == index && r.spec == *spec && r.is_ok())?;
+            progress.job_skipped(index, spec);
+            Some(record.clone())
+        })
+        .collect();
+
+    let pending = Campaign {
+        name: campaign.name.clone(),
+        seed: campaign.seed,
+        jobs: campaign
+            .jobs
+            .iter()
+            .zip(&reused)
+            .filter(|(_, r)| r.is_none())
+            .map(|(spec, _)| *spec)
+            .collect(),
+    };
+    let mut fresh = execute_with(&pending, workers, progress, job_fn).into_iter();
+
+    let jobs = campaign
+        .jobs
+        .iter()
+        .zip(reused)
+        .enumerate()
+        .map(|(index, (spec, record))| match record {
+            Some(r) => r,
+            None => {
+                // hwdp-lint: allow(panic-expect): pending holds exactly the jobs with no reused record
+                let (outcome, wall_ms) = fresh.next().expect("one fresh result per pending job");
+                let (status, metrics) = match outcome {
+                    JobOutcome::Ok(m) => (JobStatus::Ok, m),
+                    JobOutcome::Panicked(msg) => (JobStatus::Failed(msg), Vec::new()),
+                };
+                JobRecord { index, spec: *spec, status, metrics, wall_ms }
+            }
+        })
+        .collect();
+    Artifact { campaign: campaign.name.clone(), seed: campaign.seed, jobs }
+}
+
 /// [`execute`] with a custom job function — the panic-isolation and
 /// ordering machinery under test-controlled workloads.
 pub fn execute_with(
@@ -63,7 +136,10 @@ pub fn execute_with(
             scope.spawn(|| loop {
                 let index = next.fetch_add(1, Ordering::Relaxed);
                 let Some(spec) = jobs.get(index) else { break };
-                shared.lock().unwrap().1.job_started(index, spec);
+                // A poisoned lock means a progress callback panicked in
+                // another worker; the slots themselves are still sound,
+                // so recover and keep draining the queue.
+                shared.lock().unwrap_or_else(|p| p.into_inner()).1.job_started(index, spec);
                 let start = Instant::now();
                 let outcome = match catch_unwind(AssertUnwindSafe(|| job_fn(spec))) {
                     Ok(metrics) => JobOutcome::Ok(metrics),
@@ -71,14 +147,15 @@ pub fn execute_with(
                 };
                 let wall_ms = start.elapsed().as_secs_f64() * 1e3;
                 let ok = matches!(outcome, JobOutcome::Ok(_));
-                let mut guard = shared.lock().unwrap();
+                let mut guard = shared.lock().unwrap_or_else(|p| p.into_inner());
                 guard.0[index] = Some((outcome, wall_ms));
                 guard.1.job_finished(index, spec, ok, wall_ms);
             });
         }
     });
 
-    let (slots, _) = shared.into_inner().unwrap();
+    let (slots, _) = shared.into_inner().unwrap_or_else(|p| p.into_inner());
+    // hwdp-lint: allow(panic-expect): the atomic counter hands every index to exactly one worker
     slots.into_iter().map(|s| s.expect("every job index was claimed")).collect()
 }
 
@@ -178,6 +255,69 @@ mod tests {
         assert_eq!(progress.started, 6);
         assert_eq!(progress.finished, 6);
         assert_eq!(progress.failed, 0);
+    }
+
+    #[test]
+    fn resume_completes_half_artifact_identically() {
+        let campaign = fake_campaign(8);
+        let full = Artifact::from_outcomes(
+            &campaign,
+            &execute_with(&campaign, 2, &mut Counting::default(), spec_metric),
+        );
+        // A half-written artifact: the first three records only.
+        let partial = Artifact {
+            campaign: full.campaign.clone(),
+            seed: full.seed,
+            jobs: full.jobs[..3].to_vec(),
+        };
+        let mut progress = Counting::default();
+        let resumed =
+            execute_resume_with(&campaign, Some(&partial), 2, &mut progress, spec_metric);
+        assert_eq!(progress.skipped, 3, "the three stored jobs are reused");
+        assert_eq!(progress.started, 5, "only the missing five run");
+        assert_eq!(
+            resumed.canonical_string(),
+            full.canonical_string(),
+            "resumed artifact is canonically identical to a from-scratch run"
+        );
+    }
+
+    #[test]
+    fn resume_reruns_failed_and_mismatched_records() {
+        let campaign = fake_campaign(4);
+        let full = Artifact::from_outcomes(
+            &campaign,
+            &execute_with(&campaign, 1, &mut Counting::default(), spec_metric),
+        );
+        let mut prior = full.clone();
+        // Record 1 failed last time; record 2 was produced by a different
+        // spec (e.g. the grid changed between runs). Neither may be reused.
+        prior.jobs[1].status = JobStatus::Failed("earlier crash".into());
+        prior.jobs[2].spec.ratio += 1.0;
+        let mut progress = Counting::default();
+        let resumed = execute_resume_with(&campaign, Some(&prior), 1, &mut progress, spec_metric);
+        assert_eq!(progress.skipped, 2, "only records 0 and 3 are reused");
+        assert_eq!(progress.started, 2);
+        assert_eq!(resumed.canonical_string(), full.canonical_string());
+    }
+
+    #[test]
+    fn resume_ignores_prior_from_different_campaign_or_seed() {
+        let campaign = fake_campaign(3);
+        let full = Artifact::from_outcomes(
+            &campaign,
+            &execute_with(&campaign, 1, &mut Counting::default(), spec_metric),
+        );
+        let mut renamed = full.clone();
+        renamed.campaign = "other".into();
+        let mut reseeded = full.clone();
+        reseeded.seed ^= 1;
+        for prior in [renamed, reseeded] {
+            let mut progress = Counting::default();
+            execute_resume_with(&campaign, Some(&prior), 1, &mut progress, spec_metric);
+            assert_eq!(progress.skipped, 0, "foreign artifacts are never reused");
+            assert_eq!(progress.started, 3);
+        }
     }
 
     #[test]

@@ -333,7 +333,9 @@ impl<'a> Parser<'a> {
                     let rest = &self.bytes[self.pos..];
                     let text = std::str::from_utf8(rest)
                         .map_err(|_| self.err("invalid UTF-8 in string"))?;
-                    let c = text.chars().next().unwrap();
+                    let Some(c) = text.chars().next() else {
+                        return Err(self.err("empty UTF-8 tail in string"));
+                    };
                     s.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -349,7 +351,10 @@ impl<'a> Parser<'a> {
         while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| ParseError {
+            offset: start,
+            message: "non-ASCII bytes in number".to_string(),
+        })?;
         text.parse::<f64>()
             .map(Json::Num)
             .map_err(|_| ParseError { offset: start, message: format!("invalid number '{text}'") })
@@ -436,5 +441,78 @@ mod tests {
         let v = Json::parse("{\"x\": 1.5e3, \"s\": \"\\u0041\"}").unwrap();
         assert_eq!(v.get("x").and_then(Json::as_f64), Some(1500.0));
         assert_eq!(v.get("s").and_then(Json::as_str), Some("A"));
+    }
+
+    #[test]
+    fn every_control_char_round_trips() {
+        // All 32 C0 controls plus DEL must escape on write and parse back.
+        let s: String = (0u8..32).chain([0x7F]).map(|b| b as char).collect();
+        let v = Json::str(s);
+        assert_eq!(Json::parse(&v.pretty()).unwrap(), v);
+    }
+
+    #[test]
+    fn multibyte_and_astral_strings_round_trip() {
+        for s in ["π ≈ 3", "日本語", "🚀 \u{10FFFF}", "mixed → 🚀\n日本"] {
+            let v = Json::str(s);
+            assert_eq!(Json::parse(&v.pretty()).unwrap(), v, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_as_null() {
+        for n in [f64::INFINITY, f64::NEG_INFINITY, f64::NAN] {
+            let text = Json::Arr(vec![Json::Num(n)]).pretty();
+            assert_eq!(
+                Json::parse(&text).unwrap().as_arr().unwrap()[0],
+                Json::Null,
+                "{n} must not leak into an artifact"
+            );
+        }
+    }
+
+    #[test]
+    fn negative_zero_and_subnormals_round_trip() {
+        for n in [-0.0, f64::MIN_POSITIVE, 5e-324, -1.5e308] {
+            let text = Json::Arr(vec![Json::Num(n)]).pretty();
+            let back = Json::parse(&text).unwrap().as_arr().unwrap()[0].as_f64().unwrap();
+            assert_eq!(back, n, "{n:e}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_round_trips() {
+        // 300 levels of arrays with one object at the core — recursion
+        // depth the harness itself never produces, but the parser must
+        // not mangle (campaign artifacts are hand-inspected and edited).
+        let mut v = Json::obj([("core", Json::Bool(true))]);
+        for _ in 0..300 {
+            v = Json::Arr(vec![v]);
+        }
+        let text = v.pretty();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back, v);
+        let mut probe = &back;
+        for _ in 0..300 {
+            probe = &probe.as_arr().unwrap()[0];
+        }
+        assert_eq!(probe.get("core"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn escape_sequences_parse_to_exact_chars() {
+        let v = Json::parse("\"\\b\\f\\n\\r\\t\\\\\\\"\\/\"").unwrap();
+        assert_eq!(v.as_str(), Some("\u{8}\u{c}\n\r\t\\\"/"));
+    }
+
+    #[test]
+    fn rejects_truncated_escapes_and_bad_unicode() {
+        for bad in ["\"\\", "\"\\u00", "\"\\uZZZZ\"", "\"abc", "[\"\\uD800\"]"] {
+            // A lone surrogate is the one case parsers disagree on; ours
+            // must at minimum not panic. The rest are hard errors.
+            let _ = Json::parse(bad);
+        }
+        assert!(Json::parse("\"\\u12\"").is_err(), "short unicode escape");
+        assert!(Json::parse("\"\\x41\"").is_err(), "unknown escape letter");
     }
 }

@@ -55,7 +55,7 @@ pub mod spec;
 
 pub use artifact::{Artifact, JobRecord, JobStatus};
 pub use compare::{CompareReport, Thresholds};
-pub use executor::{execute, execute_campaign, JobOutcome};
+pub use executor::{execute, execute_campaign, execute_campaign_resume, JobOutcome};
 pub use json::Json;
 pub use progress::Progress;
 pub use seed::job_seed;

@@ -9,6 +9,9 @@ pub trait Progress: Send {
     fn job_started(&mut self, index: usize, spec: &JobSpec);
     /// Job `index` finished (`ok == false` means it panicked).
     fn job_finished(&mut self, index: usize, spec: &JobSpec, ok: bool, wall_ms: f64);
+    /// Job `index` was reused from a prior artifact (`--resume`) and will
+    /// not run.
+    fn job_skipped(&mut self, _index: usize, _spec: &JobSpec) {}
 }
 
 /// Discards all events.
@@ -47,6 +50,11 @@ impl Progress for Stderr {
             status,
         );
     }
+
+    fn job_skipped(&mut self, _index: usize, spec: &JobSpec) {
+        self.done += 1;
+        eprintln!("[{}/{}] {} reused from prior artifact", self.done, self.total, spec.label());
+    }
 }
 
 /// Counts events; used by tests.
@@ -58,6 +66,8 @@ pub struct Counting {
     pub finished: usize,
     /// Finished events reporting failure.
     pub failed: usize,
+    /// Jobs reused from a prior artifact.
+    pub skipped: usize,
 }
 
 impl Progress for Counting {
@@ -70,5 +80,9 @@ impl Progress for Counting {
         if !ok {
             self.failed += 1;
         }
+    }
+
+    fn job_skipped(&mut self, _index: usize, _spec: &JobSpec) {
+        self.skipped += 1;
     }
 }

@@ -1,0 +1,58 @@
+//! Pins the committed seed baseline: re-running the `scripts/ci.sh` smoke
+//! campaign in-process must reproduce `baselines/BENCH_seed.json` exactly
+//! (canonically — wall times zeroed, everything else byte-for-byte).
+//!
+//! This is the guard behind the BTreeMap conversions in the simulation
+//! state: a container whose iteration order leaks into metrics, or any
+//! other source of nondeterminism, shows up here as a diff against the
+//! committed artifact rather than as a flaky 5 %-gate failure later.
+
+use std::path::Path;
+
+use hwdp_harness::progress::Counting;
+use hwdp_harness::{execute_campaign, Artifact, Grid, Scenario};
+
+fn seed_campaign() -> hwdp_harness::Campaign {
+    // Mirrors scripts/ci.sh exactly: --scenarios fio,ycsb-c --modes
+    // osdp,hwdp --threads-list 1,2 --ratios 2,4 --memory 256 --ops 150
+    // --seed 42 (16 jobs).
+    let scenarios: Vec<Scenario> =
+        ["fio", "ycsb-c"].iter().map(|s| Scenario::parse(s).expect("known scenario")).collect();
+    Grid::new("seed", 42)
+        .scenarios(scenarios)
+        .modes([hwdp_core::Mode::Osdp, hwdp_core::Mode::Hwdp])
+        .threads([1, 2])
+        .ratios([2.0, 4.0])
+        .memory_frames(256)
+        .ops(150)
+        .expand()
+}
+
+#[test]
+fn seed_campaign_reproduces_committed_baseline() {
+    let baseline_path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../../baselines/BENCH_seed.json");
+    let text = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", baseline_path.display()));
+    let baseline = Artifact::parse(&text).expect("committed baseline parses");
+
+    let campaign = seed_campaign();
+    assert_eq!(campaign.jobs.len(), 16, "the smoke campaign is 16 jobs");
+    let fresh = execute_campaign(&campaign, 4, &mut Counting::default());
+
+    assert_eq!(
+        fresh.canonical_string(),
+        baseline.canonical_string(),
+        "seed campaign drifted from baselines/BENCH_seed.json; if the \
+         change in simulated behaviour is intentional, refresh it with \
+         scripts/ci.sh --refresh"
+    );
+}
+
+#[test]
+fn seed_campaign_is_worker_count_invariant() {
+    let campaign = seed_campaign();
+    let one = execute_campaign(&campaign, 1, &mut Counting::default());
+    let four = execute_campaign(&campaign, 4, &mut Counting::default());
+    assert_eq!(one.canonical_string(), four.canonical_string());
+}

@@ -1,0 +1,456 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! The lint rules operate on a token stream, never on raw text, so a
+//! `HashMap` mentioned in a doc comment or a `panic!` spelled inside a
+//! string literal can never trigger a diagnostic. The lexer therefore has
+//! to get exactly four things right that a regex cannot:
+//!
+//! * line (`//`, `///`, `//!`) and nested block (`/* /* */ */`) comments,
+//! * plain, raw (`r"…"`, `r#"…"#`), byte, and byte-raw string literals,
+//! * char literals vs. lifetimes (`'a'` vs. `'a`),
+//! * raw identifiers (`r#match`) vs. raw strings (`r#"…"#`).
+//!
+//! Everything else — numbers, identifiers, punctuation — only needs to be
+//! segmented well enough that rule patterns can match token sequences.
+
+/// What a token is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers, without `r#`).
+    Ident,
+    /// String literal of any flavour; `text` holds the *contents* (no
+    /// quotes, raw-string hashes stripped, escapes left as written).
+    Str,
+    /// Char or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// A lifetime (`'a`, `'static`), without the quote.
+    Lifetime,
+    /// Numeric literal.
+    Num,
+    /// A single punctuation byte (`:`, `!`, `.`, `{`, …).
+    Punct,
+    /// Line or block comment, `text` includes the delimiters.
+    Comment,
+}
+
+/// One lexed token with its source position (1-based line and column).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokKind,
+    /// Token text (see [`TokKind`] for per-kind conventions).
+    pub text: String,
+    /// 1-based source line of the token's first byte.
+    pub line: u32,
+    /// 1-based column (in bytes) of the token's first byte.
+    pub col: u32,
+}
+
+impl Token {
+    /// `true` when this is punctuation equal to `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// `true` when this is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+}
+
+/// Lexes a full Rust source file into tokens (comments included).
+///
+/// The lexer is intentionally forgiving: it never fails. Unterminated
+/// constructs simply extend to end-of-file, which is good enough for a
+/// linter whose inputs are files `rustc` already accepts.
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer { src: source.as_bytes(), pos: 0, line: 1, col: 1 }.run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    /// Advances one byte, maintaining line/col.
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        let mut out = Vec::new();
+        while let Some(b) = self.peek() {
+            let (line, col) = (self.line, self.col);
+            let start = self.pos;
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek_at(1) == Some(b'/') => {
+                    while self.peek().is_some_and(|b| b != b'\n') {
+                        self.bump();
+                    }
+                    out.push(self.token(TokKind::Comment, start, line, col));
+                }
+                b'/' if self.peek_at(1) == Some(b'*') => {
+                    self.block_comment();
+                    out.push(self.token(TokKind::Comment, start, line, col));
+                }
+                b'"' => {
+                    self.bump();
+                    let text = self.quoted_string();
+                    out.push(Token { kind: TokKind::Str, text, line, col });
+                }
+                b'\'' => {
+                    let tok = self.char_or_lifetime(line, col);
+                    out.push(tok);
+                }
+                b'r' | b'b' => {
+                    if let Some(tok) = self.raw_or_byte_prefixed(line, col) {
+                        out.push(tok);
+                    } else {
+                        out.push(self.ident(line, col));
+                    }
+                }
+                b if b.is_ascii_digit() => {
+                    // Numbers, loosely: digits plus any alnum/underscore/dot
+                    // tail covers ints, floats, suffixes, and hex/oct/bin.
+                    while self
+                        .peek()
+                        .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'.')
+                    {
+                        // `1..=n` range: stop before `..`.
+                        if self.peek() == Some(b'.') && self.peek_at(1) == Some(b'.') {
+                            break;
+                        }
+                        self.bump();
+                    }
+                    out.push(self.token(TokKind::Num, start, line, col));
+                }
+                b if b.is_ascii_alphabetic() || b == b'_' || b >= 0x80 => {
+                    out.push(self.ident(line, col));
+                }
+                _ => {
+                    self.bump();
+                    out.push(self.token(TokKind::Punct, start, line, col));
+                }
+            }
+        }
+        out
+    }
+
+    fn token(&self, kind: TokKind, start: usize, line: u32, col: u32) -> Token {
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        Token { kind, text, line, col }
+    }
+
+    fn ident(&mut self, line: u32, col: u32) -> Token {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80)
+        {
+            self.bump();
+        }
+        self.token(TokKind::Ident, start, line, col)
+    }
+
+    /// Consumes `/* … */` honouring nesting; the opening `/*` is at `pos`.
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump();
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(), self.peek_at(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    /// Consumes the body of a `"…"` string (opening quote already eaten);
+    /// returns the contents with escapes left as written.
+    fn quoted_string(&mut self) -> String {
+        let start = self.pos;
+        loop {
+            match self.peek() {
+                None | Some(b'"') => break,
+                Some(b'\\') => {
+                    self.bump();
+                    self.bump();
+                }
+                Some(_) => {
+                    self.bump();
+                }
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.bump(); // closing quote
+        text
+    }
+
+    /// Disambiguates `'a'` / `'\n'` (char literals) from `'a` / `'static`
+    /// (lifetimes). A quote followed by an escape is always a char; a
+    /// quote followed by one scalar and a closing quote is a char;
+    /// otherwise it is a lifetime.
+    fn char_or_lifetime(&mut self, line: u32, col: u32) -> Token {
+        let start = self.pos;
+        self.bump(); // opening '
+        if self.peek() == Some(b'\\') {
+            self.bump();
+            self.bump();
+            self.bump(); // closing '
+            return self.token(TokKind::Char, start, line, col);
+        }
+        // Look ahead for the closing quote after exactly one UTF-8 scalar.
+        let first_len = match self.peek() {
+            Some(b) if b < 0x80 => 1,
+            Some(b) if b >= 0xF0 => 4,
+            Some(b) if b >= 0xE0 => 3,
+            Some(_) => 2,
+            None => return self.token(TokKind::Char, start, line, col),
+        };
+        if self.peek_at(first_len) == Some(b'\'') {
+            for _ in 0..=first_len {
+                self.bump();
+            }
+            return self.token(TokKind::Char, start, line, col);
+        }
+        // Lifetime: consume the identifier tail.
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+        {
+            self.bump();
+        }
+        self.token(TokKind::Lifetime, start, line, col)
+    }
+
+    /// Handles the `r` / `b` prefixed literal family: `r"…"`, `r#"…"#`,
+    /// `b"…"`, `br#"…"#`, `b'…'`, and raw identifiers `r#ident`. Returns
+    /// `None` when the `r`/`b` starts a plain identifier.
+    fn raw_or_byte_prefixed(&mut self, line: u32, col: u32) -> Option<Token> {
+        let b0 = self.peek()?;
+        let mut off = 1;
+        if b0 == b'b' && matches!(self.peek_at(off), Some(b'r')) {
+            off += 1;
+        }
+        let raw = b0 == b'r' || off == 2;
+        if raw {
+            // Count hashes after the (b)r prefix.
+            let mut hashes = 0;
+            while self.peek_at(off + hashes) == Some(b'#') {
+                hashes += 1;
+            }
+            if self.peek_at(off + hashes) == Some(b'"') {
+                for _ in 0..off + hashes + 1 {
+                    self.bump();
+                }
+                return Some(self.raw_string_body(hashes, line, col));
+            }
+            if b0 == b'r' && hashes > 0 {
+                // Raw identifier `r#ident`: skip the prefix, lex the ident.
+                self.bump();
+                self.bump();
+                return Some(self.ident(line, col));
+            }
+            return None;
+        }
+        // b"…" byte string or b'…' byte char.
+        match self.peek_at(1) {
+            Some(b'"') => {
+                self.bump();
+                self.bump();
+                let text = self.quoted_string();
+                Some(Token { kind: TokKind::Str, text, line, col })
+            }
+            Some(b'\'') => {
+                self.bump();
+                Some(self.char_or_lifetime(line, col))
+            }
+            _ => None,
+        }
+    }
+
+    /// Body of a raw string opened with `hashes` hashes; quotes eaten.
+    fn raw_string_body(&mut self, hashes: usize, line: u32, col: u32) -> Token {
+        let start = self.pos;
+        let end;
+        loop {
+            match self.peek() {
+                None => {
+                    end = self.pos;
+                    break;
+                }
+                Some(b'"') => {
+                    let closes = (0..hashes).all(|i| self.peek_at(1 + i) == Some(b'#'));
+                    if closes {
+                        end = self.pos;
+                        for _ in 0..=hashes {
+                            self.bump();
+                        }
+                        break;
+                    }
+                    self.bump();
+                }
+                Some(_) => {
+                    self.bump();
+                }
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..end]).into_owned();
+        Token { kind: TokKind::Str, text, line, col }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn identifiers_and_punctuation() {
+        let toks = kinds("use std::collections::HashMap;");
+        assert_eq!(toks[0], (TokKind::Ident, "use".into()));
+        assert_eq!(toks[1], (TokKind::Ident, "std".into()));
+        assert_eq!(toks[2], (TokKind::Punct, ":".into()));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "HashMap"));
+    }
+
+    #[test]
+    fn line_and_block_comments_are_single_tokens() {
+        let toks = kinds("a // HashMap in comment\nb /* unwrap() */ c");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, vec!["a", "b", "c"]);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Comment).count(), 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("x /* outer /* inner */ still */ y");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn strings_swallow_their_contents() {
+        let toks = kinds(r#"let s = "HashMap::unwrap() { } \" quote";"#);
+        assert!(!toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "HashMap"));
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Str)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(strs, vec![r#"HashMap::unwrap() { } \" quote"#]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r###"let s = r#"a "quoted" panic!"#;"###);
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Str)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(strs, vec![r#"a "quoted" panic!"#]);
+        assert!(!toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "panic"));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = kinds(r#"let x = b"unwrap()"; let c = b'\n';"#);
+        assert!(!toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "unwrap"));
+        assert!(toks.iter().any(|(k, _)| *k == TokKind::Char));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> &'static str { 'y' ; x }");
+        let lifetimes: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a", "'static"]);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let toks = kinds(r"let a = '\''; let b = '\\'; let c = '\n';");
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 3);
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "type"));
+    }
+
+    #[test]
+    fn line_and_column_tracking() {
+        let toks = lex("ab\n  cd");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn numbers_including_ranges() {
+        let toks = kinds("0..=15 1_000 0xFF 2.5e3");
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Num)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(nums, vec!["0", "15", "1_000", "0xFF", "2.5e3"]);
+    }
+
+    #[test]
+    fn identifier_prefixed_with_r_or_b_is_plain() {
+        let toks = kinds("ratio bytes rb br");
+        assert!(toks.iter().all(|(k, _)| *k == TokKind::Ident));
+        assert_eq!(toks.len(), 4);
+    }
+}

@@ -1,0 +1,257 @@
+//! # hwdp-lint — determinism & panic-policy static analysis
+//!
+//! The whole value of this reproduction rests on the simulator being
+//! deterministic: `hwdp-harness` derives per-job SplitMix64 seeds and
+//! promises byte-identical `BENCH_*.json` artifacts for any worker count.
+//! That promise dies silently the moment simulation state iterates a
+//! `HashMap`, reads a wall clock, or spawns a thread — and a stray
+//! `unwrap()` turns a recoverable job error into a campaign abort.
+//!
+//! This crate enforces those invariants mechanically, with zero external
+//! dependencies, the way gem5's style checker gates its tree:
+//!
+//! * [`lexer`] — a small hand-rolled Rust lexer (comments, strings,
+//!   lifetimes, raw identifiers) so rules never fire inside literals or
+//!   doc comments.
+//! * [`rules`] — the rule set with per-crate scoping: determinism rules
+//!   for the sim-path crates, panic-policy for all library code, hygiene
+//!   rules everywhere. Inline
+//!   `// hwdp-lint: allow(rule-id): justification` comments suppress a
+//!   finding with an attached reason.
+//! * [`baseline`] — `baselines/LINT_allow.txt` budgets that grandfather
+//!   violations we deliberately keep, per `(rule, file)`.
+//!
+//! The CLI front end is `hwdp lint [--json] [--deny]`; CI runs it with
+//! `--deny` between build and tests (`scripts/ci.sh`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+
+use std::path::{Path, PathBuf};
+
+use hwdp_harness::Json;
+use rules::{FileContext, Finding};
+
+/// A lint run's aggregate result, before baseline application.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings surviving inline `allow(...)` suppression, sorted by
+    /// `(file, line, col)`.
+    pub findings: Vec<Finding>,
+    /// Findings silenced by justified inline allows.
+    pub inline_suppressed: usize,
+    /// Source files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Serializes to the machine-readable report consumed by CI tooling,
+    /// through the same dependency-free JSON writer that produces
+    /// `BENCH_*.json` (insertion-ordered keys, byte-stable output).
+    pub fn to_json(&self, grandfathered: usize, stale: usize) -> Json {
+        Json::obj([
+            ("schema", Json::Num(1.0)),
+            ("files_scanned", Json::Num(self.files_scanned as f64)),
+            ("inline_suppressed", Json::Num(self.inline_suppressed as f64)),
+            ("grandfathered", Json::Num(grandfathered as f64)),
+            ("stale_baseline_entries", Json::Num(stale as f64)),
+            (
+                "findings",
+                Json::Arr(
+                    self.findings
+                        .iter()
+                        .map(|f| {
+                            Json::obj([
+                                ("file", Json::str(f.file.clone())),
+                                ("line", Json::Num(f.line as f64)),
+                                ("col", Json::Num(f.col as f64)),
+                                ("rule", Json::str(f.rule)),
+                                ("message", Json::str(f.message.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Locates the workspace root by walking upward from `start` until a
+/// directory containing both `Cargo.toml` and `crates/` appears.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        if d.join("Cargo.toml").is_file() && d.join("crates").is_dir() {
+            return Some(d.to_path_buf());
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+/// Whether `path` (workspace-relative, `/`-separated) is lintable library
+/// or binary source — `src/` trees only; `tests/`, `benches/`,
+/// `examples/`, `target/`, and `third_party/` are out of scope.
+fn in_scope(rel: &str) -> bool {
+    if !rel.ends_with(".rs") {
+        return false;
+    }
+    let mut parts = rel.split('/');
+    match parts.next() {
+        Some("src") => true,
+        Some("crates") => {
+            parts.next().is_some() && parts.next() == Some("src")
+        }
+        _ => false,
+    }
+}
+
+/// Builds the [`FileContext`] for a workspace-relative path.
+fn context_for(rel: &str) -> FileContext {
+    let parts: Vec<&str> = rel.split('/').collect();
+    let crate_name = if parts.first() == Some(&"crates") {
+        parts.get(1).copied().unwrap_or("unknown").to_string()
+    } else {
+        // The facade crate at the workspace root.
+        "hwdp".to_string()
+    };
+    let is_bin = crate_name == "cli"
+        || parts.contains(&"bin")
+        || parts.last() == Some(&"main.rs");
+    FileContext { crate_name, is_bin, path: rel.to_string() }
+}
+
+/// Recursively collects every in-scope `.rs` file under `root`, sorted by
+/// path so the report order is machine-independent.
+fn collect_sources(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut stack = vec![root.join("src"), root.join("crates")];
+    let mut files = Vec::new();
+    while let Some(dir) = stack.pop() {
+        let entries = match std::fs::read_dir(&dir) {
+            Ok(e) => e,
+            Err(_) => continue, // absent dir (e.g. no root src/) is fine
+        };
+        for entry in entries {
+            let path = entry?.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else {
+                let rel = relative(root, &path);
+                if in_scope(&rel) {
+                    files.push(path);
+                }
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn relative(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Lints every in-scope source file under `root`. Inline allows are
+/// applied; the grandfather baseline is not (see [`baseline::apply`]).
+pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut report = Report::default();
+    for path in collect_sources(root)? {
+        let rel = relative(root, &path);
+        let source = std::fs::read_to_string(&path)?;
+        let ctx = context_for(&rel);
+        let outcome = rules::scan(&ctx, &source);
+        report.findings.extend(outcome.findings);
+        report.inline_suppressed += outcome.suppressed;
+        report.files_scanned += 1;
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    Ok(report)
+}
+
+/// The conventional baseline location under a workspace root.
+pub fn baseline_path(root: &Path) -> PathBuf {
+    root.join("baselines").join("LINT_allow.txt")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_covers_src_trees_only() {
+        assert!(in_scope("crates/core/src/system.rs"));
+        assert!(in_scope("crates/harness/src/json.rs"));
+        assert!(in_scope("src/lib.rs"));
+        assert!(!in_scope("crates/core/tests/integration.rs"));
+        assert!(!in_scope("crates/bench/benches/figs.rs"));
+        assert!(!in_scope("examples/quickstart.rs"));
+        assert!(!in_scope("tests/facade.rs"));
+        assert!(!in_scope("third_party/rand/src/lib.rs"));
+        assert!(!in_scope("crates/core/src/notes.md"));
+    }
+
+    #[test]
+    fn context_classification() {
+        let c = context_for("crates/core/src/system.rs");
+        assert_eq!(c.crate_name, "core");
+        assert!(!c.is_bin);
+        let cli = context_for("crates/cli/src/args.rs");
+        assert_eq!(cli.crate_name, "cli");
+        assert!(cli.is_bin, "every cli module belongs to the binary");
+        let bin = context_for("crates/bench/src/bin/figures.rs");
+        assert!(bin.is_bin);
+        let facade = context_for("src/lib.rs");
+        assert_eq!(facade.crate_name, "hwdp");
+        assert!(!facade.is_bin);
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let report = Report {
+            findings: vec![Finding {
+                file: "crates/os/src/x.rs".into(),
+                line: 3,
+                col: 7,
+                rule: "panic-unwrap",
+                message: "m".into(),
+            }],
+            inline_suppressed: 2,
+            files_scanned: 10,
+        };
+        let j = report.to_json(5, 1);
+        let text = j.pretty();
+        let back = Json::parse(&text).expect("writer output parses");
+        assert_eq!(back.get("files_scanned").and_then(Json::as_f64), Some(10.0));
+        let findings = back.get("findings").and_then(Json::as_arr).expect("array");
+        assert_eq!(findings[0].get("rule").and_then(Json::as_str), Some("panic-unwrap"));
+        assert_eq!(findings[0].get("line").and_then(Json::as_f64), Some(3.0));
+    }
+
+    #[test]
+    fn workspace_root_discovery() {
+        // This test runs from within the workspace; its own manifest dir
+        // resolves to the root two levels up.
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("inside the workspace");
+        assert!(root.join("crates").join("lint").is_dir());
+    }
+
+    #[test]
+    fn lint_workspace_runs_on_this_tree() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("inside the workspace");
+        let report = lint_workspace(&root).expect("workspace lints");
+        assert!(report.files_scanned > 40, "scanned {} files", report.files_scanned);
+    }
+}

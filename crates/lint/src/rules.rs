@@ -1,0 +1,585 @@
+//! The rule set and the token-stream scanner.
+//!
+//! Rules are scoped per crate (see [`applies`]): determinism rules guard
+//! the simulation-path crates whose iteration order and timing feed the
+//! byte-identical `BENCH_*.json` artifacts; panic-policy rules cover all
+//! library code; hygiene rules everything that is not a CLI/bench binary.
+//!
+//! The scanner never looks at raw text. It walks the lexed token stream,
+//! skips `#[cfg(test)]` items entirely, and honours inline suppressions of
+//! the form `// hwdp-lint: allow(rule-id): justification`.
+
+use crate::lexer::{lex, TokKind, Token};
+
+/// Crates on the simulation path: their container iteration order, clock
+/// sources, and threading discipline decide whether a campaign replays
+/// byte-identically.
+pub const SIM_PATH_CRATES: [&str; 8] =
+    ["sim", "mem", "nvme", "smu", "os", "cpu", "core", "workloads"];
+
+/// Where a source file sits in the workspace, for rule scoping.
+#[derive(Clone, Debug)]
+pub struct FileContext {
+    /// Short crate name (`core`, `harness`, …; the facade crate is `hwdp`).
+    pub crate_name: String,
+    /// `true` for binary-target sources (`src/main.rs`, `src/bin/**`, and
+    /// every module of the `cli` crate).
+    pub is_bin: bool,
+    /// Workspace-relative path, used verbatim in diagnostics.
+    pub path: String,
+}
+
+/// One diagnostic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Stable rule identifier.
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Finding {
+    /// Renders as `file:line:col: warn[rule-id]: message`.
+    pub fn render(&self) -> String {
+        format!("{}:{}:{}: warn[{}]: {}", self.file, self.line, self.col, self.rule, self.message)
+    }
+}
+
+/// A rule's identity and scope, for the `hwdp lint` rule table.
+pub struct RuleInfo {
+    /// Stable identifier (used in `allow(...)` and the baseline file).
+    pub id: &'static str,
+    /// What the rule guards against.
+    pub summary: &'static str,
+    /// Where it applies.
+    pub scope: &'static str,
+}
+
+/// Every rule this pass knows, for documentation and `--rules` output.
+pub const RULES: [RuleInfo; 9] = [
+    RuleInfo {
+        id: "det-hash-container",
+        summary: "HashMap/HashSet iteration order is randomized per process; use BTreeMap/BTreeSet or Vec",
+        scope: "sim-path crates",
+    },
+    RuleInfo {
+        id: "det-wall-clock",
+        summary: "Instant/SystemTime read the host clock; simulation must use virtual time",
+        scope: "sim-path crates",
+    },
+    RuleInfo {
+        id: "det-thread",
+        summary: "std::thread outside the harness breaks single-threaded determinism",
+        scope: "all crates except harness",
+    },
+    RuleInfo {
+        id: "det-ptr-format",
+        summary: "{:p} prints ASLR-dependent addresses into output paths",
+        scope: "sim-path crates and harness",
+    },
+    RuleInfo {
+        id: "panic-unwrap",
+        summary: "unwrap() panics without an invariant message; use typed errors or expect()",
+        scope: "library code",
+    },
+    RuleInfo {
+        id: "panic-expect",
+        summary: "expect() panics mid-campaign; prefer typed errors on fallible paths",
+        scope: "library code",
+    },
+    RuleInfo {
+        id: "panic-macro",
+        summary: "panic!/todo!/unimplemented! in library code aborts a whole campaign job",
+        scope: "library code",
+    },
+    RuleInfo {
+        id: "hygiene-dbg",
+        summary: "dbg! is debugging debris",
+        scope: "everywhere",
+    },
+    RuleInfo {
+        id: "hygiene-println",
+        summary: "println!/print! pollute stdout outside the cli/bench binaries",
+        scope: "all crates except cli and bench",
+    },
+];
+
+fn is_sim_path(crate_name: &str) -> bool {
+    SIM_PATH_CRATES.contains(&crate_name)
+}
+
+/// Whether `rule` applies to a file in `ctx`.
+pub fn applies(rule: &str, ctx: &FileContext) -> bool {
+    match rule {
+        "det-hash-container" | "det-wall-clock" => is_sim_path(&ctx.crate_name),
+        "det-thread" => ctx.crate_name != "harness",
+        "det-ptr-format" => is_sim_path(&ctx.crate_name) || ctx.crate_name == "harness",
+        "panic-unwrap" | "panic-expect" | "panic-macro" => !ctx.is_bin,
+        "hygiene-dbg" => true,
+        "hygiene-println" => {
+            !ctx.is_bin && ctx.crate_name != "cli" && ctx.crate_name != "bench"
+        }
+        _ => false,
+    }
+}
+
+/// An inline `allow(...)` suppression directive found in a comment.
+#[derive(Clone, Debug)]
+struct AllowDirective {
+    line: u32,
+    col: u32,
+    rules: Vec<String>,
+    justified: bool,
+}
+
+/// Parses suppression directives out of a comment token. Accepted form:
+///
+/// ```text
+/// // hwdp-lint: allow(rule-a, rule-b): why this is fine
+/// ```
+fn parse_allow(tok: &Token) -> Option<AllowDirective> {
+    let text = &tok.text;
+    let at = text.find("hwdp-lint:")?;
+    let rest = text[at + "hwdp-lint:".len()..].trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    let tail = rest[close + 1..].trim_start();
+    let justified = tail
+        .strip_prefix(':')
+        .is_some_and(|j| !j.trim().trim_end_matches("*/").trim().is_empty());
+    Some(AllowDirective { line: tok.line, col: tok.col, rules, justified })
+}
+
+/// Scans one source file and returns its findings, inline suppressions
+/// already applied. Findings are ordered by source position.
+pub fn scan(ctx: &FileContext, source: &str) -> ScanOutcome {
+    let tokens = lex(source);
+    let mut allows = Vec::new();
+    let mut findings = Vec::new();
+    for tok in tokens.iter().filter(|t| t.kind == TokKind::Comment) {
+        if let Some(d) = parse_allow(tok) {
+            if !d.justified {
+                findings.push(Finding {
+                    file: ctx.path.clone(),
+                    line: d.line,
+                    col: d.col,
+                    rule: "allow-needs-reason",
+                    message: "hwdp-lint allow(...) requires a ': justification' tail".into(),
+                });
+            }
+            allows.push(d);
+        }
+    }
+
+    let sig: Vec<&Token> = tokens.iter().filter(|t| t.kind != TokKind::Comment).collect();
+    let mut raw = Vec::new();
+    let mut i = 0usize;
+    while i < sig.len() {
+        if let Some(skip_to) = cfg_test_item_end(&sig, i) {
+            i = skip_to;
+            continue;
+        }
+        check_at(ctx, &sig, i, &mut raw);
+        i += 1;
+    }
+
+    let mut suppressed = 0usize;
+    findings.extend(raw.into_iter().filter(|f| {
+        let allowed = allows.iter().any(|d| {
+            d.justified
+                && (d.line == f.line || d.line + 1 == f.line)
+                && d.rules.iter().any(|r| r == f.rule)
+        });
+        if allowed {
+            suppressed += 1;
+        }
+        !allowed
+    }));
+    findings.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    ScanOutcome { findings, suppressed }
+}
+
+/// What [`scan`] produced for one file.
+pub struct ScanOutcome {
+    /// Diagnostics that survived inline suppression.
+    pub findings: Vec<Finding>,
+    /// Findings silenced by a justified inline allow.
+    pub suppressed: usize,
+}
+
+/// If `sig[i]` starts a `#[cfg(test)]`-gated item (attribute + item),
+/// returns the index just past that item so the caller can skip it.
+fn cfg_test_item_end(sig: &[&Token], i: usize) -> Option<usize> {
+    if !(sig[i].is_punct('#') && sig.get(i + 1).is_some_and(|t| t.is_punct('['))) {
+        return None;
+    }
+    let attr_end = matching_close(sig, i + 1, '[', ']')?;
+    let group = &sig[i + 2..attr_end];
+    let has = |name: &str| group.iter().any(|t| t.is_ident(name));
+    if !(has("cfg") && has("test")) {
+        return None;
+    }
+    // Skip any further attributes between the cfg and the item itself.
+    let mut j = attr_end + 1;
+    while j < sig.len() && sig[j].is_punct('#') && sig.get(j + 1).is_some_and(|t| t.is_punct('['))
+    {
+        j = matching_close(sig, j + 1, '[', ']')? + 1;
+    }
+    // The item runs to a top-level `;` (e.g. `use`) or a braced body.
+    while j < sig.len() {
+        let t = sig[j];
+        if t.is_punct(';') {
+            return Some(j + 1);
+        }
+        if t.is_punct('{') {
+            return Some(matching_close(sig, j, '{', '}')? + 1);
+        }
+        j += 1;
+    }
+    Some(sig.len())
+}
+
+/// Index of the delimiter closing the group opened at `open_idx`.
+fn matching_close(sig: &[&Token], open_idx: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0i64;
+    for (k, t) in sig.iter().enumerate().skip(open_idx) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+fn emit(ctx: &FileContext, tok: &Token, rule: &'static str, message: String, out: &mut Vec<Finding>) {
+    if applies(rule, ctx) {
+        out.push(Finding { file: ctx.path.clone(), line: tok.line, col: tok.col, rule, message });
+    }
+}
+
+/// Applies every pattern anchored at `sig[i]`.
+fn check_at(ctx: &FileContext, sig: &[&Token], i: usize, out: &mut Vec<Finding>) {
+    let t = sig[i];
+    let next = sig.get(i + 1);
+    let next2 = sig.get(i + 2);
+    let prev = i.checked_sub(1).and_then(|p| sig.get(p));
+
+    if t.kind == TokKind::Ident {
+        match t.text.as_str() {
+            "HashMap" | "HashSet" => {
+                let alt = if t.text == "HashMap" { "BTreeMap" } else { "BTreeSet" };
+                emit(
+                    ctx,
+                    t,
+                    "det-hash-container",
+                    format!("{} has randomized iteration order; use {alt} (or a Vec) in simulation state", t.text),
+                    out,
+                );
+            }
+            "Instant" | "SystemTime" => emit(
+                ctx,
+                t,
+                "det-wall-clock",
+                format!("{} reads the host clock; simulation code must use hwdp_sim::time", t.text),
+                out,
+            ),
+            "std" => {
+                if next.is_some_and(|n| n.is_punct(':'))
+                    && next2.is_some_and(|n| n.is_punct(':'))
+                    && sig.get(i + 3).is_some_and(|n| n.is_ident("thread"))
+                {
+                    emit(
+                        ctx,
+                        t,
+                        "det-thread",
+                        "std::thread outside crates/harness breaks deterministic replay".into(),
+                        out,
+                    );
+                }
+            }
+            "thread" => {
+                // `thread::spawn` / `thread::sleep` via a `use std::thread`
+                // import; the path form above catches the import site.
+                if next.is_some_and(|n| n.is_punct(':'))
+                    && next2.is_some_and(|n| n.is_punct(':'))
+                    && sig.get(i + 3).is_some_and(|n| {
+                        n.is_ident("spawn") || n.is_ident("sleep") || n.is_ident("scope")
+                    })
+                    && !prev.is_some_and(|p| p.is_punct(':') || p.is_punct('.'))
+                {
+                    emit(
+                        ctx,
+                        t,
+                        "det-thread",
+                        "thread spawning outside crates/harness breaks deterministic replay".into(),
+                        out,
+                    );
+                }
+            }
+            "unwrap" => {
+                if prev.is_some_and(|p| p.is_punct('.')) && next.is_some_and(|n| n.is_punct('(')) {
+                    emit(
+                        ctx,
+                        t,
+                        "panic-unwrap",
+                        "unwrap() panics without an invariant message; use a typed error or expect(\"invariant\")".into(),
+                        out,
+                    );
+                }
+            }
+            "expect" => {
+                if prev.is_some_and(|p| p.is_punct('.')) && next.is_some_and(|n| n.is_punct('(')) {
+                    emit(
+                        ctx,
+                        t,
+                        "panic-expect",
+                        "expect() panics mid-campaign; prefer a typed error on fallible paths".into(),
+                        out,
+                    );
+                }
+            }
+            "panic" | "todo" | "unimplemented" => {
+                if next.is_some_and(|n| n.is_punct('!')) {
+                    emit(
+                        ctx,
+                        t,
+                        "panic-macro",
+                        format!("{}! aborts the whole campaign job; return an error instead", t.text),
+                        out,
+                    );
+                }
+            }
+            "dbg" => {
+                if next.is_some_and(|n| n.is_punct('!')) {
+                    emit(ctx, t, "hygiene-dbg", "dbg! is debugging debris".into(), out);
+                }
+            }
+            "println" | "print" => {
+                if next.is_some_and(|n| n.is_punct('!')) {
+                    emit(
+                        ctx,
+                        t,
+                        "hygiene-println",
+                        format!("{}! writes to stdout; only the cli/bench binaries own stdout", t.text),
+                        out,
+                    );
+                }
+            }
+            _ => {}
+        }
+    } else if t.kind == TokKind::Str && t.text.contains(":p}") {
+        emit(
+            ctx,
+            t,
+            "det-ptr-format",
+            "{:p} formats an ASLR-dependent pointer address into output".into(),
+            out,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx_for(crate_name: &str) -> FileContext {
+        FileContext {
+            crate_name: crate_name.into(),
+            is_bin: false,
+            path: format!("crates/{crate_name}/src/lib.rs"),
+        }
+    }
+
+    fn rules_found(crate_name: &str, src: &str) -> Vec<&'static str> {
+        scan(&ctx_for(crate_name), src).findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn hash_container_flagged_in_sim_path_only() {
+        let src = "use std::collections::HashMap;\nstruct S { m: HashMap<u32, u32> }";
+        assert_eq!(rules_found("core", src), vec!["det-hash-container"; 2]);
+        assert!(rules_found("harness", src).is_empty(), "harness may hash");
+    }
+
+    #[test]
+    fn rules_do_not_fire_inside_strings_or_comments() {
+        let src = r#"
+            // A HashMap mentioned in prose, and .unwrap() too.
+            /* block: std::thread::spawn, panic!("x") */
+            /// Doc: HashSet, Instant, dbg!(x)
+            fn f() -> String { String::from("HashMap panic! .unwrap() {:q}") }
+        "#;
+        assert!(rules_found("core", src).is_empty());
+    }
+
+    #[test]
+    fn ptr_format_fires_inside_format_strings() {
+        let src = r#"fn f(x: &u32) { let _ = format!("{:p}", x); }"#;
+        assert_eq!(rules_found("core", src), vec!["det-ptr-format"]);
+    }
+
+    #[test]
+    fn unwrap_and_expect_in_library_code() {
+        let src = "fn f(o: Option<u32>) -> u32 { o.unwrap() + o.expect(\"set\") }";
+        assert_eq!(rules_found("os", src), vec!["panic-unwrap", "panic-expect"]);
+        // unwrap_or / unwrap_or_else must not match.
+        let src2 = "fn f(o: Option<u32>) -> u32 { o.unwrap_or(0).max(o.unwrap_or_else(|| 1)) }";
+        assert!(rules_found("os", src2).is_empty());
+    }
+
+    #[test]
+    fn bin_targets_are_exempt_from_panic_policy() {
+        let ctx = FileContext {
+            crate_name: "cli".into(),
+            is_bin: true,
+            path: "crates/cli/src/main.rs".into(),
+        };
+        let src = "fn main() { Some(1).unwrap(); println!(\"ok\"); }";
+        assert!(scan(&ctx, src).findings.is_empty());
+    }
+
+    #[test]
+    fn cfg_test_modules_are_skipped_entirely() {
+        let src = r#"
+            fn lib() {}
+            #[cfg(test)]
+            mod tests {
+                use std::collections::HashMap;
+                #[test]
+                fn t() { let m: HashMap<u32, u32> = HashMap::new(); Some(1).unwrap(); panic!("x"); }
+            }
+        "#;
+        assert!(rules_found("core", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_single_item_is_skipped_but_rest_scans() {
+        let src = r#"
+            #[cfg(test)]
+            fn helper() { Some(1).unwrap(); }
+            fn lib(o: Option<u32>) -> u32 { o.unwrap() }
+        "#;
+        assert_eq!(rules_found("core", src), vec!["panic-unwrap"]);
+    }
+
+    #[test]
+    fn cfg_all_test_also_skipped() {
+        let src = r#"
+            #[cfg(all(test, feature = "x"))]
+            mod tests { fn t() { Some(1).unwrap(); } }
+        "#;
+        assert!(rules_found("core", src).is_empty());
+    }
+
+    #[test]
+    fn thread_paths_flagged_outside_harness() {
+        let src = "fn f() { std::thread::spawn(|| {}); }";
+        assert_eq!(rules_found("core", src), vec!["det-thread"]);
+        let src2 = "use std::thread;\nfn f() { thread::spawn(|| {}); }";
+        assert_eq!(rules_found("core", src2), vec!["det-thread"; 2]);
+        assert!(rules_found("harness", src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_flagged_in_sim_path() {
+        let src = "fn f() { let _ = Instant::now(); }";
+        assert_eq!(rules_found("sim", src), vec!["det-wall-clock"]);
+        assert!(rules_found("harness", src).is_empty());
+    }
+
+    #[test]
+    fn panic_macros_and_hygiene() {
+        let src = "fn f() { panic!(\"x\"); todo!(); dbg!(1); println!(\"y\"); }";
+        assert_eq!(
+            rules_found("mem", src),
+            vec!["panic-macro", "panic-macro", "hygiene-dbg", "hygiene-println"]
+        );
+    }
+
+    #[test]
+    fn println_allowed_in_cli_and_bench() {
+        let src = "pub fn f() { println!(\"table row\"); }";
+        assert!(rules_found("bench", src).is_empty());
+        assert_eq!(rules_found("workloads", src), vec!["hygiene-println"]);
+    }
+
+    #[test]
+    fn inline_allow_with_justification_suppresses() {
+        let src = "fn f(o: Option<u32>) -> u32 {\n    // hwdp-lint: allow(panic-unwrap): checked two lines up\n    o.unwrap()\n}";
+        let out = scan(&ctx_for("os"), src);
+        assert!(out.findings.is_empty());
+        assert_eq!(out.suppressed, 1);
+    }
+
+    #[test]
+    fn trailing_allow_on_same_line_suppresses() {
+        let src =
+            "fn f(o: Option<u32>) -> u32 { o.unwrap() } // hwdp-lint: allow(panic-unwrap): total fn";
+        let out = scan(&ctx_for("os"), src);
+        assert!(out.findings.is_empty());
+        assert_eq!(out.suppressed, 1);
+    }
+
+    #[test]
+    fn allow_without_justification_is_its_own_finding() {
+        let src = "fn f(o: Option<u32>) -> u32 {\n    // hwdp-lint: allow(panic-unwrap)\n    o.unwrap()\n}";
+        let rules: Vec<&str> = scan(&ctx_for("os"), src).findings.iter().map(|f| f.rule).collect();
+        assert_eq!(rules, vec!["allow-needs-reason", "panic-unwrap"]);
+    }
+
+    #[test]
+    fn allow_for_wrong_rule_does_not_suppress() {
+        let src = "fn f(o: Option<u32>) -> u32 {\n    // hwdp-lint: allow(det-hash-container): nope\n    o.unwrap()\n}";
+        let out = scan(&ctx_for("os"), src);
+        assert_eq!(out.findings.len(), 1);
+        assert_eq!(out.suppressed, 0);
+    }
+
+    #[test]
+    fn allow_list_covers_multiple_rules() {
+        let src = "fn f(o: Option<u32>) { // hwdp-lint: allow(panic-unwrap, panic-expect): demo\n    o.unwrap(); o.expect(\"x\");\n}";
+        let out = scan(&ctx_for("os"), src);
+        assert!(out.findings.is_empty());
+        assert_eq!(out.suppressed, 2);
+    }
+
+    #[test]
+    fn findings_carry_position() {
+        let src = "\n\nfn f(o: Option<u32>) -> u32 { o.unwrap() }";
+        let out = scan(&ctx_for("os"), src);
+        assert_eq!(out.findings[0].line, 3);
+        assert!(out.findings[0].col > 30);
+        assert!(out.findings[0].render().contains("panic-unwrap"));
+    }
+
+    #[test]
+    fn every_rule_id_in_table_is_scoped() {
+        for r in &RULES {
+            // Each rule applies somewhere and is absent somewhere else
+            // (except hygiene-dbg which is global).
+            let lib = ctx_for("core");
+            let bin = FileContext { crate_name: "cli".into(), is_bin: true, path: "x".into() };
+            assert!(
+                applies(r.id, &lib) || applies(r.id, &bin),
+                "{} applies nowhere",
+                r.id
+            );
+        }
+    }
+}

@@ -17,7 +17,7 @@
 //! [`NvmeController::complete`] when it fires, then drains the CQ through
 //! the queue-pair API exactly like real host software.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use hwdp_mem::addr::{Lba, PageData};
 use hwdp_sim::rng::Prng;
@@ -101,7 +101,7 @@ pub struct NvmeController {
     namespaces: Vec<BlockStore>,
     queues: Vec<QueuePair>,
     channel_free: Vec<Time>,
-    inflight: HashMap<u64, Inflight>,
+    inflight: BTreeMap<u64, Inflight>,
     next_token: u64,
     rng: Prng,
     stats: DeviceStats,
@@ -115,7 +115,7 @@ impl NvmeController {
             namespaces: Vec::new(),
             queues: Vec::new(),
             channel_free: vec![Time::ZERO; profile.channels],
-            inflight: HashMap::new(),
+            inflight: BTreeMap::new(),
             next_token: 0,
             rng,
             stats: DeviceStats::default(),

@@ -7,7 +7,7 @@
 //! read-only datasets exist without materializing gigabytes.
 
 use hwdp_mem::addr::{Lba, PageData};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Default contents of never-written blocks.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -26,7 +26,7 @@ pub enum DefaultContents {
 #[derive(Debug)]
 pub struct BlockStore {
     blocks: u64,
-    written: HashMap<u64, PageData>,
+    written: BTreeMap<u64, PageData>,
     default: DefaultContents,
 }
 
@@ -38,14 +38,14 @@ impl BlockStore {
     /// Panics if `blocks` is zero.
     pub fn new(blocks: u64) -> Self {
         assert!(blocks > 0, "namespace must have at least one block");
-        BlockStore { blocks, written: HashMap::new(), default: DefaultContents::Zero }
+        BlockStore { blocks, written: BTreeMap::new(), default: DefaultContents::Zero }
     }
 
     /// Creates a store whose unwritten blocks hold a deterministic pattern
     /// derived from `seed` (synthetic pre-populated dataset).
     pub fn with_pattern(blocks: u64, seed: u64) -> Self {
         assert!(blocks > 0, "namespace must have at least one block");
-        BlockStore { blocks, written: HashMap::new(), default: DefaultContents::Pattern { seed } }
+        BlockStore { blocks, written: BTreeMap::new(), default: DefaultContents::Pattern { seed } }
     }
 
     /// Capacity in blocks.

@@ -40,9 +40,9 @@ pub struct MiniFs {
     files: Vec<FileMeta>,
     /// Next free LBA per (socket, device) — a bump allocator; the paper's
     /// workloads never delete files.
-    next_lba: std::collections::HashMap<(u8, u8), u64>,
+    next_lba: std::collections::BTreeMap<(u8, u8), u64>,
     /// Device capacities in blocks, for allocation checks.
-    capacity: std::collections::HashMap<(u8, u8), u64>,
+    capacity: std::collections::BTreeMap<(u8, u8), u64>,
 }
 
 impl MiniFs {

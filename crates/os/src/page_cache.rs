@@ -7,7 +7,7 @@
 //! the paper's deferred-metadata design — and therefore cannot be chosen
 //! for eviction until then.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use crate::fs::FileId;
 use hwdp_mem::addr::{Pfn, Vpn};
@@ -37,7 +37,7 @@ pub struct Victim {
 /// The page cache + clock LRU + reverse map.
 #[derive(Debug, Default)]
 pub struct PageCache {
-    map: HashMap<(u32, u64), CachedPage>,
+    map: BTreeMap<(u32, u64), CachedPage>,
     /// Clock order; entries may be stale (removed from `map`) and are
     /// skipped lazily.
     clock: VecDeque<(u32, u64)>,

@@ -57,7 +57,7 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
     next_id: u64,
-    cancelled: std::collections::HashSet<EventId>,
+    cancelled: std::collections::BTreeSet<EventId>,
     now: Time,
 }
 
@@ -74,7 +74,7 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             next_seq: 0,
             next_id: 0,
-            cancelled: std::collections::HashSet::new(),
+            cancelled: std::collections::BTreeSet::new(),
             now: Time::ZERO,
         }
     }

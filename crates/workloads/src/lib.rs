@@ -28,7 +28,7 @@ pub use ycsb::{Ycsb, YcsbKind};
 /// A memory-mapped region handle. The simulator assigns these when a
 /// workload's dataset is mapped and translates `(region, offset)` to
 /// virtual addresses.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct RegionId(pub u32);
 
 /// One step of a workload thread.

@@ -16,6 +16,12 @@ cd "$(dirname "$0")/.."
 echo "== tier-1: build =="
 cargo build --release --workspace --offline
 
+echo "== static analysis: hwdp lint =="
+# Determinism & panic-policy gate (crates/lint). Fails on any finding not
+# grandfathered in baselines/LINT_allow.txt or suppressed inline with a
+# justified `hwdp-lint: allow(...)` comment.
+./target/release/hwdp lint --deny
+
 echo "== tier-1: tests =="
 cargo test -q --workspace --offline
 

@@ -23,7 +23,10 @@
 //! let _builder = SystemBuilder::new(Mode::Hwdp);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use hwdp_core as core;
+pub use hwdp_lint as lint;
 pub use hwdp_cpu as cpu;
 pub use hwdp_harness as harness;
 pub use hwdp_mem as mem;
