@@ -14,6 +14,8 @@
 //! hwdp help
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod args;
 
 use std::process::ExitCode;
@@ -23,6 +25,7 @@ use hwdp_core::anatomy::{hwdp_anatomy, osdp_anatomy, swonly_anatomy};
 use hwdp_core::{Mode, RunResult, SystemBuilder, SystemConfig};
 use hwdp_harness as harness;
 use hwdp_sim::rng::Prng;
+use hwdp_sim::SanitizeLevel;
 use hwdp_sim::time::Duration;
 use hwdp_workloads::{
     DbBenchReadRandom, FioRandRead, FioSeqRead, MiniDb, ScratchChurn, Workload, Ycsb,
@@ -54,6 +57,8 @@ COMMON OPTIONS:
   --ops N                    operations per thread  (default 2000)
   --memory N                 DRAM frames            (default 1024)
   --seed N                   RNG seed               (default 42)
+  --sanitize off|cheap|full  hwdp-audit invariant checks (default off);
+                             observation-only, results are unchanged
 
 FIO OPTIONS:
   --seq                      sequential instead of random reads
@@ -72,6 +77,8 @@ SWEEP OPTIONS (axes are comma-separated lists; cross product = campaign):
   --fixed-seed               every job uses the campaign seed itself
   --resume                   reuse completed jobs from an existing artifact
   --baseline FILE            also gate the fresh artifact against FILE
+  (with --sanitize, sweep also writes AUDIT_<name>.json and exits
+  nonzero when any invariant violation was detected)
 
 COMPARE OPTIONS:
   --baseline FILE            stored BENCH_*.json to gate against (required)
@@ -117,6 +124,15 @@ fn run(raw: Vec<String>) -> Result<ExitCode, ArgError> {
         other => return Err(ArgError(format!("unknown command '{other}'"))),
     }
     Ok(ExitCode::SUCCESS)
+}
+
+/// Parses the common `--sanitize off|cheap|full` option (default `off`).
+fn sanitize_level(args: &Args) -> Result<SanitizeLevel, ArgError> {
+    match args.get("sanitize") {
+        None => Ok(SanitizeLevel::Off),
+        Some(s) => SanitizeLevel::parse(s)
+            .ok_or_else(|| ArgError(format!("--sanitize: unknown level '{s}' (off|cheap|full)"))),
+    }
 }
 
 /// Expands the `sweep` axis options into a harness campaign.
@@ -182,7 +198,8 @@ fn sweep_campaign(args: &Args) -> Result<harness::Campaign, ArgError> {
     .threads(threads)
     .ratios(ratios)
     .memory_frames(args.num("memory", 1024)? as usize)
-    .ops(args.num("ops", 2000)?);
+    .ops(args.num("ops", 2000)?)
+    .sanitize(sanitize_level(args)?);
     if args.flag("fixed-seed") {
         grid = grid.fixed_seed();
     }
@@ -224,14 +241,65 @@ fn sweep(args: &Args) -> Result<ExitCode, ArgError> {
         .map_err(|e| ArgError(format!("cannot write {}: {e}", path.display())))?;
     println!("wrote {}", path.display());
     let failed = artifact.jobs.iter().filter(|j| !j.is_ok()).count();
+    // Write the sanitizer report before any early exit so CI can archive
+    // it even when jobs failed.
+    let level = sanitize_level(args)?;
+    let audit_clean = if level == SanitizeLevel::Off {
+        true
+    } else {
+        write_audit_report(dir, &artifact, level)?
+    };
     if failed > 0 {
         eprintln!("{failed} job(s) failed");
+        return Ok(ExitCode::FAILURE);
+    }
+    if !audit_clean {
         return Ok(ExitCode::FAILURE);
     }
     if let Some(baseline_path) = args.get("baseline") {
         return gate(baseline_path, &artifact, args);
     }
     Ok(ExitCode::SUCCESS)
+}
+
+/// Writes `AUDIT_<campaign>.json` summarizing hwdp-audit violations found
+/// across the campaign's jobs. Returns `true` when every invariant held.
+fn write_audit_report(
+    dir: &std::path::Path,
+    artifact: &harness::Artifact,
+    level: SanitizeLevel,
+) -> Result<bool, ArgError> {
+    let mut by_invariant = std::collections::BTreeMap::<String, f64>::new();
+    for job in &artifact.jobs {
+        for (k, v) in &job.metrics {
+            if let Some(name) = k.strip_prefix("sanitize/") {
+                *by_invariant.entry(name.to_string()).or_insert(0.0) += v;
+            }
+        }
+    }
+    let total: f64 = by_invariant.values().sum();
+    let json = harness::Json::obj([
+        ("campaign", harness::Json::str(artifact.campaign.clone())),
+        ("level", harness::Json::str(level.name())),
+        ("jobs", harness::Json::Num(artifact.jobs.len() as f64)),
+        ("violations_total", harness::Json::Num(total)),
+        (
+            "violations",
+            harness::Json::Obj(
+                by_invariant.into_iter().map(|(k, v)| (k, harness::Json::Num(v))).collect(),
+            ),
+        ),
+    ]);
+    let path = dir.join(format!("AUDIT_{}.json", artifact.campaign));
+    std::fs::write(&path, json.pretty())
+        .map_err(|e| ArgError(format!("cannot write {}: {e}", path.display())))?;
+    println!("wrote {}", path.display());
+    if total > 0.0 {
+        eprintln!("hwdp-audit: {total} invariant violation(s) detected");
+        Ok(false)
+    } else {
+        Ok(true)
+    }
 }
 
 fn compare_cmd(args: &Args) -> Result<ExitCode, ArgError> {
@@ -344,6 +412,7 @@ fn builder(args: &Args) -> Result<(SystemBuilder, usize, u64, u64), ArgError> {
         .memory_frames(memory)
         .device(args.device()?)
         .kpted_period(Duration::from_millis(1))
+        .sanitize(sanitize_level(args)?)
         .seed(args.num("seed", 42)?);
     Ok((b, threads, ratio, ops))
 }
@@ -385,6 +454,17 @@ fn report(label: &str, r: &RunResult) {
     match r.verify_failures() {
         0 => println!("  data integrity   ok (every read verified)"),
         n => println!("  data integrity   {n} FAILURES"),
+    }
+    if r.audit.checks > 0 {
+        match r.audit.violations.len() {
+            0 => println!("  hwdp-audit       clean ({} invariant checks)", r.audit.checks),
+            n => {
+                println!("  hwdp-audit       {n} VIOLATION(S) in {} checks", r.audit.checks);
+                for v in r.audit.violations.iter().take(8) {
+                    println!("                   {v}");
+                }
+            }
+        }
     }
 }
 

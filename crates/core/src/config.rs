@@ -4,6 +4,7 @@
 use hwdp_cpu::pollution::PollutionParams;
 use hwdp_nvme::profile::DeviceProfile;
 use hwdp_sim::time::{Duration, Freq};
+use hwdp_sim::SanitizeLevel;
 
 /// Which demand-paging design the system runs.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -91,6 +92,10 @@ pub struct SystemConfig {
     pub long_io_timeout: Option<Duration>,
     /// Master RNG seed; everything derives from it.
     pub seed: u64,
+    /// hwdp-audit sanitizer level. Observation-only: any level produces
+    /// byte-identical simulation results; nonzero levels additionally run
+    /// cross-layer invariant checks at `kpoold` ticks and end of run.
+    pub sanitize: SanitizeLevel,
 }
 
 impl SystemConfig {
@@ -117,6 +122,7 @@ impl SystemConfig {
             per_core_free_queues: false,
             long_io_timeout: None,
             seed: 0x5EED_CAFE,
+            sanitize: SanitizeLevel::Off,
         }
     }
 

@@ -3,6 +3,7 @@
 use hwdp_cpu::perf::PerfCounters;
 use hwdp_os::kernel::{KernelAccounting, OsStats};
 use hwdp_smu::smu::SmuStats;
+use hwdp_sim::sanitize::AuditReport;
 use hwdp_sim::stats::LatencyHist;
 use hwdp_sim::time::Duration;
 
@@ -92,6 +93,9 @@ pub struct RunResult {
     pub readahead_reads: u64,
     /// Detached prefetch misses issued by the SMU (§V future work).
     pub smu_prefetches: u64,
+    /// hwdp-audit sanitizer report (empty when sanitizing was `Off` or
+    /// every invariant held).
+    pub audit: AuditReport,
 }
 
 impl RunResult {
@@ -125,7 +129,7 @@ impl RunResult {
     /// exact up to 2^53 (they cross an `f64`); latencies are nanoseconds.
     pub fn export_metrics(&self) -> Vec<(&'static str, f64)> {
         let lat = |h: &LatencyHist, q: f64| h.percentile(q).as_nanos_f64();
-        vec![
+        let mut kv = vec![
             ("elapsed_ns", self.elapsed.as_nanos_f64()),
             ("ops", self.ops as f64),
             ("throughput_ops_s", self.throughput_ops_s()),
@@ -170,7 +174,14 @@ impl RunResult {
             ("long_io_switches", self.long_io_switches as f64),
             ("readahead_reads", self.readahead_reads as f64),
             ("smu_prefetches", self.smu_prefetches as f64),
-        ]
+        ];
+        // Only surfaced when a sanitizer actually found something, so
+        // sanitized runs stay byte-identical to unsanitized ones (the
+        // seed-parity gate covers `SanitizeLevel::Full`).
+        if !self.audit.is_clean() {
+            kv.push(("sanitize_violations", self.audit.violations.len() as f64));
+        }
+        kv
     }
 }
 
@@ -197,6 +208,7 @@ mod tests {
             long_io_switches: 0,
             readahead_reads: 0,
             smu_prefetches: 0,
+            audit: AuditReport::new(),
         };
         let kv = r.export_metrics();
         let mut names: Vec<&str> = kv.iter().map(|(n, _)| *n).collect();

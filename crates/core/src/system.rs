@@ -33,6 +33,7 @@ use hwdp_smu::smu::{MissOutcome, MissRequest, Smu};
 use hwdp_smu::timing::SmuTiming;
 use hwdp_sim::events::EventQueue;
 use hwdp_sim::rng::Prng;
+use hwdp_sim::sanitize::{AuditReport, SanitizeLevel, Sanitizer};
 use hwdp_sim::stats::LatencyHist;
 use hwdp_sim::time::{Duration, Time};
 use hwdp_workloads::kvstore::record_header;
@@ -147,6 +148,14 @@ pub struct System {
     active_threads: usize,
     long_io_switches: u64,
     readahead_reads: u64,
+    /// hwdp-audit violations accumulated over the run (empty when
+    /// `cfg.sanitize` is `Off`).
+    audit: AuditReport,
+    /// Last-seen per-device doorbell-write totals, for the
+    /// `doorbell-monotonic` check (doorbell registers are write-counters;
+    /// going backwards between audit points means queue state was reset
+    /// mid-run).
+    audit_doorbells: Vec<u64>,
 }
 
 impl System {
@@ -226,6 +235,8 @@ impl System {
             active_threads: 0,
             long_io_switches: 0,
             readahead_reads: 0,
+            audit: AuditReport::new(),
+            audit_doorbells: vec![0],
         };
         // Seed the SMU's free-page queue before anything runs (the OS does
         // this when enabling fast mmap).
@@ -272,6 +283,7 @@ impl System {
         );
         self.devices.push(dev);
         self.os_queues.push(os_q);
+        self.audit_doorbells.push(0);
         self.device_index.insert((0, id), self.devices.len() - 1);
         DeviceId(id)
     }
@@ -1154,6 +1166,9 @@ impl System {
                 Event::KpoolTick => {
                     if self.active_threads > 0 {
                         self.refill_free_queue(now);
+                        // Periodic in-run audit point (no-op at Off; never
+                        // schedules events, so timing is unaffected).
+                        self.run_audit();
                         self.queue.schedule(now + self.cfg.kpoold_period, Event::KpoolTick);
                     }
                 }
@@ -1173,6 +1188,9 @@ impl System {
     }
 
     fn collect(&mut self, end: Time) -> RunResult {
+        // End-of-run audit point (settled state: teardown bugs surface
+        // here even in modes with no kpoold ticks).
+        self.run_audit();
         let mut miss = LatencyHist::new();
         let mut read = LatencyHist::new();
         let mut perf = PerfCounters::default();
@@ -1211,6 +1229,7 @@ impl System {
             long_io_switches: self.long_io_switches,
             readahead_reads: self.readahead_reads,
             smu_prefetches: self.smu.stats().prefetches,
+            audit: self.audit.clone(),
         }
     }
 
@@ -1222,6 +1241,102 @@ impl System {
     /// Direct access to device 0 (tests).
     pub fn device(&self) -> &NvmeController {
         &self.devices[0]
+    }
+
+    /// Runs one hwdp-audit pass at the configured [`SanitizeLevel`] and
+    /// accumulates any violations. Observation-only: schedules no events,
+    /// draws no randomness, touches no LRU or statistics state — a run at
+    /// `Full` is byte-identical to a run at `Off`. Called automatically at
+    /// `kpoold` ticks and end of run; callable between runs for tests.
+    pub fn run_audit(&mut self) {
+        let level = self.cfg.sanitize;
+        if !level.cheap_checks() {
+            return;
+        }
+        let mut report = AuditReport::new();
+        self.sanitize(level, &mut report);
+        // The doorbell history check needs mutable last-seen state, so it
+        // lives outside the (stateless) Sanitizer pass.
+        for (i, dev) in self.devices.iter().enumerate() {
+            let total = dev.doorbell_writes_total();
+            let last = self.audit_doorbells[i];
+            report.check("core", "doorbell-monotonic", total >= last, || {
+                format!("device {i}: doorbell-write total went backwards ({last} -> {total})")
+            });
+            self.audit_doorbells[i] = total;
+        }
+        self.audit.merge(report);
+    }
+
+    /// The violations accumulated so far (empty unless sanitizing found
+    /// a broken invariant).
+    pub fn audit_report(&self) -> &AuditReport {
+        &self.audit
+    }
+
+    /// Test-only corruption hook: registers a fake in-flight OSDP fault
+    /// whose frame was never allocated, so the `osdp-inflight-frame`
+    /// negative test can inject the submit/complete mismatch the real
+    /// fault path (correctly) makes unreachable.
+    #[cfg(test)]
+    pub(crate) fn corrupt_osdp_inflight_for_test(&mut self) {
+        let bogus = Pfn(self.cfg.memory_frames as u64 + 7);
+        self.osdp_inflight
+            .insert((u32::MAX, u64::MAX), OsdpPending { vpn: Vpn(0), pfn: bogus, waiters: Vec::new() });
+    }
+}
+
+impl Sanitizer for System {
+    fn layer(&self) -> &'static str {
+        "core"
+    }
+
+    /// The cross-layer pass: delegates to each layer's checkers (memory,
+    /// OS, SMU, every NVMe controller) and adds the core-level
+    /// `osdp_inflight` pairing invariants — every in-flight OS fault must
+    /// target an allocated frame and hold only descheduled waiters.
+    fn sanitize(&self, level: SanitizeLevel, report: &mut AuditReport) {
+        if !level.cheap_checks() {
+            return;
+        }
+        hwdp_mem::MemAudit {
+            frames: &self.os.frames,
+            page_table: &self.os.page_table,
+            tlbs: self.hw.iter().enumerate().map(|(i, h)| (i, &h.tlb)).collect(),
+        }
+        .sanitize(level, report);
+        self.os.sanitize(level, report);
+        self.smu.sanitize(level, report);
+        for dev in &self.devices {
+            dev.sanitize(level, report);
+        }
+        for (&(file, page), pending) in &self.osdp_inflight {
+            report.check(
+                "core",
+                "osdp-inflight-frame",
+                (pending.pfn.0 as usize) < self.os.frames.total()
+                    && self.os.frames.state(pending.pfn) == hwdp_mem::phys::FrameState::Allocated,
+                || {
+                    format!(
+                        "in-flight OS fault on file {file} page {page} targets {:?}, which is not an allocated frame",
+                        pending.pfn
+                    )
+                },
+            );
+            for &tid in &pending.waiters {
+                report.check(
+                    "core",
+                    "osdp-inflight-waiter",
+                    matches!(self.threads[tid.0].state, ThreadState::Blocked),
+                    || {
+                        format!(
+                            "in-flight OS fault on file {file} page {page} holds waiter {tid:?} in state {:?}, expected Blocked",
+                            self.threads[tid.0].state
+                        )
+                    },
+                );
+            }
+        }
     }
 }
 
@@ -1316,6 +1431,13 @@ impl SystemBuilder {
         self
     }
 
+    /// Sets the hwdp-audit sanitizer level (observation-only invariant
+    /// checks; `Off` by default).
+    pub fn sanitize(mut self, level: SanitizeLevel) -> Self {
+        self.cfg.sanitize = level;
+        self
+    }
+
     /// Applies an arbitrary configuration transform.
     pub fn tweak(mut self, f: impl FnOnce(&mut SystemConfig)) -> Self {
         f(&mut self.cfg);
@@ -1325,5 +1447,74 @@ impl SystemBuilder {
     /// Builds the system.
     pub fn build(self) -> System {
         System::new(self.cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwdp_workloads::FioRandRead;
+
+    fn small_system(level: SanitizeLevel) -> System {
+        let mut sys = SystemBuilder::new(Mode::Hwdp)
+            .memory_frames(256)
+            .seed(11)
+            .sanitize(level)
+            .build();
+        let file = sys.create_pattern_file("audit.dat", 512);
+        let region = sys.map_file(file);
+        let rng = sys.fork_rng();
+        sys.spawn(Box::new(FioRandRead::new(region, 512, 200, rng)), 1.5, None);
+        sys
+    }
+
+    #[test]
+    fn full_sanitize_audits_clean_across_a_real_run() {
+        let mut sys = small_system(SanitizeLevel::Full);
+        let result = sys.run(Duration::from_millis(400));
+        assert!(result.ops > 0, "workload made progress");
+        assert!(result.audit.is_clean(), "{:?}", result.audit.violations);
+        assert!(result.audit.checks > 0, "kpoold-tick and end-of-run audits ran");
+        assert!(
+            result.export_metrics().iter().all(|(n, _)| *n != "sanitize_violations"),
+            "clean runs export no violation metric (seed parity)"
+        );
+    }
+
+    #[test]
+    fn off_level_runs_no_checks_during_run() {
+        let mut sys = small_system(SanitizeLevel::Off);
+        let result = sys.run(Duration::from_millis(400));
+        assert_eq!(result.audit.checks, 0);
+        assert!(result.audit.is_clean());
+    }
+
+    #[test]
+    fn negative_orphaned_osdp_inflight_detected() {
+        // Injected corruption: an in-flight OS fault records a frame that
+        // was never allocated — the completion would DMA into untracked
+        // memory.
+        let mut sys = small_system(SanitizeLevel::Full);
+        sys.corrupt_osdp_inflight_for_test();
+        sys.run_audit();
+        let report = sys.audit_report();
+        assert!(!report.is_clean());
+        let v = report
+            .violations
+            .iter()
+            .find(|v| v.invariant == "osdp-inflight-frame")
+            .expect("orphaned in-flight fault detected");
+        assert_eq!(v.layer, "core");
+        assert!(v.message.contains("not an allocated frame"));
+    }
+
+    #[test]
+    fn doorbell_history_advances_monotonically() {
+        let mut sys = small_system(SanitizeLevel::Full);
+        sys.run(Duration::from_millis(100));
+        let before = sys.audit_doorbells.clone();
+        sys.run_audit();
+        assert!(sys.audit_report().is_clean());
+        assert_eq!(sys.audit_doorbells, before, "idle audit sees unchanged doorbells");
     }
 }

@@ -217,6 +217,9 @@ fn parse_job(j: &Json, fallback_index: usize) -> Result<JobRecord, String> {
         long_io_timeout_us: opt_num("long_io_timeout_us").map(|n| n as u64),
         time_cap_ms: req_num("time_cap_ms")? as u64,
         seed,
+        // Not serialized (observation-only knob); parsed specs default to
+        // no sanitizing.
+        sanitize: hwdp_sim::SanitizeLevel::Off,
     };
 
     let metrics = match j.get("metrics") {

@@ -25,11 +25,18 @@ pub fn run_job(spec: &JobSpec) -> Vec<(String, f64)> {
         Scenario::Anatomy => anatomy_metrics(spec),
         _ => {
             let result = simulate(spec);
-            result
+            let mut metrics: Vec<(String, f64)> = result
                 .export_metrics()
                 .into_iter()
                 .map(|(k, v)| (k.to_string(), v))
-                .collect()
+                .collect();
+            // Per-invariant violation counts, only when something fired:
+            // clean sanitized runs produce byte-identical artifacts to
+            // unsanitized ones (the seed-parity gate depends on this).
+            for ((layer, invariant), count) in result.audit.by_invariant() {
+                metrics.push((format!("sanitize/{layer}/{invariant}"), count as f64));
+            }
+            metrics
         }
     }
 }
@@ -44,6 +51,7 @@ pub fn simulate(spec: &JobSpec) -> RunResult {
         .per_core_free_queues(spec.per_core_free_queues)
         .readahead_pages(spec.readahead_pages)
         .smu_prefetch_pages(spec.smu_prefetch_pages)
+        .sanitize(spec.sanitize)
         .seed(spec.seed);
     if let Some(entries) = spec.pmshr_entries {
         builder = builder.pmshr_entries(entries);
@@ -157,6 +165,19 @@ mod tests {
             let ops = m.iter().find(|(k, _)| k == "ops").unwrap().1;
             assert!(ops > 0.0, "{}", scenario.name());
         }
+    }
+
+    #[test]
+    fn full_sanitize_is_observation_only() {
+        // The parity contract at job level: identical metrics whether the
+        // sanitizer runs or not, and no sanitize/ metrics on a clean run.
+        let spec = quick(Scenario::FioRand, Mode::Hwdp);
+        let mut sanitized = spec;
+        sanitized.sanitize = hwdp_sim::SanitizeLevel::Full;
+        let plain = run_job(&spec);
+        let audited = run_job(&sanitized);
+        assert_eq!(plain, audited);
+        assert!(audited.iter().all(|(k, _)| !k.starts_with("sanitize")));
     }
 
     #[test]

@@ -9,6 +9,7 @@ use crate::json::Json;
 use crate::seed::job_seed;
 use hwdp_core::Mode;
 use hwdp_nvme::profile::DeviceProfile;
+use hwdp_sim::SanitizeLevel;
 use hwdp_workloads::YcsbKind;
 
 /// What a job runs.
@@ -98,7 +99,12 @@ impl DeviceKind {
 }
 
 /// One fully specified experiment.
-#[derive(Clone, Copy, PartialEq, Debug)]
+///
+/// Equality ignores [`JobSpec::sanitize`]: sanitizing is observation-only
+/// (metrics are byte-identical at any level), so a stored result remains
+/// valid for the same job re-run at a different sanitize level — resume
+/// matching and baseline comparison must not invalidate it.
+#[derive(Clone, Copy, Debug)]
 pub struct JobSpec {
     /// Workload scenario.
     pub scenario: Scenario,
@@ -137,6 +143,32 @@ pub struct JobSpec {
     pub time_cap_ms: u64,
     /// Simulator master seed (derived from the campaign seed).
     pub seed: u64,
+    /// hwdp-audit sanitizer level (observation-only; excluded from
+    /// equality and the JSON artifact).
+    pub sanitize: SanitizeLevel,
+}
+
+impl PartialEq for JobSpec {
+    fn eq(&self, other: &JobSpec) -> bool {
+        self.scenario == other.scenario
+            && self.mode == other.mode
+            && self.device == other.device
+            && self.threads == other.threads
+            && self.ratio == other.ratio
+            && self.memory_frames == other.memory_frames
+            && self.ops == other.ops
+            && self.pmshr_entries == other.pmshr_entries
+            && self.free_queue_depth == other.free_queue_depth
+            && self.kpoold_enabled == other.kpoold_enabled
+            && self.kpoold_period_us == other.kpoold_period_us
+            && self.kpted_period_us == other.kpted_period_us
+            && self.readahead_pages == other.readahead_pages
+            && self.smu_prefetch_pages == other.smu_prefetch_pages
+            && self.per_core_free_queues == other.per_core_free_queues
+            && self.long_io_timeout_us == other.long_io_timeout_us
+            && self.time_cap_ms == other.time_cap_ms
+            && self.seed == other.seed
+    }
 }
 
 impl JobSpec {
@@ -162,6 +194,7 @@ impl JobSpec {
             long_io_timeout_us: None,
             time_cap_ms: 30_000,
             seed,
+            sanitize: SanitizeLevel::Off,
         }
     }
 
@@ -310,6 +343,13 @@ impl Grid {
         self
     }
 
+    /// Sets the hwdp-audit sanitize level for every job
+    /// (observation-only; metrics are unaffected).
+    pub fn sanitize(mut self, level: SanitizeLevel) -> Grid {
+        self.template.sanitize = level;
+        self
+    }
+
     /// Gives every job the campaign seed itself instead of a per-index
     /// derived seed. Used when reproducing figure tables whose historical
     /// runs all shared one master seed.
@@ -420,6 +460,24 @@ mod tests {
         assert_eq!(j.get("seed").and_then(Json::as_str), Some("0xfffffffffffffffe"));
         assert_eq!(j.get("scenario").and_then(Json::as_str), Some("fio"));
         assert_eq!(j.get("pmshr_entries"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn equality_and_json_ignore_sanitize_level() {
+        let a = JobSpec::new(Scenario::FioRand, Mode::Hwdp, 3);
+        let mut b = a;
+        b.sanitize = SanitizeLevel::Full;
+        assert_eq!(a, b, "sanitize is observation-only: results stay reusable");
+        assert_eq!(a.to_json().pretty(), b.to_json().pretty(), "artifacts stay byte-identical");
+        let mut c = a;
+        c.ops += 1;
+        assert_ne!(a, c, "simulation-relevant fields still compare");
+    }
+
+    #[test]
+    fn grid_sanitize_applies_to_every_job() {
+        let c = Grid::new("t", 1).ratios([2.0, 4.0]).sanitize(SanitizeLevel::Cheap).expand();
+        assert!(c.jobs.iter().all(|j| j.sanitize == SanitizeLevel::Cheap));
     }
 
     #[test]

@@ -50,6 +50,33 @@ fn seed_campaign_reproduces_committed_baseline() {
 }
 
 #[test]
+fn full_sanitize_reproduces_committed_baseline_byte_for_byte() {
+    // The hwdp-audit parity contract: `SanitizeLevel::Full` is
+    // observation-only, so the sanitized seed campaign must produce the
+    // exact committed artifact — same metrics, no extra keys, no config
+    // field — byte-identical to `baselines/BENCH_seed.json`.
+    let baseline_path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../../baselines/BENCH_seed.json");
+    let text = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", baseline_path.display()));
+    let baseline = Artifact::parse(&text).expect("committed baseline parses");
+
+    let mut campaign = seed_campaign();
+    for job in &mut campaign.jobs {
+        job.sanitize = hwdp_sim::SanitizeLevel::Full;
+    }
+    let fresh = execute_campaign(&campaign, 4, &mut Counting::default());
+
+    assert_eq!(
+        fresh.canonical_string(),
+        baseline.canonical_string(),
+        "a Full-sanitized run perturbed the seed campaign artifact; \
+         sanitizers must be observation-only (no events, no RNG draws, \
+         no metric changes on clean runs)"
+    );
+}
+
+#[test]
 fn seed_campaign_is_worker_count_invariant() {
     let campaign = seed_campaign();
     let one = execute_campaign(&campaign, 1, &mut Counting::default());

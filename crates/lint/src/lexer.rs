@@ -63,8 +63,22 @@ impl Token {
 /// The lexer is intentionally forgiving: it never fails. Unterminated
 /// constructs simply extend to end-of-file, which is good enough for a
 /// linter whose inputs are files `rustc` already accepts.
+///
+/// A shebang line (`#!/usr/bin/env …` as the very first bytes, which
+/// `rustc` accepts on executable scripts) is consumed as a comment token
+/// so its path segments cannot masquerade as code. `#![inner_attribute]`
+/// is *not* a shebang and lexes normally.
 pub fn lex(source: &str) -> Vec<Token> {
-    Lexer { src: source.as_bytes(), pos: 0, line: 1, col: 1 }.run()
+    let mut lexer = Lexer { src: source.as_bytes(), pos: 0, line: 1, col: 1 };
+    let mut out = Vec::new();
+    if source.starts_with("#!") && !source.starts_with("#![") {
+        while lexer.peek().is_some_and(|b| b != b'\n') {
+            lexer.bump();
+        }
+        out.push(lexer.token(TokKind::Comment, 0, 1, 1));
+    }
+    lexer.run_into(&mut out);
+    out
 }
 
 struct Lexer<'a> {
@@ -96,8 +110,7 @@ impl<'a> Lexer<'a> {
         Some(b)
     }
 
-    fn run(mut self) -> Vec<Token> {
-        let mut out = Vec::new();
+    fn run_into(&mut self, out: &mut Vec<Token>) {
         while let Some(b) = self.peek() {
             let (line, col) = (self.line, self.col);
             let start = self.pos;
@@ -155,7 +168,6 @@ impl<'a> Lexer<'a> {
                 }
             }
         }
-        out
     }
 
     fn token(&self, kind: TokKind, start: usize, line: u32, col: u32) -> Token {
@@ -452,5 +464,53 @@ mod tests {
         let toks = kinds("ratio bytes rb br");
         assert!(toks.iter().all(|(k, _)| *k == TokKind::Ident));
         assert_eq!(toks.len(), 4);
+    }
+
+    #[test]
+    fn shebang_line_is_a_comment() {
+        let toks = kinds("#!/usr/bin/env rust-script\nfn main() { x.unwrap(); }");
+        assert_eq!(toks[0], (TokKind::Comment, "#!/usr/bin/env rust-script".into()));
+        // The path segments must not leak out as identifiers/punctuation.
+        assert!(!toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "usr"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "main"));
+        // Line numbers after the shebang stay correct.
+        let all = lex("#!/bin/sh\nfn f() {}");
+        let fn_tok = all.iter().find(|t| t.is_ident("fn")).expect("fn lexes");
+        assert_eq!(fn_tok.line, 2);
+    }
+
+    #[test]
+    fn inner_attribute_is_not_a_shebang() {
+        let toks = kinds("#![forbid(unsafe_code)]\nfn f() {}");
+        assert_eq!(toks[0], (TokKind::Punct, "#".into()));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "forbid"));
+        // `#!` mid-file is also ordinary punctuation, never a shebang.
+        let mid = kinds("fn f() {}\n#![allow(dead_code)]");
+        assert!(mid.iter().any(|(k, t)| *k == TokKind::Ident && t == "allow"));
+    }
+
+    #[test]
+    fn raw_strings_with_two_or_more_hashes() {
+        // A `"#` sequence inside an `r##…##` string must not close it.
+        let toks = kinds(r####"let s = r##"contains "# inside and panic!"##;"####);
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Str)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(strs, vec![r##"contains "# inside and panic!"##]);
+        assert!(!toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "panic"));
+        // Three hashes, with a two-hash close candidate inside.
+        let toks3 = kinds(r####"r###"a "## b"### x"####);
+        let strs3: Vec<&str> = toks3
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Str)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(strs3, vec![r###"a "## b"###]);
+        assert!(toks3.iter().any(|(k, t)| *k == TokKind::Ident && t == "x"));
+        // Byte-raw form with two hashes.
+        let btoks = kinds(r####"let b = br##"bytes "# here"##;"####);
+        assert!(btoks.iter().any(|(k, t)| *k == TokKind::Str && t == r##"bytes "# here"##));
     }
 }

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod item_tree;
 pub mod lexer;
 pub mod rules;
 
@@ -164,14 +165,36 @@ fn relative(root: &Path, path: &Path) -> String {
 /// applied; the grandfather baseline is not (see [`baseline::apply`]).
 pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
     let mut report = Report::default();
+    let mut audited_crates = std::collections::BTreeSet::new();
     for path in collect_sources(root)? {
         let rel = relative(root, &path);
         let source = std::fs::read_to_string(&path)?;
         let ctx = context_for(&rel);
         let outcome = rules::scan(&ctx, &source);
+        if outcome.has_sanitizer_impl {
+            audited_crates.insert(ctx.crate_name.clone());
+        }
         report.findings.extend(outcome.findings);
         report.inline_suppressed += outcome.suppressed;
         report.files_scanned += 1;
+    }
+    // Workspace-level audit-coverage pass: every crate on the hwdp-audit
+    // roster must register at least one sanitizer checker somewhere in
+    // its src/ tree. Anchored at the crate root so the finding (and any
+    // baseline budget for it) has a stable location.
+    for crate_name in rules::AUDIT_REQUIRED_CRATES {
+        if !audited_crates.contains(crate_name) {
+            report.findings.push(Finding {
+                file: format!("crates/{crate_name}/src/lib.rs"),
+                line: 1,
+                col: 1,
+                rule: "audit-coverage",
+                message: format!(
+                    "crate `{crate_name}` registers no hwdp-audit checker \
+                     (no `impl ... Sanitizer for ...` found in its src/ tree)"
+                ),
+            });
+        }
     }
     report
         .findings

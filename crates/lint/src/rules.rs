@@ -5,10 +5,14 @@
 //! byte-identical `BENCH_*.json` artifacts; panic-policy rules cover all
 //! library code; hygiene rules everything that is not a CLI/bench binary.
 //!
-//! The scanner never looks at raw text. It walks the lexed token stream,
-//! skips `#[cfg(test)]` items entirely, and honours inline suppressions of
-//! the form `// hwdp-lint: allow(rule-id): justification`.
+//! The scanner never looks at raw text. It walks the lexed token stream
+//! under the brace-matched [`crate::item_tree`]: panic-policy exemptions
+//! cover exactly the spans of `#[cfg(test)]` items and `#[test]`
+//! functions, and the `audit-coverage` rule checks for structural
+//! `impl … Sanitizer for …` registrations. Inline suppressions of the
+//! form `// hwdp-lint: allow(rule-id): justification` are honoured.
 
+use crate::item_tree::ItemTree;
 use crate::lexer::{lex, TokKind, Token};
 
 /// Crates on the simulation path: their container iteration order, clock
@@ -16,6 +20,12 @@ use crate::lexer::{lex, TokKind, Token};
 /// byte-identically.
 pub const SIM_PATH_CRATES: [&str; 8] =
     ["sim", "mem", "nvme", "smu", "os", "cpu", "core", "workloads"];
+
+/// Crates that must register hwdp-audit sanitizer checkers (an
+/// `impl … Sanitizer for …` somewhere in their `src/` tree). These are
+/// the layers whose invariants the cross-layer audit covers; a crate
+/// dropping its registration silently would hollow out `--sanitize=full`.
+pub const AUDIT_REQUIRED_CRATES: [&str; 5] = ["core", "mem", "nvme", "os", "smu"];
 
 /// Where a source file sits in the workspace, for rule scoping.
 #[derive(Clone, Debug)]
@@ -62,7 +72,7 @@ pub struct RuleInfo {
 }
 
 /// Every rule this pass knows, for documentation and `--rules` output.
-pub const RULES: [RuleInfo; 9] = [
+pub const RULES: [RuleInfo; 10] = [
     RuleInfo {
         id: "det-hash-container",
         summary: "HashMap/HashSet iteration order is randomized per process; use BTreeMap/BTreeSet or Vec",
@@ -108,6 +118,11 @@ pub const RULES: [RuleInfo; 9] = [
         summary: "println!/print! pollute stdout outside the cli/bench binaries",
         scope: "all crates except cli and bench",
     },
+    RuleInfo {
+        id: "audit-coverage",
+        summary: "audited sim-path crates must register an `impl ... Sanitizer for ...` checker",
+        scope: "core, mem, nvme, os, smu",
+    },
 ];
 
 fn is_sim_path(crate_name: &str) -> bool {
@@ -125,6 +140,7 @@ pub fn applies(rule: &str, ctx: &FileContext) -> bool {
         "hygiene-println" => {
             !ctx.is_bin && ctx.crate_name != "cli" && ctx.crate_name != "bench"
         }
+        "audit-coverage" => AUDIT_REQUIRED_CRATES.contains(&ctx.crate_name.as_str()),
         _ => false,
     }
 }
@@ -184,16 +200,20 @@ pub fn scan(ctx: &FileContext, source: &str) -> ScanOutcome {
     }
 
     let sig: Vec<&Token> = tokens.iter().filter(|t| t.kind != TokKind::Comment).collect();
+    let tree = ItemTree::parse(&sig);
+    // Function-precise panic-policy scoping: the mask covers exactly the
+    // brace-matched spans of `#[cfg(test)]` items and `#[test]` fns, so a
+    // `;` inside a type or a test fn outside a test module cannot confuse
+    // the exemption boundary.
+    let test_mask = tree.test_token_mask(sig.len());
     let mut raw = Vec::new();
-    let mut i = 0usize;
-    while i < sig.len() {
-        if let Some(skip_to) = cfg_test_item_end(&sig, i) {
-            i = skip_to;
+    for i in 0..sig.len() {
+        if test_mask[i] {
             continue;
         }
         check_at(ctx, &sig, i, &mut raw);
-        i += 1;
     }
+    let has_sanitizer_impl = tree.has_trait_impl(&sig, "Sanitizer");
 
     let mut suppressed = 0usize;
     findings.extend(raw.into_iter().filter(|f| {
@@ -208,7 +228,7 @@ pub fn scan(ctx: &FileContext, source: &str) -> ScanOutcome {
         !allowed
     }));
     findings.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
-    ScanOutcome { findings, suppressed }
+    ScanOutcome { findings, suppressed, has_sanitizer_impl }
 }
 
 /// What [`scan`] produced for one file.
@@ -217,54 +237,10 @@ pub struct ScanOutcome {
     pub findings: Vec<Finding>,
     /// Findings silenced by a justified inline allow.
     pub suppressed: usize,
-}
-
-/// If `sig[i]` starts a `#[cfg(test)]`-gated item (attribute + item),
-/// returns the index just past that item so the caller can skip it.
-fn cfg_test_item_end(sig: &[&Token], i: usize) -> Option<usize> {
-    if !(sig[i].is_punct('#') && sig.get(i + 1).is_some_and(|t| t.is_punct('['))) {
-        return None;
-    }
-    let attr_end = matching_close(sig, i + 1, '[', ']')?;
-    let group = &sig[i + 2..attr_end];
-    let has = |name: &str| group.iter().any(|t| t.is_ident(name));
-    if !(has("cfg") && has("test")) {
-        return None;
-    }
-    // Skip any further attributes between the cfg and the item itself.
-    let mut j = attr_end + 1;
-    while j < sig.len() && sig[j].is_punct('#') && sig.get(j + 1).is_some_and(|t| t.is_punct('['))
-    {
-        j = matching_close(sig, j + 1, '[', ']')? + 1;
-    }
-    // The item runs to a top-level `;` (e.g. `use`) or a braced body.
-    while j < sig.len() {
-        let t = sig[j];
-        if t.is_punct(';') {
-            return Some(j + 1);
-        }
-        if t.is_punct('{') {
-            return Some(matching_close(sig, j, '{', '}')? + 1);
-        }
-        j += 1;
-    }
-    Some(sig.len())
-}
-
-/// Index of the delimiter closing the group opened at `open_idx`.
-fn matching_close(sig: &[&Token], open_idx: usize, open: char, close: char) -> Option<usize> {
-    let mut depth = 0i64;
-    for (k, t) in sig.iter().enumerate().skip(open_idx) {
-        if t.is_punct(open) {
-            depth += 1;
-        } else if t.is_punct(close) {
-            depth -= 1;
-            if depth == 0 {
-                return Some(k);
-            }
-        }
-    }
-    None
+    /// `true` when the file structurally registers an hwdp-audit checker
+    /// (a non-test `impl … Sanitizer for …` item). Aggregated per crate by
+    /// the workspace pass for the `audit-coverage` rule.
+    pub has_sanitizer_impl: bool,
 }
 
 fn emit(ctx: &FileContext, tok: &Token, rule: &'static str, message: String, out: &mut Vec<Finding>) {

@@ -1,0 +1,85 @@
+//! The `baselines/LINT_allow.txt` ratchet: grandfather budgets may only
+//! ever decrease.
+//!
+//! Running the linter over the live workspace must produce, per
+//! `(rule, path)`, at most as many findings as the committed budget —
+//! i.e. a fresh `--write-baseline` could only shrink entries or drop
+//! them, never grow one or add a new pair. A budget that needs raising
+//! means new panic-prone or nondeterministic code slipped in; fix the
+//! code, don't grow the baseline.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+fn workspace_root() -> std::path::PathBuf {
+    hwdp_lint::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("tests run inside the workspace")
+}
+
+#[test]
+fn write_baseline_budgets_only_decrease() {
+    let root = workspace_root();
+    let report = hwdp_lint::lint_workspace(&root).expect("workspace lints");
+
+    let baseline_file = hwdp_lint::baseline_path(&root);
+    let text = std::fs::read_to_string(&baseline_file)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", baseline_file.display()));
+    let committed: BTreeMap<(String, String), usize> = hwdp_lint::baseline::parse(&text)
+        .expect("committed baseline parses")
+        .into_iter()
+        .map(|e| ((e.rule, e.path), e.count))
+        .collect();
+
+    // What --write-baseline would write now, as (rule, path) -> count.
+    let mut fresh: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for f in &report.findings {
+        *fresh.entry((f.rule.to_string(), f.file.clone())).or_insert(0) += 1;
+    }
+
+    let mut grown = Vec::new();
+    for ((rule, path), count) in &fresh {
+        let budget = committed.get(&(rule.clone(), path.clone())).copied().unwrap_or(0);
+        if *count > budget {
+            grown.push(format!("{count} {rule} {path} (budget {budget})"));
+        }
+    }
+    assert!(
+        grown.is_empty(),
+        "budgets in baselines/LINT_allow.txt may only decrease; these would grow:\n  {}",
+        grown.join("\n  ")
+    );
+}
+
+#[test]
+fn committed_baseline_absorbs_every_finding() {
+    // The CI `--deny` contract restated as a unit test: after applying
+    // the committed budgets, no finding remains.
+    let root = workspace_root();
+    let report = hwdp_lint::lint_workspace(&root).expect("workspace lints");
+    let text = std::fs::read_to_string(hwdp_lint::baseline_path(&root))
+        .expect("baseline file exists");
+    let entries = hwdp_lint::baseline::parse(&text).expect("baseline parses");
+    let outcome = hwdp_lint::baseline::apply(report.findings, &entries);
+    let rendered: Vec<String> =
+        outcome.remaining.iter().map(hwdp_lint::rules::Finding::render).collect();
+    assert!(
+        outcome.remaining.is_empty(),
+        "unsuppressed findings:\n  {}",
+        rendered.join("\n  ")
+    );
+}
+
+#[test]
+fn every_audit_required_crate_registers_a_sanitizer() {
+    // The audit-coverage rule must stay green on the live tree: each
+    // layer on the hwdp-audit roster keeps its `impl Sanitizer` checker.
+    let root = workspace_root();
+    let report = hwdp_lint::lint_workspace(&root).expect("workspace lints");
+    let missing: Vec<&str> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "audit-coverage")
+        .map(|f| f.file.as_str())
+        .collect();
+    assert!(missing.is_empty(), "crates missing sanitizer registration: {missing:?}");
+}

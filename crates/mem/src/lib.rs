@@ -20,11 +20,15 @@
 //! * [`phys`] — a physical frame pool holding *real page contents*, so DMA
 //!   and user reads/writes move actual bytes and integrity can be asserted
 //!   end-to-end.
+//! * [`audit`] — this layer's hwdp-audit sanitizer ([`audit::MemAudit`]):
+//!   frame-pool leak/double-free accounting, PTE bit-layout round-trips,
+//!   and TLB ↔ live-PTE consistency.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod audit;
 pub mod page_table;
 pub mod phys;
 pub mod pte;
@@ -32,6 +36,7 @@ pub mod tlb;
 pub mod walker;
 
 pub use addr::{BlockRef, DeviceId, Lba, PageData, Pfn, PhysAddr, SocketId, VirtAddr, Vpn, PAGE_SIZE};
+pub use audit::MemAudit;
 pub use page_table::{PageTable, WalkResult};
 pub use phys::{FramePool, FrameState};
 pub use pte::{Pte, PteClass, PteFlags};

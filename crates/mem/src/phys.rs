@@ -156,6 +156,38 @@ impl FramePool {
     pub fn checksum(&self, pfn: Pfn) -> u64 {
         self.frames[pfn.0 as usize].data.checksum()
     }
+
+    /// hwdp-audit checker: leak/double-free accounting. The free list and
+    /// the per-frame states must agree exactly — every listed frame is in
+    /// range, marked [`FrameState::Free`] and listed once; every frame
+    /// marked free is on the list.
+    pub fn audit(&self, report: &mut hwdp_sim::sanitize::AuditReport) {
+        let layer = "mem";
+        let marked_free = self.frames.iter().filter(|f| f.state == FrameState::Free).count();
+        report.check(layer, "frame-accounting", marked_free == self.free_list.len(), || {
+            format!(
+                "{} frames marked Free but {} on the free list (leak or double free)",
+                marked_free,
+                self.free_list.len()
+            )
+        });
+        let mut seen = vec![false; self.frames.len()];
+        for &pfn in &self.free_list {
+            let idx = pfn.0 as usize;
+            if !report.check(layer, "frame-free-range", idx < self.frames.len(), || {
+                format!("free list holds out-of-range {pfn:?} (pool has {} frames)", self.frames.len())
+            }) {
+                continue;
+            }
+            report.check(layer, "frame-free-state", self.frames[idx].state == FrameState::Free, || {
+                format!("free list holds {pfn:?} whose state is {:?}", self.frames[idx].state)
+            });
+            report.check(layer, "frame-free-dup", !seen[idx], || {
+                format!("free list holds {pfn:?} twice (double free)")
+            });
+            seen[idx] = true;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -250,5 +282,18 @@ mod tests {
         assert_eq!(pool.state(a), FrameState::Allocated);
         pool.free(a);
         assert_eq!(pool.state(a), FrameState::Free);
+    }
+
+    #[test]
+    fn audit_clean_across_alloc_free_cycles() {
+        let mut pool = FramePool::new(8);
+        let a = pool.alloc().unwrap();
+        let b = pool.alloc().unwrap();
+        pool.free(a);
+        let _ = b;
+        let mut report = hwdp_sim::sanitize::AuditReport::new();
+        pool.audit(&mut report);
+        assert!(report.is_clean(), "{:?}", report.violations);
+        assert!(report.checks > 0, "audit actually evaluated invariants");
     }
 }

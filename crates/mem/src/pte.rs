@@ -225,6 +225,39 @@ impl Pte {
     pub const fn clear_accessed(self) -> Pte {
         Pte(self.0 & !BIT_ACCESSED)
     }
+
+    /// Re-encodes this entry from its fully decoded fields (Table I class,
+    /// payload, protection flags, A/D bits).
+    ///
+    /// A well-formed PTE is a fixed point of this transformation; any
+    /// difference means the word carries bits the Fig. 6 layout cannot
+    /// express — stray reserved bits (5–9), or payload on a non-present
+    /// entry whose LBA bit is clear. This is the hwdp-audit
+    /// `pte-roundtrip` invariant.
+    pub fn reencode(self) -> Pte {
+        let mut v = flag_bits(self.flags());
+        if self.is_accessed() {
+            v |= BIT_ACCESSED;
+        }
+        if self.is_dirty() {
+            v |= BIT_DIRTY;
+        }
+        if self.lba_bit() {
+            v |= BIT_LBA;
+        }
+        if self.is_present() {
+            v |= BIT_PRESENT;
+            if let Some(pfn) = self.pfn() {
+                v |= pfn.0 << PAYLOAD_SHIFT;
+            }
+        } else if let Some(b) = self.block() {
+            let payload = ((b.socket.0 as u64) << (DEV_BITS + LBA_BITS))
+                | ((b.device.0 as u64) << LBA_BITS)
+                | b.lba.0;
+            v |= payload << PAYLOAD_SHIFT;
+        }
+        Pte(v)
+    }
 }
 
 fn flag_bits(flags: PteFlags) -> u64 {
@@ -346,6 +379,32 @@ mod tests {
         for pte in [Pte::EMPTY, aug, aug.complete_hw_miss(Pfn(2)), Pte::present(Pfn(3), PteFlags::user_data())] {
             assert!(!format!("{pte:?}").is_empty());
         }
+    }
+
+    #[test]
+    fn reencode_is_identity_for_well_formed_ptes() {
+        let aug = Pte::lba_augmented(blk(3, 2, 77), PteFlags { write: true, user: true, nx: true, pkey: 5 });
+        let well_formed = [
+            Pte::EMPTY,
+            aug,
+            aug.complete_hw_miss(Pfn(12)),
+            aug.complete_hw_miss(Pfn(12)).with_dirty(),
+            aug.complete_hw_miss(Pfn(12)).with_dirty().clear_accessed(),
+            Pte::present(Pfn(9), PteFlags::user_ro()).with_accessed(),
+        ];
+        for pte in well_formed {
+            assert_eq!(pte.reencode(), pte, "{pte:?} must round-trip");
+        }
+    }
+
+    #[test]
+    fn reencode_exposes_stray_reserved_bits() {
+        let good = Pte::present(Pfn(4), PteFlags::user_data());
+        let corrupt = Pte(good.0 | 1 << 7); // reserved bit 7: not in Fig. 6
+        assert_ne!(corrupt.reencode(), corrupt, "stray reserved bit detected");
+        // Payload on a non-present, non-LBA entry is equally inexpressible.
+        let ghost = Pte(0xABC << 12);
+        assert_ne!(ghost.reencode(), ghost);
     }
 
     #[test]

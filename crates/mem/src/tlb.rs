@@ -154,6 +154,18 @@ impl Tlb {
     pub fn capacity(&self) -> usize {
         self.sets.len() * self.ways
     }
+
+    /// Read-only iteration over the live `(vpn, pfn)` translations, in
+    /// deterministic set/way order. Unlike [`Tlb::lookup`] this touches no
+    /// LRU state and no statistics — it exists for the hwdp-audit
+    /// `tlb-pte-match` cross-check, which must be observation-only.
+    pub fn entries(&self) -> impl Iterator<Item = (Vpn, Pfn)> + '_ {
+        self.sets
+            .iter()
+            .flat_map(|set| set.iter())
+            .filter(|w| w.valid)
+            .map(|w| (w.vpn, w.pfn))
+    }
 }
 
 #[cfg(test)]
@@ -244,5 +256,18 @@ mod tests {
     #[test]
     fn capacity_reported() {
         assert_eq!(Tlb::new(64, 4).capacity(), 64);
+    }
+
+    #[test]
+    fn entries_iterates_live_translations_without_side_effects() {
+        let mut tlb = Tlb::new(8, 2);
+        tlb.fill(Vpn(1), Pfn(10));
+        tlb.fill(Vpn(2), Pfn(20));
+        tlb.invalidate(Vpn(2));
+        let stats_before = tlb.stats();
+        let mut live: Vec<_> = tlb.entries().collect();
+        live.sort();
+        assert_eq!(live, vec![(Vpn(1), Pfn(10))]);
+        assert_eq!(tlb.stats(), stats_before, "audit iteration is observation-only");
     }
 }

@@ -329,6 +329,59 @@ impl NvmeController {
     }
 }
 
+impl NvmeController {
+    /// Total doorbell register writes across all queue pairs. Doorbells
+    /// only ever increment; the core-layer audit snapshots this between
+    /// audit points to prove monotonicity.
+    pub fn doorbell_writes_total(&self) -> u64 {
+        self.queues.iter().map(|q| q.doorbell_writes).sum()
+    }
+}
+
+impl hwdp_sim::sanitize::Sanitizer for NvmeController {
+    fn layer(&self) -> &'static str {
+        "nvme"
+    }
+
+    fn sanitize(
+        &self,
+        level: hwdp_sim::sanitize::SanitizeLevel,
+        report: &mut hwdp_sim::sanitize::AuditReport,
+    ) {
+        if !level.cheap_checks() {
+            return;
+        }
+        let layer = "nvme";
+        report.check(layer, "channel-count", self.channel_free.len() == self.profile.channels, || {
+            format!(
+                "{} channel slots but the profile declares {}",
+                self.channel_free.len(),
+                self.profile.channels
+            )
+        });
+        for (&token, inflight) in &self.inflight {
+            report.check(layer, "inflight-token", token < self.next_token, || {
+                format!("in-flight token {token} was never issued (next is {})", self.next_token)
+            });
+            report.check(layer, "inflight-times", inflight.finish >= inflight.submitted, || {
+                format!(
+                    "command cid {} finishes at {:?}, before its submission at {:?}",
+                    inflight.cmd.cid, inflight.finish, inflight.submitted
+                )
+            });
+            report.check(
+                layer,
+                "inflight-queue",
+                (inflight.qid.0 as usize) < self.queues.len(),
+                || format!("in-flight command cid {} names unknown queue {:?}", inflight.cmd.cid, inflight.qid),
+            );
+        }
+        for (qid, q) in self.queues.iter().enumerate() {
+            q.audit(qid, level, report);
+        }
+    }
+}
+
 impl std::fmt::Debug for NvmeController {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("NvmeController")
@@ -497,6 +550,24 @@ mod tests {
         assert_eq!(c.stats().writes, 1);
         assert_eq!(c.stats().read_latency.count(), 4);
         assert_eq!(c.inflight_count(), 0);
+    }
+
+    #[test]
+    fn controller_audits_clean_with_inflight_commands() {
+        use hwdp_sim::sanitize::{AuditReport, SanitizeLevel, Sanitizer};
+        let mut c = controller();
+        let q = c.create_queue_pair(8);
+        let cmd = NvmeCommand::read4k(1, 1, 0, PhysAddr(0));
+        let (tok, t) = c.submit(q, cmd, None, Time::ZERO).unwrap();
+        assert_eq!(c.layer(), "nvme");
+        let mut report = AuditReport::new();
+        c.sanitize(SanitizeLevel::Full, &mut report);
+        assert!(report.is_clean(), "{:?}", report.violations);
+        assert!(report.checks >= 4);
+        c.complete(tok, t);
+        let mut report = AuditReport::new();
+        c.sanitize(SanitizeLevel::Full, &mut report);
+        assert!(report.is_clean(), "{:?}", report.violations);
     }
 
     #[test]

@@ -543,6 +543,59 @@ impl Os {
     }
 }
 
+impl hwdp_sim::sanitize::Sanitizer for Os {
+    fn layer(&self) -> &'static str {
+        "os"
+    }
+
+    fn sanitize(
+        &self,
+        level: hwdp_sim::sanitize::SanitizeLevel,
+        report: &mut hwdp_sim::sanitize::AuditReport,
+    ) {
+        if !level.cheap_checks() {
+            return;
+        }
+        let layer = "os";
+        self.frames.audit(report);
+        report.check(layer, "cache-size", self.cache.len() <= self.frames.total(), || {
+            format!("{} cached pages exceed {} physical frames", self.cache.len(), self.frames.total())
+        });
+        if !level.full_checks() {
+            return;
+        }
+        let mut frame_users: std::collections::BTreeMap<u64, (u32, u64)> =
+            std::collections::BTreeMap::new();
+        for (file, page, pfn, _vpn) in self.cache.iter() {
+            let in_range = (pfn.0 as usize) < self.frames.total();
+            report.check(layer, "cache-frame-range", in_range, || {
+                format!("cache entry ({file:?},{page}) names out-of-range {pfn:?}")
+            });
+            if !in_range {
+                continue;
+            }
+            report.check(
+                layer,
+                "cache-frame-allocated",
+                self.frames.state(pfn) == hwdp_mem::phys::FrameState::Allocated,
+                || format!("cache entry ({file:?},{page}) names {pfn:?}, which is on the free list"),
+            );
+            if let Some(owner) = self.frames.owner(pfn) {
+                report.check(layer, "cache-frame-owner", owner == (file.0, page), || {
+                    format!("cache entry ({file:?},{page}) names {pfn:?}, owned by {owner:?}")
+                });
+            }
+            if let Some(prev) = frame_users.insert(pfn.0, (file.0, page)) {
+                report.check(layer, "cache-frame-alias", false, || {
+                    format!("{pfn:?} cached by both {prev:?} and ({},{page})", file.0)
+                });
+            } else {
+                report.checked();
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -733,6 +786,53 @@ mod tests {
         assert_eq!(&buf, b"payload");
         // Nothing dirty on a second sync.
         assert!(os.msync(id).is_empty());
+    }
+
+    #[test]
+    fn os_audits_clean_after_faults_and_reclaim() {
+        use hwdp_sim::sanitize::{AuditReport, SanitizeLevel, Sanitizer};
+        let (mut os, f) = os_with_file(40, 16);
+        let (_, vma) = os.mmap(f, MmapFlags::fast());
+        for p in 0..8 {
+            let (pfn, _) = os.alloc_frame();
+            os.map_resident(vma, p, pfn);
+            os.page_table.update_pte(vma.base.add(p), Pte::clear_accessed);
+        }
+        os.reclaim(4);
+        assert_eq!(os.layer(), "os");
+        let mut report = AuditReport::new();
+        os.sanitize(SanitizeLevel::Full, &mut report);
+        assert!(report.is_clean(), "{:?}", report.violations);
+        assert!(report.checks > 0);
+    }
+
+    #[test]
+    fn negative_cache_entry_to_free_frame_detected() {
+        use hwdp_sim::sanitize::{AuditReport, SanitizeLevel, Sanitizer};
+        // Injected corruption: a page-cache entry points at a frame that
+        // was freed underneath it (the cache and pool disagree).
+        let (mut os, f) = os_with_file(32, 4);
+        let (pfn, _) = os.alloc_frame();
+        os.cache.insert(f, 0, pfn, None);
+        os.frames.free(pfn);
+        let mut report = AuditReport::new();
+        os.sanitize(SanitizeLevel::Full, &mut report);
+        assert!(!report.is_clean());
+        assert!(report.violations.iter().any(|v| v.layer == "os" && v.invariant == "cache-frame-allocated"));
+    }
+
+    #[test]
+    fn negative_aliased_frame_detected() {
+        use hwdp_sim::sanitize::{AuditReport, SanitizeLevel, Sanitizer};
+        // Injected corruption: two logical pages cache the same frame —
+        // the aliasing the PMSHR exists to prevent (§V).
+        let (mut os, f) = os_with_file(32, 4);
+        let (pfn, _) = os.alloc_frame();
+        os.cache.insert(f, 0, pfn, None);
+        os.cache.insert(f, 1, pfn, None);
+        let mut report = AuditReport::new();
+        os.sanitize(SanitizeLevel::Full, &mut report);
+        assert!(report.violations.iter().any(|v| v.invariant == "cache-frame-alias"));
     }
 
     #[test]

@@ -89,6 +89,14 @@ impl PageCache {
         self.map.remove(&(file.0, page)).map(|c| c.pfn)
     }
 
+    /// Read-only iteration over every cached page in deterministic
+    /// `(file, page)` order: `(file, page, pfn, mapped vpn)`. Exists for
+    /// the hwdp-audit cache ↔ frame-pool cross-check, which must be
+    /// observation-only (no clock rotation, no LRU touches).
+    pub fn iter(&self) -> impl Iterator<Item = (FileId, u64, Pfn, Option<Vpn>)> + '_ {
+        self.map.iter().map(|(&(f, p), c)| (FileId(f), p, c.pfn, c.vpn))
+    }
+
     /// Runs the second-chance clock to select up to `n` victims.
     /// `referenced(file, page, vpn)` reports whether the page was touched
     /// since the last sweep (its PTE accessed bit) — if so the page gets a
@@ -202,6 +210,23 @@ mod tests {
         let victims = pc.select_victims(3, |_, _, _| true);
         assert!(victims.is_empty(), "sweep budget prevents livelock");
         assert_eq!(pc.len(), 3);
+    }
+
+    #[test]
+    fn iter_is_deterministic_and_observation_only() {
+        let mut pc = PageCache::new();
+        pc.insert(f(2), 9, Pfn(99), Some(Vpn(0x900)));
+        pc.insert(f(1), 3, Pfn(13), None);
+        let all: Vec<_> = pc.iter().collect();
+        assert_eq!(
+            all,
+            vec![(f(1), 3, Pfn(13), None), (f(2), 9, Pfn(99), Some(Vpn(0x900)))],
+            "BTreeMap order: sorted by (file, page)"
+        );
+        // Iteration must not rotate the clock: the oldest insert is still
+        // the first victim.
+        let victims = pc.select_victims(1, |_, _, _| false);
+        assert_eq!(victims[0].page, 9);
     }
 
     #[test]

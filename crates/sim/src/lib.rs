@@ -14,6 +14,9 @@
 //!   and the device model.
 //! * [`stats`] — counters, running means, and fixed-bucket latency
 //!   histograms with percentile queries.
+//! * [`sanitize`] — the hwdp-audit sanitizer layer: the [`sanitize::Sanitizer`]
+//!   trait, [`sanitize::SanitizeLevel`] and structured [`sanitize::AuditReport`]s
+//!   every simulation crate registers runtime invariant checkers through.
 //!
 //! # Example
 //!
@@ -34,9 +37,11 @@
 pub mod dist;
 pub mod events;
 pub mod rng;
+pub mod sanitize;
 pub mod stats;
 pub mod time;
 
 pub use events::EventQueue;
 pub use rng::Prng;
+pub use sanitize::{AuditReport, SanitizeLevel, Sanitizer, Violation};
 pub use time::{Duration, Freq, Time};

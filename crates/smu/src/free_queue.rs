@@ -175,6 +175,46 @@ impl FreePageQueue {
     pub fn drain(&mut self) -> Vec<FreePage> {
         self.prefetch.drain(..).chain(self.ring.drain(..)).collect()
     }
+
+    /// hwdp-audit checker for this queue. Cheap checks validate capacity
+    /// bounds and counter sanity; full checks sweep every queued entry and
+    /// verify its DMA address is the frame base the producer is contracted
+    /// to write (`<PFN, DMA>` pair coherence).
+    pub fn audit(
+        &self,
+        qid: usize,
+        level: hwdp_sim::SanitizeLevel,
+        report: &mut hwdp_sim::AuditReport,
+    ) {
+        let layer = "smu";
+        if !level.cheap_checks() {
+            return;
+        }
+        report.check(layer, "freeq-capacity", self.ring.len() <= self.depth, || {
+            format!("queue {qid}: ring holds {} entries, depth is {}", self.ring.len(), self.depth)
+        });
+        report.check(layer, "freeq-prefetch-capacity", self.prefetch.len() <= self.prefetch_capacity, || {
+            format!(
+                "queue {qid}: prefetch buffer holds {} entries, capacity is {}",
+                self.prefetch.len(),
+                self.prefetch_capacity
+            )
+        });
+        report.check(layer, "freeq-counters", self.stats.pops <= self.stats.pushes && self.stats.prefetched_pops <= self.stats.pops, || {
+            format!(
+                "queue {qid}: counters inconsistent (pops {}, prefetched {}, pushes {})",
+                self.stats.pops, self.stats.prefetched_pops, self.stats.pushes
+            )
+        });
+        if !level.full_checks() {
+            return;
+        }
+        for p in self.prefetch.iter().chain(self.ring.iter()) {
+            report.check(layer, "free-page-dma", p.dma == p.pfn.base(), || {
+                format!("queue {qid}: queued pair has DMA {:?} but {:?} bases at {:?}", p.dma, p.pfn, p.pfn.base())
+            });
+        }
+    }
 }
 
 #[cfg(test)]
@@ -265,5 +305,37 @@ mod tests {
     #[test]
     fn dma_address_is_frame_base() {
         assert_eq!(fp(3).dma, PhysAddr(3 * 4096));
+    }
+
+    #[test]
+    fn audit_clean_through_refill_and_fetch() {
+        let mut q = FreePageQueue::new(8, 2);
+        q.push_batch((0..6).map(fp));
+        q.refill_prefetch();
+        q.fetch();
+        let mut report = hwdp_sim::AuditReport::new();
+        q.audit(0, hwdp_sim::SanitizeLevel::Full, &mut report);
+        assert!(report.is_clean(), "{:?}", report.violations);
+        assert!(report.checks >= 3 + 5, "3 cheap checks + one per queued entry");
+        let mut report = hwdp_sim::AuditReport::new();
+        q.audit(0, hwdp_sim::SanitizeLevel::Off, &mut report);
+        assert_eq!(report.checks, 0);
+    }
+
+    #[test]
+    fn negative_mismatched_dma_pair_detected() {
+        // Injected corruption: a producer queues a <PFN, DMA> pair whose
+        // DMA target is not the frame base — DMA would land in the wrong
+        // frame. FreePage's fields are public (the producer builds pairs),
+        // so this needs no test hook.
+        let mut q = FreePageQueue::new(4, 2);
+        q.push(fp(1));
+        q.push(FreePage { pfn: Pfn(2), dma: PhysAddr(999) });
+        let mut report = hwdp_sim::AuditReport::new();
+        q.audit(7, hwdp_sim::SanitizeLevel::Full, &mut report);
+        assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+        assert_eq!(report.violations[0].layer, "smu");
+        assert_eq!(report.violations[0].invariant, "free-page-dma");
+        assert!(report.violations[0].message.contains("queue 7"));
     }
 }

@@ -230,6 +230,50 @@ impl Pmshr {
         self.live -= 1;
         e
     }
+
+    /// hwdp-audit checker: the CAM's occupancy counter matches the live
+    /// slots, no two live entries track the same page (the coalescing /
+    /// anti-aliasing guarantee of §V), and any assigned frame's DMA target
+    /// is that frame's base address.
+    pub fn audit(&self, report: &mut hwdp_sim::sanitize::AuditReport) {
+        let layer = "smu";
+        let live_slots = self.slots.iter().filter(|s| s.is_some()).count();
+        report.check(layer, "pmshr-occupancy", live_slots == self.live as usize, || {
+            format!("{live_slots} live slots but the occupancy counter says {}", self.live)
+        });
+        let mut seen: std::collections::BTreeMap<u64, usize> = std::collections::BTreeMap::new();
+        for (i, slot) in self.slots.iter().enumerate() {
+            let Some(e) = slot else { continue };
+            if let Some(&prev) = seen.get(&e.walk.pte_addr.0) {
+                report.check(layer, "pmshr-duplicate", false, || {
+                    format!(
+                        "slots {prev} and {i} both track the miss at PTE address {:#x} (duplicate outstanding fault)",
+                        e.walk.pte_addr.0
+                    )
+                });
+            } else {
+                report.checked();
+                seen.insert(e.walk.pte_addr.0, i);
+            }
+            if let (Some(pfn), Some(dma)) = (e.pfn, e.dma) {
+                report.check(layer, "pmshr-frame-dma", dma == pfn.base(), || {
+                    format!("slot {i}: DMA target {dma:?} is not the base of {pfn:?}")
+                });
+            }
+        }
+    }
+
+    /// Test-only corruption hook: copies a live entry into a free slot
+    /// without touching the occupancy counter, so the hwdp-audit
+    /// `pmshr-duplicate` negative test can inject the duplicate-fault
+    /// state that [`Pmshr::present`]'s coalescing makes unreachable.
+    #[cfg(test)]
+    pub(crate) fn inject_duplicate_for_test(&mut self, idx: EntryIdx) {
+        let clone = self.slots[idx.0 as usize].clone();
+        if let Some(free) = self.slots.iter().position(|s| s.is_none()) {
+            self.slots[free] = clone;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -352,6 +396,51 @@ mod tests {
         }
         assert_eq!(p.stats().high_water, 5);
         assert_eq!(p.occupancy(), 0);
+    }
+
+    #[test]
+    fn audit_clean_through_miss_lifecycle() {
+        let mut p = Pmshr::new(4);
+        let mut pt = PageTable::new();
+        for vpn in 0..3u64 {
+            pt.set_pte(Vpn(vpn), Pte::lba_augmented(block(vpn), PteFlags::user_data()));
+        }
+        let idxs: Vec<_> = (0..3u64)
+            .map(|vpn| match p.present(pt.walk(Vpn(vpn)).unwrap(), block(vpn), vpn).unwrap() {
+                Presented::Allocated(i) => i,
+                _ => panic!("fresh pages allocate"),
+            })
+            .collect();
+        p.set_frame(idxs[0], Pfn(9), PhysAddr(9 << 12));
+        let mut report = hwdp_sim::AuditReport::new();
+        p.audit(&mut report);
+        assert!(report.is_clean(), "{:?}", report.violations);
+        assert!(report.checks >= 4, "occupancy + one per live entry + frame-dma");
+        p.invalidate(idxs[1]);
+        let mut report = hwdp_sim::AuditReport::new();
+        p.audit(&mut report);
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn negative_duplicate_outstanding_fault_detected() {
+        // Injected corruption: two live entries keyed by the same PTE
+        // address — the aliasing the CAM lookup exists to prevent (§V).
+        let mut p = Pmshr::new(4);
+        let w = walk_for(5);
+        let Presented::Allocated(idx) = p.present(w, block(5), 1).unwrap() else {
+            panic!("expected allocation")
+        };
+        p.inject_duplicate_for_test(idx);
+        let mut report = hwdp_sim::AuditReport::new();
+        p.audit(&mut report);
+        let dup: Vec<_> =
+            report.violations.iter().filter(|v| v.invariant == "pmshr-duplicate").collect();
+        assert_eq!(dup.len(), 1, "{:?}", report.violations);
+        assert_eq!(dup[0].layer, "smu");
+        assert!(dup[0].message.contains("duplicate outstanding fault"));
+        // The injected clone also desyncs the occupancy counter.
+        assert!(report.violations.iter().any(|v| v.invariant == "pmshr-occupancy"));
     }
 
     #[test]

@@ -365,6 +365,25 @@ impl Smu {
     }
 }
 
+impl hwdp_sim::Sanitizer for Smu {
+    fn layer(&self) -> &'static str {
+        "smu"
+    }
+
+    /// Delegates to the PMSHR CAM checker (occupancy, duplicate-fault,
+    /// frame/DMA coherence) and every free-page queue's checker (capacity
+    /// bounds, counter sanity, `<PFN, DMA>` pair coherence).
+    fn sanitize(&self, level: hwdp_sim::SanitizeLevel, report: &mut hwdp_sim::AuditReport) {
+        if !level.cheap_checks() {
+            return;
+        }
+        self.pmshr.audit(report);
+        for (qid, q) in self.queues.iter().enumerate() {
+            q.audit(qid, level, report);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -490,6 +509,25 @@ mod tests {
             panic!("started")
         };
         assert_eq!(before_device, smu.timing().before_device(true));
+    }
+
+    #[test]
+    fn smu_audits_clean_with_outstanding_misses() {
+        use hwdp_sim::Sanitizer as _;
+        let (mut smu, mut pt) = setup();
+        let req = augment(&mut pt, 1, 1);
+        let MissOutcome::Started { entry, .. } = smu.begin_miss(req) else { panic!("started") };
+        let req2 = augment(&mut pt, 2, 2);
+        assert!(matches!(smu.begin_miss(req2), MissOutcome::Started { .. }));
+        let mut report = hwdp_sim::AuditReport::new();
+        smu.sanitize(hwdp_sim::SanitizeLevel::Full, &mut report);
+        assert_eq!(smu.layer(), "smu");
+        assert!(report.is_clean(), "{:?}", report.violations);
+        assert!(report.checks > 0);
+        smu.finish_io(entry, &mut pt);
+        let mut report = hwdp_sim::AuditReport::new();
+        smu.sanitize(hwdp_sim::SanitizeLevel::Off, &mut report);
+        assert_eq!(report.checks, 0, "Off level runs no checks");
     }
 
     #[test]

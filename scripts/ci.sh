@@ -3,6 +3,11 @@
 #
 #   scripts/ci.sh            # build, test, sweep, compare against baseline
 #   scripts/ci.sh --refresh  # additionally rewrite baselines/BENCH_seed.json
+#   scripts/ci.sh --proptest # only the per-crate property-test loop
+#
+# Set HWDP_CI_OUT=<dir> to keep the campaign artifacts (BENCH_*.json,
+# AUDIT_*.json) instead of writing them to a throwaway temp dir; the
+# GitHub Actions workflow uses this to archive them.
 #
 # The smoke campaign is deterministic (virtual-time simulation, per-job
 # seeds derived from the campaign seed), so the comparison against the
@@ -12,6 +17,21 @@
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Crates carrying a `proptest` feature. The GitHub Actions
+# `optional-features` job and local runs share this one list via
+# `scripts/ci.sh --proptest` (cargo cannot yet unify workspace-level
+# features cleanly for this layout, so it stays a loop).
+PROPTEST_CRATES=(sim mem nvme os smu workloads)
+
+if [[ "${1:-}" == "--proptest" ]]; then
+  for c in "${PROPTEST_CRATES[@]}"; do
+    echo "== proptest: hwdp-$c =="
+    cargo test -q -p "hwdp-$c" --features proptest --offline
+  done
+  echo "== proptest: ok =="
+  exit 0
+fi
 
 echo "== tier-1: build =="
 cargo build --release --workspace --offline
@@ -26,8 +46,13 @@ echo "== tier-1: tests =="
 cargo test -q --workspace --offline
 
 echo "== harness: smoke campaign (16 jobs, 4 workers) =="
-out="$(mktemp -d)"
-trap 'rm -rf "$out"' EXIT
+if [[ -n "${HWDP_CI_OUT:-}" ]]; then
+  out="$HWDP_CI_OUT"
+  mkdir -p "$out"
+else
+  out="$(mktemp -d)"
+  trap 'rm -rf "$out"' EXIT
+fi
 ./target/release/hwdp sweep \
   --name seed \
   --scenarios fio,ycsb-c --modes osdp,hwdp \
@@ -45,5 +70,19 @@ echo "== harness: regression gate =="
   --baseline baselines/BENCH_seed.json \
   --current "$out/BENCH_seed.json" \
   --threshold 5
+
+echo "== hwdp-audit: full-sanitize smoke campaign =="
+# The same 16 jobs with every cross-layer invariant checker enabled. The
+# sweep exits nonzero if any violation fires and writes AUDIT_audit.json;
+# the grep makes the zero-violation assertion explicit in the log.
+./target/release/hwdp sweep \
+  --name audit \
+  --scenarios fio,ycsb-c --modes osdp,hwdp \
+  --threads-list 1,2 --ratios 2,4 \
+  --memory 256 --ops 150 --seed 42 \
+  --sanitize full \
+  --workers 4 --out "$out"
+grep -q '"violations_total": 0' "$out/AUDIT_audit.json"
+echo "hwdp-audit: zero violations"
 
 echo "== ci: ok =="
