@@ -59,6 +59,17 @@ COMMON OPTIONS:
   --seed N                   RNG seed               (default 42)
   --sanitize off|cheap|full  hwdp-audit invariant checks (default off);
                              observation-only, results are unchanged
+  --faults SPEC              deterministic fault injection on every device.
+                             SPEC is comma-separated knobs:
+                               media=R        transient media-error rate
+                               persistent=R   persistent media-error rate
+                               delay=RxF      delay rate R, inflation factor F
+                               drop=R         dropped-completion rate
+                               qfull=RxL      queue-full window rate R, length L
+                               lba=LO-HI      restrict to an LBA range
+                               writes         also target write commands
+                             e.g. --faults media=0.05,delay=0.02x20
+                             (all-zero rates are a no-op; seeded, reproducible)
 
 FIO OPTIONS:
   --seq                      sequential instead of random reads
@@ -135,6 +146,18 @@ fn sanitize_level(args: &Args) -> Result<SanitizeLevel, ArgError> {
     }
 }
 
+/// Parses the common `--faults SPEC` option (default: no injection).
+fn fault_config(args: &Args) -> Result<Option<hwdp_nvme::fault::FaultConfig>, ArgError> {
+    match args.get("faults") {
+        None => Ok(None),
+        Some(s) => hwdp_nvme::fault::FaultConfig::parse(s).map(Some).ok_or_else(|| {
+            ArgError(format!(
+                "--faults: malformed spec '{s}' (e.g. media=0.05,delay=0.02x20,drop=0.01)"
+            ))
+        }),
+    }
+}
+
 /// Expands the `sweep` axis options into a harness campaign.
 fn sweep_campaign(args: &Args) -> Result<harness::Campaign, ArgError> {
     let parse_axis = |name: &str, default: &str, f: &dyn Fn(&str) -> Option<String>| {
@@ -200,6 +223,9 @@ fn sweep_campaign(args: &Args) -> Result<harness::Campaign, ArgError> {
     .memory_frames(args.num("memory", 1024)? as usize)
     .ops(args.num("ops", 2000)?)
     .sanitize(sanitize_level(args)?);
+    if let Some(faults) = fault_config(args)? {
+        grid = grid.faults(faults);
+    }
     if args.flag("fixed-seed") {
         grid = grid.fixed_seed();
     }
@@ -408,12 +434,15 @@ fn builder(args: &Args) -> Result<(SystemBuilder, usize, u64, u64), ArgError> {
     let threads = args.num("threads", 1)? as usize;
     let ratio = args.num("ratio", 4)?;
     let ops = args.num("ops", 2000)?;
-    let b = SystemBuilder::new(args.mode()?)
+    let mut b = SystemBuilder::new(args.mode()?)
         .memory_frames(memory)
         .device(args.device()?)
         .kpted_period(Duration::from_millis(1))
         .sanitize(sanitize_level(args)?)
         .seed(args.num("seed", 42)?);
+    if let Some(faults) = fault_config(args)? {
+        b = b.faults(faults);
+    }
     Ok((b, threads, ratio, ops))
 }
 
@@ -449,6 +478,13 @@ fn report(label: &str, r: &RunResult) {
         println!(
             "  prefetching      SMU {}  OS readahead {}",
             r.smu_prefetches, r.readahead_reads
+        );
+    }
+    let p = &r.perf;
+    if p.io_retries + p.io_timeouts + p.smu_fallbacks_fault + p.io_errors_surfaced > 0 {
+        println!(
+            "  fault recovery   {} retries, {} timeouts, {} SMU fallbacks, {} errors surfaced",
+            p.io_retries, p.io_timeouts, p.smu_fallbacks_fault, p.io_errors_surfaced
         );
     }
     match r.verify_failures() {

@@ -2,6 +2,7 @@
 //! sweeps).
 
 use hwdp_cpu::pollution::PollutionParams;
+use hwdp_nvme::fault::FaultConfig;
 use hwdp_nvme::profile::DeviceProfile;
 use hwdp_sim::time::{Duration, Freq};
 use hwdp_sim::SanitizeLevel;
@@ -32,6 +33,37 @@ impl Mode {
     /// Whether this mode populates LBA-augmented PTEs at `mmap` time.
     pub fn uses_lba_ptes(self) -> bool {
         matches!(self, Mode::Hwdp | Mode::SwOnly)
+    }
+}
+
+/// Host-side I/O fault-recovery policy: how many times a failed read is
+/// retried, with what backoff, and how long the per-command watchdog
+/// waits before declaring a command lost.
+///
+/// Recovery is layered (paper §IV fallback): the SMU retries a failed
+/// hardware miss up to `max_retries` times, then abandons the PMSHR entry
+/// and degrades the access to the OSDP software path; the OS path retries
+/// once more before surfacing a typed `IoError` to the workload.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct RetryPolicy {
+    /// Device-command retries before degrading to the next recovery layer.
+    pub max_retries: u32,
+    /// First retry delay; retry `n` waits `backoff_base << n`
+    /// (deterministic exponential backoff in simulated time).
+    pub backoff_base: Duration,
+    /// Watchdog deadline per submitted command. Must exceed the device's
+    /// nominal 4 KiB service time by a comfortable margin (Z-SSD reads
+    /// take ~11 µs; delayed or dropped completions trip this).
+    pub command_timeout: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            backoff_base: Duration::from_micros(25),
+            command_timeout: Duration::from_micros(200),
+        }
     }
 }
 
@@ -90,6 +122,13 @@ pub struct SystemConfig {
     /// threads at the cost of the switch overhead. `None` (the paper's
     /// prototype) always stalls.
     pub long_io_timeout: Option<Duration>,
+    /// Host-side I/O retry/timeout policy (only consulted when `faults`
+    /// is active or a real submission failure occurs).
+    pub retry: RetryPolicy,
+    /// Deterministic device fault plan. `None` — and any zero-rate config
+    /// — leaves the simulation byte-identical to a fault-free build: no
+    /// watchdog events are scheduled and no recovery bookkeeping is kept.
+    pub faults: Option<FaultConfig>,
     /// Master RNG seed; everything derives from it.
     pub seed: u64,
     /// hwdp-audit sanitizer level. Observation-only: any level produces
@@ -121,6 +160,8 @@ impl SystemConfig {
             smu_prefetch_pages: 0,
             per_core_free_queues: false,
             long_io_timeout: None,
+            retry: RetryPolicy::default(),
+            faults: None,
             seed: 0x5EED_CAFE,
             sanitize: SanitizeLevel::Off,
         }

@@ -38,6 +38,6 @@ pub mod config;
 pub mod metrics;
 pub mod system;
 
-pub use config::{Mode, SystemConfig};
+pub use config::{Mode, RetryPolicy, SystemConfig};
 pub use metrics::{RunResult, ThreadReport, TimeBreakdown};
-pub use system::{HwId, System, SystemBuilder, ThreadId};
+pub use system::{HwId, IoError, System, SystemBuilder, ThreadId};

@@ -181,6 +181,17 @@ impl RunResult {
         if !self.audit.is_clean() {
             kv.push(("sanitize_violations", self.audit.violations.len() as f64));
         }
+        // Fault-recovery counters: exported only when injection actually
+        // exercised a recovery path, so fault-free artifacts stay
+        // byte-identical to baselines captured before the fault layer
+        // existed. All four appear together for grep-ability.
+        let p = &self.perf;
+        if p.io_retries + p.io_timeouts + p.smu_fallbacks_fault + p.io_errors_surfaced > 0 {
+            kv.push(("io_retries", p.io_retries as f64));
+            kv.push(("io_timeouts", p.io_timeouts as f64));
+            kv.push(("smu_fallbacks_fault", p.smu_fallbacks_fault as f64));
+            kv.push(("io_errors_surfaced", p.io_errors_surfaced as f64));
+        }
         kv
     }
 }

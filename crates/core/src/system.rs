@@ -10,7 +10,7 @@
 //! completions and kernel-thread ticks are events on one deterministic
 //! queue.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use hwdp_cpu::perf::PerfCounters;
 use hwdp_cpu::pollution::Pollution;
@@ -19,8 +19,8 @@ use hwdp_mem::addr::{BlockRef, DeviceId, PageData, Pfn, SocketId, Vpn};
 use hwdp_mem::pte::{Pte, PteClass};
 use hwdp_mem::tlb::Tlb;
 use hwdp_mem::walker::Walker;
-use hwdp_nvme::command::NvmeCommand;
-use hwdp_nvme::device::{CompletionToken, NvmeController, QueueId};
+use hwdp_nvme::command::{NvmeCommand, Status};
+use hwdp_nvme::device::{Completed, CompletionToken, NvmeController, QueueId, SubmitError};
 use hwdp_nvme::namespace::BlockStore;
 use hwdp_nvme::profile::DeviceProfile;
 use hwdp_os::fs::FileId;
@@ -31,7 +31,7 @@ use hwdp_smu::host_controller::QueueDescriptor;
 use hwdp_smu::pmshr::{EntryIdx, Pmshr};
 use hwdp_smu::smu::{MissOutcome, MissRequest, Smu};
 use hwdp_smu::timing::SmuTiming;
-use hwdp_sim::events::EventQueue;
+use hwdp_sim::events::{EventId, EventQueue};
 use hwdp_sim::rng::Prng;
 use hwdp_sim::sanitize::{AuditReport, SanitizeLevel, Sanitizer};
 use hwdp_sim::stats::LatencyHist;
@@ -99,7 +99,7 @@ struct HwThread {
     walker: Walker,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Copy, Debug)]
 enum Purpose {
     HwdpMiss { entry: EntryIdx },
     OsdpRead { key: (u32, u64) },
@@ -112,6 +112,11 @@ enum Event {
     Step(ThreadId),
     /// A device finished a command.
     IoDone { dev: usize, token: CompletionToken, purpose: Purpose },
+    /// Fault-recovery watchdog: the command behind `token` missed its
+    /// [`crate::config::RetryPolicy::command_timeout`] deadline.
+    IoTimeout { dev: usize, token: CompletionToken },
+    /// Backstop retry of submissions parked by a queue-full window.
+    SqDrain { dev: usize },
     /// `kpoold` wakeup.
     KpoolTick,
     /// `kpted` wakeup.
@@ -121,7 +126,42 @@ enum Event {
 struct OsdpPending {
     vpn: Vpn,
     pfn: Pfn,
+    block: BlockRef,
+    /// OS-path retry count for this read (the OS retries once after the
+    /// SMU layers gave up, then surfaces the error).
+    attempts: u32,
     waiters: Vec<ThreadId>,
+}
+
+/// Watchdog bookkeeping for one in-flight command. Only populated while
+/// fault injection is active: fault-free runs schedule no timeout events
+/// and keep no per-command state, preserving byte-identical artifacts.
+#[derive(Debug)]
+struct IoMeta {
+    purpose: Purpose,
+    attempt: u32,
+    timeout: EventId,
+}
+
+/// A submission rejected by queue-full backpressure, parked until the
+/// next completion on the device (or the `SqDrain` backstop) retries it.
+struct DeferredIo {
+    qid: QueueId,
+    cmd: NvmeCommand,
+    data: Option<PageData>,
+    purpose: Purpose,
+    attempt: u32,
+}
+
+/// An I/O failure that exhausted every recovery layer (device retries,
+/// SMU-to-OS degradation, OS-path retry) and was surfaced to the workload
+/// instead of panicking the simulator.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct IoError {
+    /// The storage block whose read ultimately failed.
+    pub block: BlockRef,
+    /// The virtual page the faulting access targeted.
+    pub vpn: Vpn,
 }
 
 /// The full system under test.
@@ -148,6 +188,22 @@ pub struct System {
     active_threads: usize,
     long_io_switches: u64,
     readahead_reads: u64,
+    /// Per-command watchdog state, keyed by `(device index, token)`.
+    io_meta: BTreeMap<(usize, CompletionToken), IoMeta>,
+    /// Tokens whose watchdog already fired; their late (or dropped)
+    /// completions are retired silently.
+    stale_tokens: BTreeSet<(usize, CompletionToken)>,
+    /// Parked submissions per device (queue-full recovery).
+    deferred_io: Vec<VecDeque<DeferredIo>>,
+    /// Pages the SMU abandoned after exhausting retries: the next access
+    /// takes the OSDP software path instead of re-arming the hardware miss.
+    force_osdp: BTreeSet<u64>,
+    /// Errors surfaced to workloads (see [`System::io_errors`]).
+    io_errors: Vec<IoError>,
+    io_retries: u64,
+    io_timeouts: u64,
+    smu_fallbacks_fault: u64,
+    io_errors_surfaced: u64,
     /// hwdp-audit violations accumulated over the run (empty when
     /// `cfg.sanitize` is `Off`).
     audit: AuditReport,
@@ -188,6 +244,9 @@ impl System {
         // data.
         let blocks = (cfg.memory_frames as u64) * 16;
         let mut dev = NvmeController::new(cfg.device, rng.fork(1));
+        if let Some(faults) = cfg.faults.filter(|f| !f.is_zero()) {
+            dev.set_fault_plan(faults, cfg.seed);
+        }
         let nsid = dev.add_namespace(BlockStore::with_pattern(blocks, cfg.seed ^ 0xB10C));
         let os_q = dev.create_queue_pair(1024);
         let smu_q = dev.create_queue_pair(64);
@@ -235,6 +294,15 @@ impl System {
             active_threads: 0,
             long_io_switches: 0,
             readahead_reads: 0,
+            io_meta: BTreeMap::new(),
+            stale_tokens: BTreeSet::new(),
+            deferred_io: vec![VecDeque::new()],
+            force_osdp: BTreeSet::new(),
+            io_errors: Vec::new(),
+            io_retries: 0,
+            io_timeouts: 0,
+            smu_fallbacks_fault: 0,
+            io_errors_surfaced: 0,
             audit: AuditReport::new(),
             audit_doorbells: vec![0],
         };
@@ -265,6 +333,10 @@ impl System {
         assert!(id < 8, "the 3-bit device ID space is full");
         let blocks = (self.cfg.memory_frames as u64) * 16;
         let mut dev = NvmeController::new(profile, self.rng.fork(0xD0 + id as u64));
+        if let Some(faults) = self.cfg.faults.filter(|f| !f.is_zero()) {
+            // Each device gets its own fault RNG stream.
+            dev.set_fault_plan(faults, self.cfg.seed ^ ((id as u64) << 8));
+        }
         let nsid = dev.add_namespace(BlockStore::with_pattern(blocks, self.cfg.seed ^ id as u64));
         let os_q = dev.create_queue_pair(1024);
         let smu_q = dev.create_queue_pair(64);
@@ -283,6 +355,7 @@ impl System {
         );
         self.devices.push(dev);
         self.os_queues.push(os_q);
+        self.deferred_io.push(VecDeque::new());
         self.audit_doorbells.push(0);
         self.device_index.insert((0, id), self.devices.len() - 1);
         DeviceId(id)
@@ -651,7 +724,13 @@ impl System {
                         debug_assert!(self.cfg.mode.uses_lba_ptes());
                         self.threads[tid.0].current = Some(step);
                         self.threads[tid.0].miss_start = Some(now);
-                        self.start_lba_miss(tid, hw, vpn, t);
+                        if self.force_osdp.remove(&vpn.0) {
+                            // Fault recovery abandoned the hardware miss on
+                            // this page; route it through the OS instead.
+                            self.start_osdp_fault(tid, hw, vpn, t);
+                        } else {
+                            self.start_lba_miss(tid, hw, vpn, t);
+                        }
                         return;
                     }
                     PteClass::NotPresentOsHandled => {
@@ -760,8 +839,9 @@ impl System {
                     entry_lat + costs.io_submit.latency,
                 );
                 let submit_at = now + costs.before_device();
-                self.submit_read(block, pfn, submit_at, Purpose::OsdpRead { key });
-                self.osdp_inflight.insert(key, OsdpPending { vpn, pfn, waiters: vec![tid] });
+                self.submit_read(block, pfn, submit_at, Purpose::OsdpRead { key }, 0);
+                self.osdp_inflight
+                    .insert(key, OsdpPending { vpn, pfn, block, attempts: 0, waiters: vec![tid] });
                 self.issue_os_readahead(vpn, submit_at);
                 self.block_thread(tid, hw, now);
             }
@@ -797,8 +877,11 @@ impl System {
             let (pfn, evictions) = self.os.alloc_frame();
             self.handle_evictions(evictions, at);
             let block = self.os.block_for(vma.file, file_page);
-            self.submit_read(block, pfn, at, Purpose::OsdpRead { key });
-            self.osdp_inflight.insert(key, OsdpPending { vpn: next, pfn, waiters: Vec::new() });
+            self.submit_read(block, pfn, at, Purpose::OsdpRead { key }, 0);
+            self.osdp_inflight.insert(
+                key,
+                OsdpPending { vpn: next, pfn, block, attempts: 0, waiters: Vec::new() },
+            );
             self.readahead_reads += 1;
         }
     }
@@ -826,12 +909,14 @@ impl System {
                 continue;
             };
             let dev = self.device_of(block);
-            let (token, done_at) = self.devices[dev]
-                .submit(qid, cmd, None, at + before)
-                .expect("SMU queue sized above PMSHR capacity");
-            self.queue.schedule(
-                done_at,
-                Event::IoDone { dev, token, purpose: Purpose::HwdpMiss { entry } },
+            self.submit_or_defer(
+                dev,
+                qid,
+                cmd,
+                None,
+                Purpose::HwdpMiss { entry },
+                0,
+                at + before,
             );
         }
     }
@@ -843,7 +928,11 @@ impl System {
 
     fn finish_osdp_read(&mut self, key: (u32, u64), data: PageData, now: Time) {
         let costs = self.os.osdp_costs;
-        let pending = self.osdp_inflight.remove(&key).expect("completion without pending fault");
+        let Some(pending) = self.osdp_inflight.remove(&key) else {
+            // Fault recovery already resolved (or surfaced) this fault; a
+            // late completion has nothing left to deliver.
+            return;
+        };
         self.os.frames.dma_fill(pending.pfn, data);
         self.os.osdp_fault_complete(pending.vpn, pending.pfn);
         let after_lat = costs.after_device();
@@ -892,20 +981,30 @@ impl System {
                 };
                 let dev = self.device_of(block);
                 let submit_at = now + before;
-                let (token, done_at) = self.devices[dev]
-                    .submit(qid, cmd, None, submit_at)
-                    .expect("SMU queue sized above PMSHR capacity");
                 let _ = pfn; // frame is delivered via finish_io
-                self.queue.schedule(
-                    done_at,
-                    Event::IoDone { dev, token, purpose: Purpose::HwdpMiss { entry } },
+                let done_at = self.submit_or_defer(
+                    dev,
+                    qid,
+                    cmd,
+                    None,
+                    Purpose::HwdpMiss { entry },
+                    0,
+                    submit_at,
                 );
                 // §V "Long Latency I/O": if the device wait exceeds the
                 // configured threshold, take a timeout exception and
                 // context-switch instead of wasting the core on a stall.
+                // A deferred submission (queue-full backpressure) has an
+                // unbounded wait and always takes the switch.
                 self.issue_smu_prefetches(vpn, hw, submit_at);
-                let wait = done_at.saturating_since(now);
-                if self.cfg.long_io_timeout.is_some_and(|limit| wait > limit) {
+                let long_wait = match done_at {
+                    Some(done_at) => {
+                        let wait = done_at.saturating_since(now);
+                        self.cfg.long_io_timeout.is_some_and(|limit| wait > limit)
+                    }
+                    None => self.cfg.long_io_timeout.is_some(),
+                };
+                if long_wait {
                     let c = self.os.osdp_costs;
                     self.charge_kernel(
                         tid,
@@ -933,7 +1032,13 @@ impl System {
                     before_device
                 };
                 self.os.frames.dma_fill(pfn, PageData::Zero);
-                let fin = self.smu.finish_zero_fill(entry, &mut self.os.page_table);
+                let Some(fin) = self.smu.finish_zero_fill(entry, &mut self.os.page_table) else {
+                    // The entry vanished under us (unreachable for the
+                    // synchronous zero-fill path, but never panic on a
+                    // completion path): just resume the thread.
+                    self.queue.schedule(now + before, Event::Step(tid));
+                    return;
+                };
                 debug_assert_eq!(fin.waiters, vec![tid.0 as u64]);
                 let resume = now + before + fin.after_device;
                 let thread = &mut self.threads[tid.0];
@@ -957,6 +1062,13 @@ impl System {
                 self.pending_misses.push_back((tid, vpn));
                 self.stall_thread(tid, hw);
             }
+            MissOutcome::FailToOs { cost } => {
+                // Host-controller misconfiguration (no queue descriptor
+                // for the device): the SMU rolled its state back; degrade
+                // to the OS fault path instead of aborting the process.
+                self.smu_fallbacks_fault += 1;
+                self.start_osdp_fault(tid, hw, vpn, now + cost);
+            }
         }
     }
 
@@ -966,7 +1078,11 @@ impl System {
     }
 
     fn finish_hwdp_miss(&mut self, entry: EntryIdx, data: PageData, now: Time) {
-        let fin = self.smu.finish_io(entry, &mut self.os.page_table);
+        let Some(fin) = self.smu.finish_io(entry, &mut self.os.page_table) else {
+            // Fault recovery abandoned this entry before the (re)read
+            // landed; the waiters were already re-routed.
+            return;
+        };
         self.os.frames.dma_fill(fin.pfn, data);
         let sw = self.cfg.mode == Mode::SwOnly;
         let after = if sw { self.os.sw_costs.after_device() } else { fin.after_device };
@@ -1002,13 +1118,17 @@ impl System {
                     );
                     self.wake(tid, resume + c.context_switch_in.latency);
                 }
-                other => panic!("HWDP waiter in unexpected state {other:?}"),
+                // Fault recovery may already have re-routed this waiter;
+                // never wake a context twice.
+                _ => {}
             }
         }
         // A PMSHR slot just freed: retry queued misses.
         while let Some((tid, vpn)) = self.pending_misses.pop_front() {
             let ThreadState::Stalled(hw) = self.threads[tid.0].state else {
-                panic!("pending miss holder not stalled");
+                // Recovery moved this thread on; its miss restarts through
+                // its own Step event.
+                continue;
             };
             // Re-check the PTE: a coalesced completion may have resolved it.
             let pte = self.os.page_table.pte(vpn);
@@ -1045,14 +1165,251 @@ impl System {
             .expect("unknown device in block reference")
     }
 
-    fn submit_read(&mut self, block: BlockRef, pfn: Pfn, at: Time, purpose: Purpose) {
+    fn submit_read(&mut self, block: BlockRef, pfn: Pfn, at: Time, purpose: Purpose, attempt: u32) {
         let dev = self.device_of(block);
         self.wb_cid = self.wb_cid.wrapping_add(1);
         let cmd = NvmeCommand::read4k(self.wb_cid, 1, block.lba.0, pfn.base());
-        let (token, done_at) = self.devices[dev]
-            .submit(self.os_queues[dev], cmd, None, at)
-            .expect("OS queue deep enough");
-        self.queue.schedule(done_at, Event::IoDone { dev, token, purpose });
+        let qid = self.os_queues[dev];
+        self.submit_or_defer(dev, qid, cmd, None, purpose, attempt, at);
+    }
+
+    /// `true` when a live fault plan can actually fire. Every piece of
+    /// recovery bookkeeping (watchdogs, deferral queues) is gated on this,
+    /// so fault-free runs stay byte-identical to the pre-fault simulator.
+    fn fault_injection_active(&self) -> bool {
+        self.cfg.faults.is_some_and(|f| !f.is_zero())
+    }
+
+    /// Arms the per-command timeout watchdog. Inert when fault injection
+    /// is off (completions then always arrive) and for writebacks (write
+    /// data applies at submission, so there is nothing to recover).
+    fn track_io(
+        &mut self,
+        dev: usize,
+        token: CompletionToken,
+        purpose: Purpose,
+        attempt: u32,
+        submit_at: Time,
+    ) {
+        if !self.fault_injection_active() || matches!(purpose, Purpose::Writeback) {
+            return;
+        }
+        let deadline = submit_at + self.cfg.retry.command_timeout;
+        let timeout = self.queue.schedule(deadline, Event::IoTimeout { dev, token });
+        self.io_meta.insert((dev, token), IoMeta { purpose, attempt, timeout });
+    }
+
+    /// Submits a command at `at`, parking it when the ring pushes back
+    /// (injected queue-full window, or a genuinely exhausted ring that
+    /// previously aborted the simulation). Returns the completion time for
+    /// accepted submissions, `None` for deferred ones.
+    fn submit_or_defer(
+        &mut self,
+        dev: usize,
+        qid: QueueId,
+        cmd: NvmeCommand,
+        data: Option<PageData>,
+        purpose: Purpose,
+        attempt: u32,
+        at: Time,
+    ) -> Option<Time> {
+        match self.devices[dev].submit(qid, cmd, data.clone(), at) {
+            Ok((token, done_at)) => {
+                self.queue.schedule(done_at, Event::IoDone { dev, token, purpose });
+                self.track_io(dev, token, purpose, attempt, at);
+                Some(done_at)
+            }
+            Err(SubmitError::QueueFull) => {
+                self.deferred_io[dev].push_back(DeferredIo { qid, cmd, data, purpose, attempt });
+                let retry_at = at + self.cfg.retry.backoff_base;
+                self.queue.schedule(retry_at, Event::SqDrain { dev });
+                None
+            }
+            Err(SubmitError::UnknownQueue) => {
+                // Unreachable for queues the system itself created; treated
+                // as an instantly failed attempt so nothing leaks.
+                self.fail_submission(purpose, at);
+                None
+            }
+        }
+    }
+
+    /// Retries parked submissions. Called after every completion on the
+    /// device and from the `SqDrain` backstop; each rejected attempt also
+    /// consumes queue-full window budget, so progress is guaranteed.
+    fn drain_deferred(&mut self, dev: usize, now: Time) {
+        while let Some(d) = self.deferred_io[dev].pop_front() {
+            match self.devices[dev].submit(d.qid, d.cmd, d.data.clone(), now) {
+                Ok((token, done_at)) => {
+                    self.queue
+                        .schedule(done_at, Event::IoDone { dev, token, purpose: d.purpose });
+                    self.track_io(dev, token, d.purpose, d.attempt, now);
+                }
+                Err(_) => {
+                    self.deferred_io[dev].push_front(d);
+                    let retry_at = now + self.cfg.retry.backoff_base;
+                    self.queue.schedule(retry_at, Event::SqDrain { dev });
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Routes a submission that can never be accepted straight into the
+    /// purpose's failure path.
+    fn fail_submission(&mut self, purpose: Purpose, now: Time) {
+        match purpose {
+            Purpose::HwdpMiss { entry } => self.escalate_hwdp(entry, now),
+            Purpose::OsdpRead { key } => self.surface_osdp_error(key, now),
+            Purpose::Writeback => {}
+        }
+    }
+
+    /// One I/O completion event: retires the command on the device, drains
+    /// the CQ, and dispatches to the finish path (success) or the layered
+    /// recovery machinery (injected media error, stale watchdog-recovered
+    /// token, swallowed completion).
+    fn handle_io_done(&mut self, dev: usize, token: CompletionToken, purpose: Purpose, now: Time) {
+        let done = self.devices[dev].complete(token, now);
+        if !done.dropped {
+            // Drain the CQ like real host software (keeps queue protocol
+            // state honest; entries checked in tests). Dropped completions
+            // never post a CQ entry, so polling would desync the pairing.
+            let qid = done.qid;
+            let _ = self.devices[dev].queue(qid).host_poll_completion();
+        }
+        let key = (dev, token);
+        if self.stale_tokens.remove(&key) {
+            // The watchdog already recovered this command; the late (or
+            // dropped) completion is silently retired.
+        } else if done.dropped {
+            // Swallowed completion: leave the watchdog armed — it is the
+            // only way the host learns about this command's fate.
+        } else {
+            let attempt = match self.io_meta.remove(&key) {
+                Some(meta) => {
+                    self.queue.cancel(meta.timeout);
+                    meta.attempt
+                }
+                None => 0,
+            };
+            self.dispatch_completion(purpose, done, attempt, now);
+        }
+        self.drain_deferred(dev, now);
+    }
+
+    fn dispatch_completion(&mut self, purpose: Purpose, done: Completed, attempt: u32, now: Time) {
+        let ok = done.status == Status::Success;
+        match purpose {
+            Purpose::HwdpMiss { entry } => match done.read_data {
+                Some(data) if ok => self.finish_hwdp_miss(entry, data, now),
+                _ => self.recover_hwdp(entry, attempt, now),
+            },
+            Purpose::OsdpRead { key } => match done.read_data {
+                Some(data) if ok => self.finish_osdp_read(key, data, now),
+                _ => self.recover_osdp(key, now),
+            },
+            Purpose::Writeback => {
+                // Write data was applied at submission (snapshot
+                // semantics), so a failed writeback loses nothing in-sim;
+                // a real kernel would re-dirty the page.
+            }
+        }
+    }
+
+    /// A hardware-path read failed or timed out: retry with deterministic
+    /// exponential backoff up to the policy bound, then abandon the PMSHR
+    /// entry and degrade the access to the OSDP software path (paper §IV
+    /// fallback).
+    fn recover_hwdp(&mut self, entry: EntryIdx, attempt: u32, now: Time) {
+        let Some(block) = self.smu.pmshr.try_entry(entry).map(|e| e.block) else {
+            return; // already abandoned by an earlier recovery action
+        };
+        if attempt < self.cfg.retry.max_retries {
+            if let Some((qid, cmd)) = self.smu.reissue_read(entry) {
+                self.io_retries += 1;
+                let dev = self.device_of(block);
+                let backoff = self.cfg.retry.backoff_base * (1u64 << attempt.min(16));
+                self.submit_or_defer(
+                    dev,
+                    qid,
+                    cmd,
+                    None,
+                    Purpose::HwdpMiss { entry },
+                    attempt + 1,
+                    now + backoff,
+                );
+                return;
+            }
+        }
+        self.escalate_hwdp(entry, now);
+    }
+
+    /// Retries exhausted: the SMU abandons the miss (entry invalidated,
+    /// frame returned to the free queue) and every waiter re-executes its
+    /// access through the OSDP software path. Waiter-less entries (SMU
+    /// prefetches) are dropped silently — prefetching is best-effort.
+    fn escalate_hwdp(&mut self, entry: EntryIdx, now: Time) {
+        let Some(e) = self.smu.abandon_io(entry, 0) else { return };
+        self.smu_fallbacks_fault += 1;
+        for waiter in e.waiters {
+            let tid = ThreadId(waiter as usize);
+            if let Some(step) = &self.threads[tid.0].current {
+                if let Step::Read { region, offset, .. } | Step::Write { region, offset, .. } = step
+                {
+                    let vpn = self.region_vpn(*region, *offset);
+                    self.force_osdp.insert(vpn.0);
+                }
+            }
+            match self.threads[tid.0].state {
+                ThreadState::Stalled(hw) => {
+                    self.threads[tid.0].state = ThreadState::Running(hw);
+                    self.hw[hw.0].state = HwThreadState::Active;
+                    self.queue.schedule(now, Event::Step(tid));
+                }
+                ThreadState::Blocked => self.wake(tid, now),
+                _ => {}
+            }
+        }
+    }
+
+    /// An OS-path read failed or timed out: one more deterministic retry,
+    /// then the error surfaces to the waiting threads.
+    fn recover_osdp(&mut self, key: (u32, u64), now: Time) {
+        let Some(pending) = self.osdp_inflight.get_mut(&key) else { return };
+        if pending.attempts < 1 {
+            pending.attempts += 1;
+            let (block, pfn) = (pending.block, pending.pfn);
+            self.io_retries += 1;
+            let at = now + self.cfg.retry.backoff_base;
+            self.submit_read(block, pfn, at, Purpose::OsdpRead { key }, 1);
+        } else {
+            self.surface_osdp_error(key, now);
+        }
+    }
+
+    /// Every recovery layer gave up on an OS-path read: roll the fault
+    /// back (frame freed, PTE stays not-present), record the typed error,
+    /// and wake the waiters empty-handed — their current step is dropped
+    /// and the workload continues with `next(None)` instead of the
+    /// process dying. Failed readahead is dropped without an error:
+    /// speculation is best-effort.
+    fn surface_osdp_error(&mut self, key: (u32, u64), now: Time) {
+        let Some(pending) = self.osdp_inflight.remove(&key) else { return };
+        self.os.osdp_fault_abort(pending.vpn, pending.pfn);
+        if pending.waiters.is_empty() {
+            return;
+        }
+        self.io_errors_surfaced += 1;
+        self.io_errors.push(IoError { block: pending.block, vpn: pending.vpn });
+        for tid in pending.waiters {
+            let thread = &mut self.threads[tid.0];
+            thread.current = None;
+            thread.last_read = None;
+            thread.miss_start = None;
+            thread.read_start = None;
+            self.wake(tid, now);
+        }
     }
 
     fn handle_evictions(&mut self, evictions: Vec<Eviction>, now: Time) {
@@ -1079,11 +1436,8 @@ impl System {
                 submitted += 1;
                 self.wb_cid = self.wb_cid.wrapping_add(1);
                 let cmd = NvmeCommand::write4k(self.wb_cid, 1, ev.block.lba.0, Pfn(0).base());
-                let (token, done_at) = self.devices[dev]
-                    .submit(self.os_queues[dev], cmd, Some(ev.data), at)
-                    .expect("OS queue deep enough");
-                self.queue
-                    .schedule(done_at, Event::IoDone { dev, token, purpose: Purpose::Writeback });
+                let qid = self.os_queues[dev];
+                self.submit_or_defer(dev, qid, cmd, Some(ev.data), Purpose::Writeback, 0, at);
             }
         }
     }
@@ -1146,22 +1500,26 @@ impl System {
                     }
                 }
                 Event::IoDone { dev, token, purpose } => {
-                    let done = self.devices[dev].complete(token, now);
-                    // Drain the CQ like real host software (keeps queue
-                    // protocol state honest; entries checked in tests).
-                    let qid = done.qid;
-                    let _ = self.devices[dev].queue(qid).host_poll_completion();
-                    match purpose {
-                        Purpose::HwdpMiss { entry } => {
-                            let data = done.read_data.expect("read completion carries data");
-                            self.finish_hwdp_miss(entry, data, now);
+                    self.handle_io_done(dev, token, purpose, now);
+                }
+                Event::IoTimeout { dev, token } => {
+                    // A cancelled watchdog never fires (lazy deletion), so
+                    // reaching here means the command is genuinely late,
+                    // dropped, or stuck. Mark the token stale and recover.
+                    if let Some(meta) = self.io_meta.remove(&(dev, token)) {
+                        self.stale_tokens.insert((dev, token));
+                        self.io_timeouts += 1;
+                        match meta.purpose {
+                            Purpose::HwdpMiss { entry } => {
+                                self.recover_hwdp(entry, meta.attempt, now)
+                            }
+                            Purpose::OsdpRead { key } => self.recover_osdp(key, now),
+                            Purpose::Writeback => {}
                         }
-                        Purpose::OsdpRead { key } => {
-                            let data = done.read_data.expect("read completion carries data");
-                            self.finish_osdp_read(key, data, now);
-                        }
-                        Purpose::Writeback => {}
                     }
+                }
+                Event::SqDrain { dev } => {
+                    self.drain_deferred(dev, now);
                 }
                 Event::KpoolTick => {
                     if self.active_threads > 0 {
@@ -1210,6 +1568,12 @@ impl System {
                 miss_latency: t.miss_hist.clone(),
             });
         }
+        // Fault-recovery activity is system-wide, not per-thread: merge it
+        // into the aggregate counter set only.
+        perf.io_retries += self.io_retries;
+        perf.io_timeouts += self.io_timeouts;
+        perf.smu_fallbacks_fault += self.smu_fallbacks_fault;
+        perf.io_errors_surfaced += self.io_errors_surfaced;
         let device_reads = self.devices.iter().map(|d| d.stats().reads).sum();
         let device_writes = self.devices.iter().map(|d| d.stats().writes).sum();
         RunResult {
@@ -1241,6 +1605,18 @@ impl System {
     /// Direct access to device 0 (tests).
     pub fn device(&self) -> &NvmeController {
         &self.devices[0]
+    }
+
+    /// Typed I/O errors surfaced to workloads so far. Empty unless fault
+    /// injection exhausted every recovery layer on some read.
+    pub fn io_errors(&self) -> &[IoError] {
+        &self.io_errors
+    }
+
+    /// Device-side injected-fault ground truth for device `dev` (`None`
+    /// when no fault plan is installed).
+    pub fn fault_stats(&self, dev: usize) -> Option<&hwdp_nvme::FaultStats> {
+        self.devices.get(dev).and_then(|d| d.fault_stats())
     }
 
     /// Runs one hwdp-audit pass at the configured [`SanitizeLevel`] and
@@ -1281,8 +1657,15 @@ impl System {
     #[cfg(test)]
     pub(crate) fn corrupt_osdp_inflight_for_test(&mut self) {
         let bogus = Pfn(self.cfg.memory_frames as u64 + 7);
-        self.osdp_inflight
-            .insert((u32::MAX, u64::MAX), OsdpPending { vpn: Vpn(0), pfn: bogus, waiters: Vec::new() });
+        let block = BlockRef {
+            socket: SocketId(0),
+            device: DeviceId(0),
+            lba: hwdp_mem::addr::Lba(0),
+        };
+        self.osdp_inflight.insert(
+            (u32::MAX, u64::MAX),
+            OsdpPending { vpn: Vpn(0), pfn: bogus, block, attempts: 0, waiters: Vec::new() },
+        );
     }
 }
 
@@ -1335,6 +1718,51 @@ impl Sanitizer for System {
                         )
                     },
                 );
+            }
+        }
+        // Fault-recovery pairing: every armed watchdog must reference live
+        // state — a dangling reference means a retry chain lost its
+        // target and can never resolve.
+        for (&(dev, token), meta) in &self.io_meta {
+            match meta.purpose {
+                Purpose::HwdpMiss { entry } => {
+                    report.check(
+                        "core",
+                        "fault-watchdog-entry",
+                        self.smu.pmshr.try_entry(entry).is_some(),
+                        || {
+                            format!(
+                                "watchdog for device {dev} token {token:?} references retired PMSHR entry {entry:?}"
+                            )
+                        },
+                    );
+                }
+                Purpose::OsdpRead { key } => {
+                    report.check(
+                        "core",
+                        "fault-watchdog-osdp",
+                        self.osdp_inflight.contains_key(&key),
+                        || {
+                            format!(
+                                "watchdog for device {dev} token {token:?} references resolved OS fault {key:?}"
+                            )
+                        },
+                    );
+                }
+                Purpose::Writeback => {}
+            }
+        }
+        // Clean-exit drain: once every thread finished, no in-flight fault
+        // may still hold a waiter (a leaked waiter would have kept its
+        // thread blocked forever).
+        if self.active_threads == 0 {
+            for (&(file, page), pending) in &self.osdp_inflight {
+                report.check("core", "fault-waiters-drained", pending.waiters.is_empty(), || {
+                    format!(
+                        "run ended with OS fault on file {file} page {page} still holding waiters {:?}",
+                        pending.waiters
+                    )
+                });
             }
         }
     }
@@ -1422,6 +1850,21 @@ impl SystemBuilder {
     /// Sets the §V SMU prefetch window in pages (0 disables).
     pub fn smu_prefetch_pages(mut self, pages: usize) -> Self {
         self.cfg.smu_prefetch_pages = pages;
+        self
+    }
+
+    /// Installs a deterministic device fault plan (media errors, delays,
+    /// dropped completions, queue-full windows). A zero-rate config is
+    /// inert: no plan is attached and the run is byte-identical to one
+    /// built without this call.
+    pub fn faults(mut self, cfg: hwdp_nvme::FaultConfig) -> Self {
+        self.cfg.faults = Some(cfg);
+        self
+    }
+
+    /// Overrides the host-side I/O retry/timeout policy.
+    pub fn retry_policy(mut self, policy: crate::config::RetryPolicy) -> Self {
+        self.cfg.retry = policy;
         self
     }
 

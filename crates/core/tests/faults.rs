@@ -1,0 +1,166 @@
+//! Negative tests of the fault-injection and recovery pipeline: one test
+//! per fault class (media error, delay past the command timeout, dropped
+//! completion, forced queue-full window), each asserting the specific
+//! recovery action and the specific counter it increments, plus the
+//! zero-rate parity contract and monotonic degradation under load.
+//!
+//! Every fault run executes at `SanitizeLevel::Full` and must leave the
+//! hwdp-audit report clean: recovery may cost time, never invariants.
+
+use hwdp_core::{Mode, RunResult, System, SystemBuilder};
+use hwdp_nvme::fault::FaultConfig;
+use hwdp_sim::rng::Prng;
+use hwdp_sim::time::Duration;
+use hwdp_sim::SanitizeLevel;
+use hwdp_workloads::FioRandRead;
+
+/// Builds a single-threaded FIO system over a cold 4× dataset with the
+/// given fault plan, runs it, and returns the system (for device-side
+/// fault stats and surfaced errors) alongside the result.
+fn run_fio(faults: Option<FaultConfig>, ops: u64, seed: u64) -> (System, RunResult) {
+    let mut b = SystemBuilder::new(Mode::Hwdp)
+        .memory_frames(256)
+        .sanitize(SanitizeLevel::Full)
+        .seed(seed);
+    if let Some(f) = faults {
+        b = b.faults(f);
+    }
+    let mut sys = b.build();
+    let pages = 1024;
+    let file = sys.create_pattern_file("fio-data", pages);
+    let region = sys.map_file(file);
+    let rng = Prng::seed_from(seed ^ 0xF10);
+    sys.spawn(Box::new(FioRandRead::new(region, pages, ops, rng)), 1.8, None);
+    let r = sys.run(Duration::from_secs(30));
+    (sys, r)
+}
+
+#[test]
+fn zero_rate_fault_plan_changes_nothing() {
+    // A plan whose rates are all zero must be indistinguishable from no
+    // plan: same elapsed time, same metrics, no fault counters exported.
+    let (_, plain) = run_fio(None, 200, 42);
+    let (_, zeroed) = run_fio(Some(FaultConfig::default()), 200, 42);
+    assert_eq!(plain.elapsed, zeroed.elapsed);
+    assert_eq!(plain.export_metrics(), zeroed.export_metrics());
+    assert!(plain.export_metrics().iter().all(|(k, _)| *k != "io_retries"));
+}
+
+#[test]
+fn transient_media_errors_recover_via_bounded_retry() {
+    // Transient media errors: the SMU retries with backoff and the read
+    // eventually succeeds. Recovery action: reissue. Counter: io_retries.
+    let cfg = FaultConfig { media_error_rate: 0.3, ..FaultConfig::default() };
+    let (dev, r) = run_fio(Some(cfg), 200, 42);
+    assert_eq!(r.ops, 200, "all operations complete despite transient errors");
+    assert_eq!(r.verify_failures(), 0, "retried reads return correct data");
+    assert!(r.perf.io_retries > 0, "recovery must go through the retry path");
+    assert!(dev.fault_stats(0).expect("plan installed").media_errors > 0);
+    assert!(r.audit.is_clean(), "violations: {:?}", r.audit.violations);
+}
+
+#[test]
+fn persistent_media_errors_degrade_to_osdp_then_surface() {
+    // Permanently bad LBAs defeat every retry: the SMU abandons the miss
+    // to the OSDP software path (paper §IV fallback), whose own retry also
+    // fails, and the host surfaces a typed IoError instead of panicking.
+    // Recovery actions: SMU fallback + surfaced error. Counters:
+    // smu_fallbacks_fault and io_errors_surfaced.
+    let cfg = FaultConfig {
+        media_error_rate: 1.0,
+        persistent_media_rate: 1.0,
+        ..FaultConfig::default()
+    };
+    let (dev, r) = run_fio(Some(cfg), 60, 42);
+    assert!(r.perf.smu_fallbacks_fault > 0, "hardware path must degrade to OSDP");
+    assert!(r.perf.io_errors_surfaced > 0, "exhausted recovery surfaces typed errors");
+    assert!(!dev.io_errors().is_empty(), "surfaced errors are recorded with their block");
+    assert!(dev.fault_stats(0).expect("plan installed").media_errors > 0);
+    assert!(r.audit.is_clean(), "violations: {:?}", r.audit.violations);
+}
+
+#[test]
+fn delays_past_the_command_timeout_trip_the_watchdog() {
+    // Service times inflated far past the 200 µs command timeout: the
+    // host-side watchdog (a sim event, not wall clock) fires and reissues;
+    // the late completion is retired as stale. Recovery action: timeout +
+    // reissue. Counter: io_timeouts.
+    let cfg = FaultConfig { delay_rate: 0.4, delay_factor: 100.0, ..FaultConfig::default() };
+    let (dev, r) = run_fio(Some(cfg), 120, 42);
+    assert_eq!(r.ops, 120, "delayed commands are recovered, not lost");
+    assert_eq!(r.verify_failures(), 0);
+    assert!(r.perf.io_timeouts > 0, "watchdog must fire for 100x-delayed reads");
+    assert!(dev.fault_stats(0).expect("plan installed").delays > 0);
+    assert!(r.audit.is_clean(), "violations: {:?}", r.audit.violations);
+}
+
+#[test]
+fn dropped_completions_are_recovered_by_the_watchdog() {
+    // The device never posts a CQ entry: only the watchdog can notice.
+    // Recovery action: timeout + reissue. Counters: io_timeouts (and
+    // io_retries for the reissue).
+    let cfg = FaultConfig { drop_rate: 0.3, ..FaultConfig::default() };
+    let (dev, r) = run_fio(Some(cfg), 120, 42);
+    assert_eq!(r.ops, 120, "dropped completions are recovered, not lost");
+    assert_eq!(r.verify_failures(), 0);
+    assert!(r.perf.io_timeouts > 0, "drops are only observable via the watchdog");
+    assert!(dev.fault_stats(0).expect("plan installed").drops > 0);
+    assert!(r.audit.is_clean(), "violations: {:?}", r.audit.violations);
+}
+
+#[test]
+fn queue_full_windows_defer_and_resubmit() {
+    // Forced backpressure at the submission ring: the host parks the
+    // command in a per-device deferral queue and resubmits on the next
+    // completion (or the SqDrain backstop). Recovery action: deferral.
+    // Counter: device-side queue_full_rejections (host completes all ops).
+    let cfg = FaultConfig { queue_full_rate: 0.3, queue_full_len: 4, ..FaultConfig::default() };
+    let (dev, r) = run_fio(Some(cfg), 120, 42);
+    assert_eq!(r.ops, 120, "deferred submissions eventually complete");
+    assert_eq!(r.verify_failures(), 0);
+    let stats = dev.fault_stats(0).expect("plan installed");
+    assert!(stats.queue_full_rejections > 0, "windows must have opened");
+    assert!(r.audit.is_clean(), "violations: {:?}", r.audit.violations);
+}
+
+#[test]
+fn throughput_degrades_monotonically_with_fault_rate() {
+    // More injected delay means strictly more virtual time for the same
+    // work — recovery overhead scales with fault pressure and never
+    // collapses the run.
+    let mut elapsed = Vec::new();
+    for rate in [0.0, 0.4, 0.9] {
+        let cfg = FaultConfig { delay_rate: rate, delay_factor: 5.0, ..FaultConfig::default() };
+        let (_, r) = run_fio(Some(cfg), 150, 42);
+        assert_eq!(r.ops, 150, "rate {rate}");
+        assert_eq!(r.verify_failures(), 0, "rate {rate}");
+        assert!(r.audit.is_clean(), "rate {rate}: {:?}", r.audit.violations);
+        elapsed.push(r.elapsed);
+    }
+    assert!(
+        elapsed.windows(2).all(|w| w[0] < w[1]),
+        "elapsed must rise with fault rate: {elapsed:?}"
+    );
+}
+
+#[test]
+fn combined_fault_storm_completes_under_full_sanitize() {
+    // Every fault class at once, at high rates: the acceptance bar is
+    // "finishes without panicking, audit clean", not throughput.
+    let cfg = FaultConfig {
+        media_error_rate: 0.4,
+        persistent_media_rate: 0.2,
+        delay_rate: 0.2,
+        delay_factor: 50.0,
+        drop_rate: 0.2,
+        queue_full_rate: 0.2,
+        queue_full_len: 4,
+        ..FaultConfig::default()
+    };
+    let (dev, r) = run_fio(Some(cfg), 80, 42);
+    assert!(r.perf.io_retries > 0);
+    assert!(r.perf.io_timeouts > 0);
+    assert!(r.audit.is_clean(), "violations: {:?}", r.audit.violations);
+    let stats = dev.fault_stats(0).expect("plan installed");
+    assert!(stats.media_errors + stats.delays + stats.drops + stats.queue_full_rejections > 0);
+}

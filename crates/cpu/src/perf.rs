@@ -21,6 +21,17 @@ pub struct PerfCounters {
     pub llc_misses: u64,
     /// Branch mispredictions attributed to user code.
     pub branch_misses: u64,
+    /// I/O commands retried after a media error or timeout (SMU and OSDP
+    /// paths combined).
+    pub io_retries: u64,
+    /// I/O commands whose host-side timeout watchdog fired.
+    pub io_timeouts: u64,
+    /// SMU misses degraded to the OSDP software path after fault-recovery
+    /// retries were exhausted (paper §IV fallback).
+    pub smu_fallbacks_fault: u64,
+    /// I/O errors surfaced to the workload as a typed `IoError` after
+    /// every recovery layer gave up.
+    pub io_errors_surfaced: u64,
 }
 
 impl PerfCounters {
@@ -66,6 +77,10 @@ impl PerfCounters {
         self.l2_misses += other.l2_misses;
         self.llc_misses += other.llc_misses;
         self.branch_misses += other.branch_misses;
+        self.io_retries += other.io_retries;
+        self.io_timeouts += other.io_timeouts;
+        self.smu_fallbacks_fault += other.smu_fallbacks_fault;
+        self.io_errors_surfaced += other.io_errors_surfaced;
     }
 
     /// Misses per kilo user instruction: `[L1D, L2, LLC, branch]`.

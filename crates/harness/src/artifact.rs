@@ -216,6 +216,13 @@ fn parse_job(j: &Json, fallback_index: usize) -> Result<JobRecord, String> {
         per_core_free_queues: matches!(cfg.get("per_core_free_queues"), Some(Json::Bool(true))),
         long_io_timeout_us: opt_num("long_io_timeout_us").map(|n| n as u64),
         time_cap_ms: req_num("time_cap_ms")? as u64,
+        faults: match cfg.get("faults").and_then(Json::as_str) {
+            Some(s) => Some(
+                hwdp_nvme::fault::FaultConfig::parse(s)
+                    .ok_or(format!("malformed faults: {s}"))?,
+            ),
+            None => None,
+        },
         seed,
         // Not serialized (observation-only knob); parsed specs default to
         // no sanitizing.

@@ -65,6 +65,9 @@ pub fn simulate(spec: &JobSpec) -> RunResult {
     if let Some(us) = spec.long_io_timeout_us {
         builder = builder.long_io_timeout(Duration::from_micros(us));
     }
+    if let Some(faults) = spec.effective_faults() {
+        builder = builder.faults(faults);
+    }
     let mut sys = builder.build();
     let time_cap = Duration::from_millis(spec.time_cap_ms);
     let pages = spec.dataset_pages();

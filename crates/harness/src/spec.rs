@@ -8,6 +8,7 @@
 use crate::json::Json;
 use crate::seed::job_seed;
 use hwdp_core::Mode;
+use hwdp_nvme::fault::FaultConfig;
 use hwdp_nvme::profile::DeviceProfile;
 use hwdp_sim::SanitizeLevel;
 use hwdp_workloads::YcsbKind;
@@ -141,6 +142,11 @@ pub struct JobSpec {
     pub long_io_timeout_us: Option<u64>,
     /// Virtual-time cap in milliseconds.
     pub time_cap_ms: u64,
+    /// Deterministic device fault plan (`None` = fault-free). A zero-rate
+    /// config is normalized away: it compares equal to `None` and is
+    /// omitted from the JSON artifact, because such a run is byte-identical
+    /// to a fault-free one.
+    pub faults: Option<FaultConfig>,
     /// Simulator master seed (derived from the campaign seed).
     pub seed: u64,
     /// hwdp-audit sanitizer level (observation-only; excluded from
@@ -167,6 +173,7 @@ impl PartialEq for JobSpec {
             && self.per_core_free_queues == other.per_core_free_queues
             && self.long_io_timeout_us == other.long_io_timeout_us
             && self.time_cap_ms == other.time_cap_ms
+            && self.effective_faults() == other.effective_faults()
             && self.seed == other.seed
     }
 }
@@ -193,9 +200,16 @@ impl JobSpec {
             per_core_free_queues: false,
             long_io_timeout_us: None,
             time_cap_ms: 30_000,
+            faults: None,
             seed,
             sanitize: SanitizeLevel::Off,
         }
+    }
+
+    /// The fault plan that can actually fire: zero-rate configs normalize
+    /// to `None` (they are inert by construction).
+    pub fn effective_faults(&self) -> Option<FaultConfig> {
+        self.faults.filter(|f| !f.is_zero())
     }
 
     /// Dataset size in pages.
@@ -219,7 +233,7 @@ impl JobSpec {
     /// *string* because JSON numbers (f64) lose u64 precision above 2^53.
     pub fn to_json(&self) -> Json {
         let opt_num = |v: Option<u64>| v.map_or(Json::Null, |n| Json::Num(n as f64));
-        Json::obj([
+        let mut fields = vec![
             ("scenario", Json::str(self.scenario.name())),
             ("mode", Json::str(self.mode.label())),
             ("device", Json::str(self.device.name())),
@@ -238,7 +252,13 @@ impl JobSpec {
             ("long_io_timeout_us", opt_num(self.long_io_timeout_us)),
             ("time_cap_ms", Json::Num(self.time_cap_ms as f64)),
             ("seed", Json::Str(format!("{:#018x}", self.seed))),
-        ])
+        ];
+        // Present only for jobs that can actually inject faults, so
+        // fault-free artifacts stay byte-identical to pre-fault baselines.
+        if let Some(f) = self.effective_faults() {
+            fields.push(("faults", Json::Str(f.canonical())));
+        }
+        Json::obj(fields)
     }
 }
 
@@ -347,6 +367,12 @@ impl Grid {
     /// (observation-only; metrics are unaffected).
     pub fn sanitize(mut self, level: SanitizeLevel) -> Grid {
         self.template.sanitize = level;
+        self
+    }
+
+    /// Installs a deterministic device fault plan on every job.
+    pub fn faults(mut self, cfg: FaultConfig) -> Grid {
+        self.template.faults = Some(cfg);
         self
     }
 
@@ -478,6 +504,30 @@ mod tests {
     fn grid_sanitize_applies_to_every_job() {
         let c = Grid::new("t", 1).ratios([2.0, 4.0]).sanitize(SanitizeLevel::Cheap).expand();
         assert!(c.jobs.iter().all(|j| j.sanitize == SanitizeLevel::Cheap));
+    }
+
+    #[test]
+    fn zero_rate_faults_normalize_away() {
+        let a = JobSpec::new(Scenario::FioRand, Mode::Hwdp, 3);
+        let mut b = a;
+        b.faults = Some(FaultConfig::default());
+        assert_eq!(a, b, "zero-rate plan is inert, jobs are interchangeable");
+        assert_eq!(a.to_json().pretty(), b.to_json().pretty(), "artifacts stay byte-identical");
+        let mut c = a;
+        c.faults = FaultConfig::parse("media=0.1");
+        assert_ne!(a, c, "a live plan distinguishes jobs");
+        assert_eq!(
+            c.to_json().get("faults").and_then(Json::as_str),
+            Some("media=0.1"),
+            "live plans serialize in --faults syntax"
+        );
+    }
+
+    #[test]
+    fn grid_faults_apply_to_every_job() {
+        let cfg = FaultConfig::parse("drop=0.05").expect("parses");
+        let c = Grid::new("t", 1).ratios([2.0, 4.0]).faults(cfg).expand();
+        assert!(c.jobs.iter().all(|j| j.effective_faults() == Some(cfg)));
     }
 
     #[test]

@@ -77,6 +77,35 @@ fn full_sanitize_reproduces_committed_baseline_byte_for_byte() {
 }
 
 #[test]
+fn zero_rate_fault_plan_reproduces_committed_baseline_byte_for_byte() {
+    // The fault-injection parity contract: a fault plan whose rates are
+    // all zero installs no plan at all — no watchdog events, no retry
+    // bookkeeping, no extra artifact keys. The seed campaign with a
+    // zero-rate `faults` knob must be byte-identical to the committed
+    // baseline captured before the fault layer existed.
+    let baseline_path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../../baselines/BENCH_seed.json");
+    let text = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", baseline_path.display()));
+    let baseline = Artifact::parse(&text).expect("committed baseline parses");
+
+    let mut campaign = seed_campaign();
+    for job in &mut campaign.jobs {
+        job.faults = Some(hwdp_nvme::fault::FaultConfig::default());
+        job.sanitize = hwdp_sim::SanitizeLevel::Full;
+    }
+    let fresh = execute_campaign(&campaign, 4, &mut Counting::default());
+
+    assert_eq!(
+        fresh.canonical_string(),
+        baseline.canonical_string(),
+        "a zero-rate fault plan perturbed the seed campaign artifact; \
+         fault injection must be pay-as-you-go (no events, no RNG draws, \
+         no metric or config changes when every rate is zero)"
+    );
+}
+
+#[test]
 fn seed_campaign_is_worker_count_invariant() {
     let campaign = seed_campaign();
     let one = execute_campaign(&campaign, 1, &mut Counting::default());

@@ -1,0 +1,92 @@
+//! Panic-free completion paths: the acceptance bar of the fault-recovery
+//! work restated as a source-level test.
+//!
+//! Every function that sits on an I/O completion or recovery path — from
+//! the device CQ through the SMU and OSDP finishers to the kernel's
+//! post-fault mapping — must handle non-`Success` completions, stale
+//! state, and races by typed control flow, never by `panic!`, `.expect`,
+//! or `.unwrap`. A fault plan at high rates drives all of these paths;
+//! any panic here is a crash an end-to-end campaign would hit.
+
+use std::path::Path;
+
+fn workspace_root() -> std::path::PathBuf {
+    hwdp_lint::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("tests run inside the workspace")
+}
+
+/// Extracts the body of `fn <name>` from `source` by brace matching.
+/// Panics when the function is missing: the roster below must track
+/// renames, not silently stop checking.
+fn fn_body<'a>(source: &'a str, name: &str) -> &'a str {
+    let needle = format!("fn {name}");
+    let start = source
+        .match_indices(&needle)
+        .map(|(i, _)| i)
+        .find(|&i| {
+            // An actual definition, not a doc-comment mention or a call.
+            source[i + needle.len()..].trim_start().starts_with(['(', '<'])
+        })
+        .unwrap_or_else(|| panic!("fn {name} not found (renamed? update this roster)"));
+    let open = source[start..].find('{').expect("fn has a body") + start;
+    let mut depth = 0usize;
+    for (i, c) in source[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return &source[open..open + i + 1];
+                }
+            }
+            _ => {}
+        }
+    }
+    panic!("unbalanced braces in fn {name}");
+}
+
+#[test]
+fn completion_and_recovery_paths_never_panic() {
+    // (file, functions on the completion/recovery path within it)
+    let roster: &[(&str, &[&str])] = &[
+        (
+            "crates/core/src/system.rs",
+            &[
+                "handle_io_done",
+                "dispatch_completion",
+                "recover_hwdp",
+                "escalate_hwdp",
+                "recover_osdp",
+                "surface_osdp_error",
+                "finish_hwdp_miss",
+                "finish_osdp_read",
+                "submit_or_defer",
+                "drain_deferred",
+                "fail_submission",
+            ],
+        ),
+        ("crates/smu/src/smu.rs", &["finish_io", "finish_zero_fill", "reissue_read", "abandon_io"]),
+        ("crates/smu/src/host_controller.rs", &["handle_completion"]),
+        ("crates/os/src/kernel.rs", &["osdp_fault_complete", "osdp_fault_abort"]),
+    ];
+    let root = workspace_root();
+    let mut offences = Vec::new();
+    for (file, fns) in roster {
+        let path = root.join(file);
+        let source = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        for name in *fns {
+            let body = fn_body(&source, name);
+            for marker in ["panic!(", ".expect(", ".unwrap("] {
+                if body.contains(marker) {
+                    offences.push(format!("{file}: fn {name} contains {marker}"));
+                }
+            }
+        }
+    }
+    assert!(
+        offences.is_empty(),
+        "completion paths must recover, not panic:\n  {}",
+        offences.join("\n  ")
+    );
+}

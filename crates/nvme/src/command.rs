@@ -112,6 +112,9 @@ pub enum Status {
     LbaOutOfRange,
     /// Invalid namespace or format.
     InvalidNamespace,
+    /// Unrecovered media error (read/write hit a bad block). Injected by
+    /// the fault plan; hosts must retry or degrade, never assume data.
+    MediaError,
 }
 
 /// A completion-queue entry (16 bytes on the wire; we keep the fields the

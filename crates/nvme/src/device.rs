@@ -25,6 +25,7 @@ use hwdp_sim::stats::{LatencyHist, Running};
 use hwdp_sim::time::{Duration, Time};
 
 use crate::command::{NvmeCommand, Opcode, Status};
+use crate::fault::{FaultConfig, FaultPlan, FaultStats, InjectedFault};
 use crate::namespace::BlockStore;
 use crate::profile::DeviceProfile;
 use crate::queue::QueuePair;
@@ -34,7 +35,10 @@ use crate::queue::QueuePair;
 pub struct QueueId(pub u16);
 
 /// Opaque handle linking a scheduled completion event back to its command.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+///
+/// Tokens order by issue sequence, so hosts can use them as deterministic
+/// map keys for per-command bookkeeping (e.g. timeout watchdogs).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct CompletionToken(u64);
 
 /// Why a submission was rejected.
@@ -70,6 +74,9 @@ pub struct Completed {
     pub status: Status,
     /// Host-observed device latency (submit → completion).
     pub latency: Duration,
+    /// `true` when the fault plan swallowed the completion: no CQ entry
+    /// was posted and the host must recover via its timeout watchdog.
+    pub dropped: bool,
 }
 
 /// Aggregate device statistics.
@@ -93,6 +100,8 @@ struct Inflight {
     write_data: Option<PageData>,
     submitted: Time,
     finish: Time,
+    /// Fault decision sampled at submission, honored at completion.
+    inject: InjectedFault,
 }
 
 /// One NVMe device: namespaces + queue pairs + timing engine.
@@ -105,6 +114,7 @@ pub struct NvmeController {
     next_token: u64,
     rng: Prng,
     stats: DeviceStats,
+    faults: Option<FaultPlan>,
 }
 
 impl NvmeController {
@@ -119,7 +129,20 @@ impl NvmeController {
             next_token: 0,
             rng,
             stats: DeviceStats::default(),
+            faults: None,
         }
+    }
+
+    /// Attaches a fault-injection plan. `seed` should be the simulation
+    /// seed (the plan derives its own independent RNG stream from it), so
+    /// fault sequences replay byte-identically.
+    pub fn set_fault_plan(&mut self, cfg: FaultConfig, seed: u64) {
+        self.faults = Some(FaultPlan::new(cfg, seed));
+    }
+
+    /// Injection counts, if a fault plan is attached.
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        self.faults.as_ref().map(|f| &f.stats)
     }
 
     /// The timing profile.
@@ -193,7 +216,15 @@ impl NvmeController {
         write_data: Option<PageData>,
         now: Time,
     ) -> Result<(CompletionToken, Time), SubmitError> {
-        let q = self.queues.get_mut(qid.0 as usize).ok_or(SubmitError::UnknownQueue)?;
+        if qid.0 as usize >= self.queues.len() {
+            return Err(SubmitError::UnknownQueue);
+        }
+        // Forced backpressure window: reject at the ring before anything
+        // is written, exactly like a naturally full SQ.
+        if self.faults.as_mut().is_some_and(FaultPlan::reject_submission) {
+            return Err(SubmitError::QueueFull);
+        }
+        let q = &mut self.queues[qid.0 as usize];
         if !q.host_submit(cmd) {
             return Err(SubmitError::QueueFull);
         }
@@ -217,10 +248,19 @@ impl NvmeController {
             .min(channels);
         let outstanding_total =
             self.inflight.values().filter(|f| f.finish > now).count().min(2 * channels);
+        // The fault decision is sampled once here, on the plan's own RNG
+        // stream (the jitter draw below stays byte-identical either way).
+        let inject = match self.faults.as_mut() {
+            Some(plan) => plan.sample(fetched.opcode, fetched.slba),
+            None => InjectedFault::none(),
+        };
         let mut service = self
             .profile
             .base_service(is_write, fetched.blocks())
             .scale(self.profile.jitter().multiplier(&mut self.rng));
+        if inject.delay_factor > 1.0 {
+            service = service.scale(inject.delay_factor);
+        }
         if !is_write && outstanding_writes > 0 {
             service =
                 service.scale(1.0 + self.profile.write_interference * outstanding_writes as f64);
@@ -275,7 +315,7 @@ impl NvmeController {
         self.next_token += 1;
         self.inflight.insert(
             token.0,
-            Inflight { qid, cmd: fetched, write_data, submitted: now, finish },
+            Inflight { qid, cmd: fetched, write_data, submitted: now, finish, inject },
         );
         Ok((token, finish))
     }
@@ -289,12 +329,15 @@ impl NvmeController {
     /// Panics if the token is unknown or completed twice.
     pub fn complete(&mut self, token: CompletionToken, now: Time) -> Completed {
         let inflight = self.inflight.remove(&token.0).expect("unknown or reused completion token");
-        let Inflight { qid, cmd, write_data: _, submitted, finish } = inflight;
+        let Inflight { qid, cmd, write_data: _, submitted, finish, inject } = inflight;
         debug_assert!(now >= finish, "completed before device finished");
         let latency = now - submitted;
 
         let ns_index = cmd.nsid as usize;
-        let (status, read_data) = if ns_index == 0 || ns_index > self.namespaces.len() {
+        let (status, read_data) = if inject.status.is_some() {
+            // Injected media error: the transfer failed, no data is DMA'd.
+            (Status::MediaError, None)
+        } else if ns_index == 0 || ns_index > self.namespaces.len() {
             (Status::InvalidNamespace, None)
         } else {
             let store = &mut self.namespaces[ns_index - 1];
@@ -312,6 +355,13 @@ impl NvmeController {
             }
         };
 
+        if inject.drop_completion {
+            // The device consumed the command but never posts a CQ entry:
+            // no stats, no phase-tagged completion, nothing for the host
+            // to poll. The host's watchdog is the only way out.
+            return Completed { qid, cmd, read_data: None, status, latency, dropped: true };
+        }
+
         match cmd.opcode {
             Opcode::Read => {
                 self.stats.reads += 1;
@@ -325,7 +375,7 @@ impl NvmeController {
         }
 
         self.queues[qid.0 as usize].device_post_completion(cmd.cid, status);
-        Completed { qid, cmd, read_data, status, latency }
+        Completed { qid, cmd, read_data, status, latency, dropped: false }
     }
 }
 

@@ -1,0 +1,412 @@
+//! Deterministic fault injection for the NVMe device model.
+//!
+//! Real devices return media errors, stretch service times, drop
+//! completions, and push back with full submission queues; full-SSD
+//! simulators (Amber, SimpleSSD) model exactly these behaviors. This
+//! module attaches a [`FaultPlan`] to a controller: a [`FaultConfig`]
+//! (pure data, `Copy`, lives in configs and job specs) plus a dedicated
+//! RNG stream so runs with the same seed inject byte-identical fault
+//! sequences — and a zero-rate plan is exactly a run with no plan at all.
+//!
+//! The plan's RNG is derived from the simulation seed by XOR, *not* by
+//! forking the sim stream (forking advances the parent and would change
+//! every fault-free draw). Injection decisions are sampled once at
+//! submission and recorded on the in-flight command, so reordering of
+//! completions cannot perturb the fault sequence.
+
+use std::collections::BTreeSet;
+
+use hwdp_sim::rng::Prng;
+
+use crate::command::{Opcode, Status};
+
+/// Which fault classes a device injects, at what rates, and where.
+///
+/// All rates are probabilities in `[0, 1]` sampled per command (or per
+/// submission attempt for queue-full windows). The default is all-zero:
+/// no faults, byte-identical to running without a plan.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct FaultConfig {
+    /// Probability a targeted command completes with
+    /// [`Status::MediaError`] instead of its data.
+    pub media_error_rate: f64,
+    /// Probability an injected media error marks the LBA permanently bad
+    /// (every later command on it fails too, retries included).
+    pub persistent_media_rate: f64,
+    /// Probability a targeted command's service time is inflated by
+    /// [`FaultConfig::delay_factor`].
+    pub delay_rate: f64,
+    /// Service-time multiplier for delayed commands. Large factors push a
+    /// command past the host's command timeout.
+    pub delay_factor: f64,
+    /// Probability the device never posts a completion for a targeted
+    /// command (the host only learns via its timeout watchdog).
+    pub drop_rate: f64,
+    /// Probability, per submission, that a queue-full backpressure window
+    /// opens (the device rejects submissions at the ring).
+    pub queue_full_rate: f64,
+    /// Number of consecutive submission attempts rejected per window.
+    pub queue_full_len: u32,
+    /// Restrict injection to this inclusive LBA range (`None` = all).
+    pub lba_range: Option<(u64, u64)>,
+    /// Inject only into read commands (queue-full windows, which act
+    /// before the opcode matters, ignore this).
+    pub reads_only: bool,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            media_error_rate: 0.0,
+            persistent_media_rate: 0.0,
+            delay_rate: 0.0,
+            delay_factor: 1.0,
+            drop_rate: 0.0,
+            queue_full_rate: 0.0,
+            queue_full_len: 4,
+            lba_range: None,
+            reads_only: true,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// `true` when no fault class can ever fire: such a config must be
+    /// indistinguishable (byte-for-byte artifacts) from no config.
+    pub fn is_zero(&self) -> bool {
+        self.media_error_rate == 0.0
+            && self.delay_rate == 0.0
+            && self.drop_rate == 0.0
+            && self.queue_full_rate == 0.0
+    }
+
+    /// Whether a command is eligible for injection under the LBA-range
+    /// and opcode filters.
+    fn targets(&self, opcode: Opcode, lba: u64) -> bool {
+        if self.reads_only && opcode != Opcode::Read {
+            return false;
+        }
+        match self.lba_range {
+            Some((lo, hi)) => lba >= lo && lba <= hi,
+            None => true,
+        }
+    }
+
+    /// Parses the CLI `--faults` value: comma-separated `key=value` pairs.
+    ///
+    /// ```text
+    /// media=0.1,persistent=0.5,delay=0.05x20,drop=0.02,qfull=0.05x8,lba=0-4095,writes
+    /// ```
+    ///
+    /// `delay` takes `rate` or `ratexfactor`; `qfull` takes `rate` or
+    /// `ratexlen`; `lba` takes `lo-hi`; the bare word `writes` lifts the
+    /// reads-only restriction. Returns `None` on any unknown key or
+    /// malformed value.
+    pub fn parse(s: &str) -> Option<FaultConfig> {
+        let mut cfg = FaultConfig::default();
+        for part in s.split(',').filter(|p| !p.is_empty()) {
+            match part.split_once('=') {
+                None if part == "writes" => cfg.reads_only = false,
+                None => return None,
+                Some((k, v)) => match k {
+                    "media" => cfg.media_error_rate = v.parse().ok()?,
+                    "persistent" => cfg.persistent_media_rate = v.parse().ok()?,
+                    "delay" => match v.split_once('x') {
+                        Some((r, f)) => {
+                            cfg.delay_rate = r.parse().ok()?;
+                            cfg.delay_factor = f.parse().ok()?;
+                        }
+                        None => cfg.delay_rate = v.parse().ok()?,
+                    },
+                    "drop" => cfg.drop_rate = v.parse().ok()?,
+                    "qfull" => match v.split_once('x') {
+                        Some((r, n)) => {
+                            cfg.queue_full_rate = r.parse().ok()?;
+                            cfg.queue_full_len = n.parse().ok()?;
+                        }
+                        None => cfg.queue_full_rate = v.parse().ok()?,
+                    },
+                    "lba" => {
+                        let (lo, hi) = v.split_once('-')?;
+                        cfg.lba_range = Some((lo.parse().ok()?, hi.parse().ok()?));
+                    }
+                    _ => return None,
+                },
+            }
+        }
+        let rates = [
+            cfg.media_error_rate,
+            cfg.persistent_media_rate,
+            cfg.delay_rate,
+            cfg.drop_rate,
+            cfg.queue_full_rate,
+        ];
+        if rates.iter().any(|r| !(0.0..=1.0).contains(r)) || cfg.delay_factor < 1.0 {
+            return None;
+        }
+        Some(cfg)
+    }
+
+    /// Renders the config in [`FaultConfig::parse`] syntax. The key order
+    /// is fixed, so equal configs render identically — job specs and
+    /// artifacts embed this string.
+    pub fn canonical(&self) -> String {
+        let mut parts = Vec::new();
+        if self.media_error_rate > 0.0 {
+            parts.push(format!("media={}", self.media_error_rate));
+        }
+        if self.persistent_media_rate > 0.0 {
+            parts.push(format!("persistent={}", self.persistent_media_rate));
+        }
+        if self.delay_rate > 0.0 {
+            parts.push(format!("delay={}x{}", self.delay_rate, self.delay_factor));
+        }
+        if self.drop_rate > 0.0 {
+            parts.push(format!("drop={}", self.drop_rate));
+        }
+        if self.queue_full_rate > 0.0 {
+            parts.push(format!("qfull={}x{}", self.queue_full_rate, self.queue_full_len));
+        }
+        if let Some((lo, hi)) = self.lba_range {
+            parts.push(format!("lba={lo}-{hi}"));
+        }
+        if !self.reads_only {
+            parts.push("writes".to_string());
+        }
+        parts.join(",")
+    }
+}
+
+/// What the plan decided to do to one submitted command. Sampled once at
+/// submission; honored at completion.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct InjectedFault {
+    /// Override the completion status (media error).
+    pub status: Option<Status>,
+    /// Swallow the completion entirely (no CQ entry is ever posted).
+    pub drop_completion: bool,
+    /// Service-time multiplier (`1.0` = untouched).
+    pub delay_factor: f64,
+}
+
+impl InjectedFault {
+    /// A no-op decision for untargeted commands.
+    pub fn none() -> Self {
+        InjectedFault { status: None, drop_completion: false, delay_factor: 1.0 }
+    }
+}
+
+/// Counts of injected faults (device-side ground truth the recovery tests
+/// compare host-side counters against).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FaultStats {
+    /// Commands completed with an injected media error.
+    pub media_errors: u64,
+    /// Commands whose service time was inflated.
+    pub delays: u64,
+    /// Completions swallowed.
+    pub drops: u64,
+    /// Submissions rejected by a forced queue-full window.
+    pub queue_full_rejections: u64,
+}
+
+/// Runtime fault state attached to one controller: config + dedicated RNG
+/// + the set of permanently bad LBAs + the current backpressure window.
+#[derive(Debug)]
+pub struct FaultPlan {
+    cfg: FaultConfig,
+    rng: Prng,
+    bad_lbas: BTreeSet<u64>,
+    window_left: u32,
+    /// Injection counts so far.
+    pub stats: FaultStats,
+}
+
+/// Domain separator between the simulation RNG stream and fault streams.
+const FAULT_SEED_SALT: u64 = 0xFA17_ED10_D00D_5EED;
+
+impl FaultPlan {
+    /// Creates a plan whose RNG stream is derived from (but independent
+    /// of) the simulation seed.
+    pub fn new(cfg: FaultConfig, seed: u64) -> Self {
+        FaultPlan {
+            cfg,
+            rng: Prng::seed_from(seed ^ FAULT_SEED_SALT),
+            bad_lbas: BTreeSet::new(),
+            window_left: 0,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The plan's configuration.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Called per submission attempt *before* the ring is touched: `true`
+    /// rejects the submission (forced queue-full backpressure). Windows
+    /// count down per rejected attempt, so a retrying host always makes
+    /// progress.
+    pub fn reject_submission(&mut self) -> bool {
+        if self.window_left > 0 {
+            self.window_left -= 1;
+            self.stats.queue_full_rejections += 1;
+            return true;
+        }
+        if self.cfg.queue_full_rate > 0.0 && self.rng.chance(self.cfg.queue_full_rate) {
+            self.window_left = self.cfg.queue_full_len.saturating_sub(1);
+            self.stats.queue_full_rejections += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Samples the fault decision for one accepted command. The draw
+    /// order (media, drop, delay) is fixed: it is part of the
+    /// reproducibility contract.
+    pub fn sample(&mut self, opcode: Opcode, lba: u64) -> InjectedFault {
+        let mut fault = InjectedFault::none();
+        if !self.cfg.targets(opcode, lba) {
+            return fault;
+        }
+        if self.bad_lbas.contains(&lba) {
+            fault.status = Some(Status::MediaError);
+        } else if self.cfg.media_error_rate > 0.0 && self.rng.chance(self.cfg.media_error_rate) {
+            fault.status = Some(Status::MediaError);
+            if self.cfg.persistent_media_rate > 0.0 && self.rng.chance(self.cfg.persistent_media_rate)
+            {
+                self.bad_lbas.insert(lba);
+            }
+        }
+        if fault.status.is_some() {
+            self.stats.media_errors += 1;
+        }
+        if self.cfg.drop_rate > 0.0 && self.rng.chance(self.cfg.drop_rate) {
+            fault.drop_completion = true;
+            self.stats.drops += 1;
+        }
+        if self.cfg.delay_rate > 0.0 && self.rng.chance(self.cfg.delay_rate) {
+            fault.delay_factor = self.cfg.delay_factor;
+            self.stats.delays += 1;
+        }
+        fault
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn always() -> FaultConfig {
+        FaultConfig {
+            media_error_rate: 1.0,
+            delay_rate: 1.0,
+            delay_factor: 10.0,
+            drop_rate: 1.0,
+            ..FaultConfig::default()
+        }
+    }
+
+    #[test]
+    fn zero_rate_plan_is_inert() {
+        let mut p = FaultPlan::new(FaultConfig::default(), 42);
+        assert!(FaultConfig::default().is_zero());
+        for lba in 0..64 {
+            assert!(!p.reject_submission());
+            assert_eq!(p.sample(Opcode::Read, lba), InjectedFault::none());
+        }
+        assert_eq!(p.stats, FaultStats::default());
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let cfg = FaultConfig { media_error_rate: 0.3, drop_rate: 0.2, ..FaultConfig::default() };
+        let mut a = FaultPlan::new(cfg, 7);
+        let mut b = FaultPlan::new(cfg, 7);
+        let mut c = FaultPlan::new(cfg, 8);
+        let sa: Vec<_> = (0..256).map(|l| a.sample(Opcode::Read, l)).collect();
+        let sb: Vec<_> = (0..256).map(|l| b.sample(Opcode::Read, l)).collect();
+        let sc: Vec<_> = (0..256).map(|l| c.sample(Opcode::Read, l)).collect();
+        assert_eq!(sa, sb, "same seed, same fault sequence");
+        assert_ne!(sa, sc, "different seed, different sequence");
+    }
+
+    #[test]
+    fn filters_gate_injection() {
+        let cfg = FaultConfig {
+            lba_range: Some((100, 199)),
+            ..always()
+        };
+        let mut p = FaultPlan::new(cfg, 1);
+        assert_eq!(p.sample(Opcode::Read, 99), InjectedFault::none());
+        assert_eq!(p.sample(Opcode::Write, 150), InjectedFault::none(), "reads_only default");
+        let hit = p.sample(Opcode::Read, 150);
+        assert_eq!(hit.status, Some(Status::MediaError));
+        assert!(hit.drop_completion);
+        assert_eq!(hit.delay_factor, 10.0);
+    }
+
+    #[test]
+    fn persistent_media_errors_stick() {
+        let cfg = FaultConfig {
+            media_error_rate: 1.0,
+            persistent_media_rate: 1.0,
+            ..FaultConfig::default()
+        };
+        let mut p = FaultPlan::new(cfg, 3);
+        assert_eq!(p.sample(Opcode::Read, 77).status, Some(Status::MediaError));
+        // Later retries on the same LBA keep failing even if the rate drops.
+        p.cfg.media_error_rate = 0.0;
+        assert_eq!(p.sample(Opcode::Read, 77).status, Some(Status::MediaError));
+        assert_eq!(p.sample(Opcode::Read, 78).status, None);
+    }
+
+    #[test]
+    fn queue_full_windows_count_down() {
+        let cfg = FaultConfig {
+            queue_full_rate: 1.0,
+            queue_full_len: 3,
+            ..FaultConfig::default()
+        };
+        let mut p = FaultPlan::new(cfg, 5);
+        // Every attempt opens (or continues) a window; all are rejected,
+        // but each rejection consumes budget, so progress is guaranteed
+        // once the rate is < 1.
+        for _ in 0..5 {
+            assert!(p.reject_submission());
+        }
+        assert_eq!(p.stats.queue_full_rejections, 5);
+    }
+
+    #[test]
+    fn parse_round_trips_the_knobs() {
+        let cfg = FaultConfig::parse("media=0.1,persistent=0.5,delay=0.05x20,drop=0.02,qfull=0.3x8,lba=0-4095,writes")
+            .expect("parses");
+        assert_eq!(cfg.media_error_rate, 0.1);
+        assert_eq!(cfg.persistent_media_rate, 0.5);
+        assert_eq!(cfg.delay_rate, 0.05);
+        assert_eq!(cfg.delay_factor, 20.0);
+        assert_eq!(cfg.drop_rate, 0.02);
+        assert_eq!(cfg.queue_full_rate, 0.3);
+        assert_eq!(cfg.queue_full_len, 8);
+        assert_eq!(cfg.lba_range, Some((0, 4095)));
+        assert!(!cfg.reads_only);
+        assert!(FaultConfig::parse("").expect("empty is zero-rate").is_zero());
+        for bad in ["media=2.0", "nope=1", "delay=0.1x0.5", "lba=7", "media=x"] {
+            assert!(FaultConfig::parse(bad).is_none(), "{bad} must be rejected");
+        }
+    }
+
+    #[test]
+    fn canonical_round_trips() {
+        for s in [
+            "media=0.1,persistent=0.5,delay=0.05x20,drop=0.02,qfull=0.3x8,lba=0-4095,writes",
+            "media=0.25",
+            "delay=1x100",
+            "",
+        ] {
+            let cfg = FaultConfig::parse(s).expect("parses");
+            assert_eq!(FaultConfig::parse(&cfg.canonical()), Some(cfg), "round-trip of {s:?}");
+        }
+    }
+}

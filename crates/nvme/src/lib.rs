@@ -16,18 +16,22 @@
 //!   schedules completions in virtual time, moves real block data.
 //! * [`namespace`] — the backing block store (real or pattern-generated
 //!   block contents).
+//! * [`fault`] — deterministic fault injection (media errors, delays,
+//!   dropped completions, queue-full windows) on a dedicated RNG stream.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod command;
 pub mod device;
+pub mod fault;
 pub mod namespace;
 pub mod profile;
 pub mod queue;
 
 pub use command::{CompletionEntry, NvmeCommand, Opcode};
 pub use device::{Completed, CompletionToken, DeviceStats, NvmeController, QueueId};
+pub use fault::{FaultConfig, FaultPlan, FaultStats};
 pub use namespace::BlockStore;
 pub use profile::DeviceProfile;
 pub use queue::QueuePair;

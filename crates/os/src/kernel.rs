@@ -400,11 +400,36 @@ impl Os {
     }
 
     /// Completes an OSDP major fault after the device read: maps the page
-    /// and updates OS metadata inline (the conventional path).
+    /// and updates OS metadata inline (the conventional path). If the VMA
+    /// vanished mid-flight (teardown raced the I/O), the data is dropped
+    /// and the frame released instead of crashing.
     pub fn osdp_fault_complete(&mut self, vpn: Vpn, pfn: Pfn) {
-        let (_, vma) = self.aspace.resolve(vpn).expect("VMA vanished during fault");
+        let Some((_, vma)) = self.aspace.resolve(vpn) else {
+            self.release_fault_frame(pfn);
+            return;
+        };
         let file_page = vma.file_page(vpn);
         self.map_resident(vma, file_page, pfn);
+    }
+
+    /// Aborts an OSDP major fault whose device read ultimately failed
+    /// (fault-injection recovery): releases the frame that was allocated
+    /// to receive the data. The PTE stays not-present, so a later access
+    /// simply re-faults.
+    pub fn osdp_fault_abort(&mut self, _vpn: Vpn, pfn: Pfn) {
+        self.release_fault_frame(pfn);
+        // Error-path unwind: undo the allocation, drop the page lock.
+        self.acct.app_kernel_instr += 300;
+    }
+
+    /// Frees a fault-allocated frame that never got mapped. Tolerates a
+    /// frame that was already reclaimed out from under the fault.
+    fn release_fault_frame(&mut self, pfn: Pfn) {
+        if (pfn.0 as usize) < self.frames.total()
+            && self.frames.state(pfn) == hwdp_mem::phys::FrameState::Allocated
+        {
+            self.frames.free(pfn);
+        }
     }
 
     /// One `kpted` pass (§IV-C): scan page tables using the upper-level

@@ -24,6 +24,29 @@ pub const DESCRIPTOR_BITS: u64 = 352;
 /// Maximum devices per SMU (3-bit device ID).
 pub const MAX_DEVICES: usize = 8;
 
+/// Why the host controller could not act on a device.
+///
+/// A misconfigured system (a PTE augmented with a device whose queue pair
+/// was never set up) reports this instead of aborting the process; the
+/// SMU degrades the miss to the OSDP software path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IssueError {
+    /// No queue descriptor registers are installed for the device.
+    NoDescriptor(DeviceId),
+}
+
+impl std::fmt::Display for IssueError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IssueError::NoDescriptor(dev) => {
+                write!(f, "no queue descriptor installed for {dev:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IssueError {}
+
 /// One device's queue descriptor register set (Fig. 9).
 #[derive(Clone, Copy, Debug)]
 pub struct QueueDescriptor {
@@ -111,18 +134,21 @@ impl HostController {
     /// Builds the 4 KiB read command for a page miss (cid = PMSHR entry
     /// index) and accounts for the command write + doorbell ring.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if no descriptor is installed for `dev` — the OS must set up
-    /// the queue pair before augmenting PTEs that point at the device.
-    pub fn issue_read(&mut self, dev: DeviceId, lba: Lba, dma: PhysAddr, cid: u16) -> (QueueId, NvmeCommand) {
-        let desc = self
-            .descriptor(dev)
-            .copied()
-            .unwrap_or_else(|| panic!("no queue descriptor installed for {dev:?}"));
+    /// [`IssueError::NoDescriptor`] if the OS never set up the queue pair
+    /// for `dev` — the caller degrades the miss to the software path.
+    pub fn issue_read(
+        &mut self,
+        dev: DeviceId,
+        lba: Lba,
+        dma: PhysAddr,
+        cid: u16,
+    ) -> Result<(QueueId, NvmeCommand), IssueError> {
+        let desc = self.descriptor(dev).copied().ok_or(IssueError::NoDescriptor(dev))?;
         self.stats.command_writes += 1;
         self.stats.sq_doorbells += 1;
-        (desc.qid, NvmeCommand::read4k(cid, desc.nsid, lba.0, dma))
+        Ok((desc.qid, NvmeCommand::read4k(cid, desc.nsid, lba.0, dma)))
     }
 
     /// Completion-unit address match: does a memory write at `addr` land on
@@ -143,18 +169,17 @@ impl HostController {
     /// advances the CQ head pointer and rings the CQ doorbell (§III-C
     /// step 5).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if no descriptor is installed for `dev`.
-    pub fn handle_completion(&mut self, dev: DeviceId) {
-        let depth = self
-            .descriptor(dev)
-            .unwrap_or_else(|| panic!("no queue descriptor installed for {dev:?}"))
-            .depth;
+    /// [`IssueError::NoDescriptor`] if no descriptor is installed for
+    /// `dev` (a completion for a device the SMU no longer owns).
+    pub fn handle_completion(&mut self, dev: DeviceId) -> Result<(), IssueError> {
+        let depth = self.descriptor(dev).ok_or(IssueError::NoDescriptor(dev))?.depth;
         let head = &mut self.cq_head[dev.0 as usize];
         *head = (*head + 1) % depth;
         self.stats.snooped_completions += 1;
         self.stats.cq_doorbells += 1;
+        Ok(())
     }
 }
 
@@ -184,7 +209,7 @@ mod tests {
         let mut hc = HostController::new();
         hc.install(DeviceId(2), desc(5));
         assert_eq!(hc.installed(), 1);
-        let (qid, cmd) = hc.issue_read(DeviceId(2), Lba(99), PhysAddr(0x3000), 7);
+        let (qid, cmd) = hc.issue_read(DeviceId(2), Lba(99), PhysAddr(0x3000), 7).expect("installed");
         assert_eq!(qid, QueueId(5));
         assert_eq!(cmd.slba, 99);
         assert_eq!(cmd.cid, 7);
@@ -194,10 +219,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no queue descriptor")]
-    fn issue_without_descriptor_panics() {
+    fn issue_without_descriptor_is_a_typed_error() {
         let mut hc = HostController::new();
-        hc.issue_read(DeviceId(0), Lba(0), PhysAddr(0), 0);
+        let err = hc.issue_read(DeviceId(0), Lba(0), PhysAddr(0), 0).unwrap_err();
+        assert_eq!(err, IssueError::NoDescriptor(DeviceId(0)));
+        assert!(format!("{err}").contains("no queue descriptor"));
+        assert_eq!(hc.handle_completion(DeviceId(0)), Err(IssueError::NoDescriptor(DeviceId(0))));
+        assert_eq!(hc.stats(), HostControllerStats::default(), "failed calls count nothing");
     }
 
     #[test]
@@ -213,7 +241,7 @@ mod tests {
         hc.install(DeviceId(1), desc(0));
         assert_eq!(hc.snoop_match(PhysAddr(0x20_0000)), Some(DeviceId(1)));
         assert_eq!(hc.snoop_match(PhysAddr(0x20_0010)), None, "next slot not yet head");
-        hc.handle_completion(DeviceId(1));
+        hc.handle_completion(DeviceId(1)).expect("installed");
         assert_eq!(hc.snoop_match(PhysAddr(0x20_0010)), Some(DeviceId(1)));
         assert_eq!(hc.stats().cq_doorbells, 1);
         assert_eq!(hc.stats().snooped_completions, 1);
@@ -225,8 +253,8 @@ mod tests {
         let mut d = desc(0);
         d.depth = 2;
         hc.install(DeviceId(0), d);
-        hc.handle_completion(DeviceId(0));
-        hc.handle_completion(DeviceId(0));
+        hc.handle_completion(DeviceId(0)).expect("installed");
+        hc.handle_completion(DeviceId(0)).expect("installed");
         assert_eq!(hc.snoop_match(PhysAddr(0x20_0000)), Some(DeviceId(0)), "wrapped to slot 0");
     }
 

@@ -219,6 +219,22 @@ impl Pmshr {
         self.slots[idx.0 as usize].as_ref().expect("entry not live")
     }
 
+    /// Read access to an entry that may have been retired — fault-recovery
+    /// paths probe entries that an abandoned I/O may already have
+    /// invalidated, so absence is a normal outcome, not a bug.
+    pub fn try_entry(&self, idx: EntryIdx) -> Option<&Entry> {
+        self.slots.get(idx.0 as usize).and_then(|s| s.as_ref())
+    }
+
+    /// Invalidates the entry if it is live, returning it; `None` when the
+    /// slot is already free (e.g. a late completion racing fault
+    /// recovery).
+    pub fn try_invalidate(&mut self, idx: EntryIdx) -> Option<Entry> {
+        let e = self.slots.get_mut(idx.0 as usize)?.take()?;
+        self.live -= 1;
+        Some(e)
+    }
+
     /// Invalidates the entry after broadcast (§III-C step 8), returning it
     /// (waiter list included).
     ///

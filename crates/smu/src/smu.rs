@@ -98,6 +98,14 @@ pub enum MissOutcome {
         /// Lookup cost paid.
         cost: Duration,
     },
+    /// The host controller could not issue the I/O (no queue descriptor is
+    /// installed for the device): the entry was invalidated and the frame
+    /// returned to the free queue. The caller degrades the miss to the
+    /// OSDP software path (§IV fallback) instead of aborting.
+    FailToOs {
+        /// Hardware latency spent before the failure was detected.
+        cost: Duration,
+    },
 }
 
 /// Result of completing an I/O (steps 7–8).
@@ -130,6 +138,12 @@ pub struct SmuStats {
     pub zero_fills: u64,
     /// Prefetch misses issued with no waiting core (§V future work).
     pub prefetches: u64,
+    /// Misses degraded to the OS because the host controller could not
+    /// issue the command.
+    pub issue_failures: u64,
+    /// In-flight misses abandoned by fault recovery after retries were
+    /// exhausted (entry invalidated, frame returned).
+    pub abandoned: u64,
 }
 
 /// One socket's Storage Management Unit.
@@ -233,8 +247,7 @@ impl Smu {
     /// # Panics
     ///
     /// Panics if the request's block is homed on a different socket (the
-    /// MMU routes by SID, so this indicates a routing bug), or if no queue
-    /// descriptor is installed for the device.
+    /// MMU routes by SID, so this indicates a routing bug).
     pub fn begin_miss(&mut self, req: MissRequest) -> MissOutcome {
         assert_eq!(req.block.socket, self.socket, "miss routed to wrong SMU");
         // Step 1: CAM lookup (+ step 2 allocate).
@@ -275,8 +288,19 @@ impl Smu {
             }
             return MissOutcome::ZeroFill { entry, pfn: page.pfn, dma: page.dma, before_device: before };
         }
-        // Step 5: generate the NVMe command and ring the doorbell.
-        let (qid, cmd) = self.host.issue_read(req.block.device, req.block.lba, page.dma, entry.0);
+        // Step 5: generate the NVMe command and ring the doorbell. A
+        // device with no queue pair degrades to the software path rather
+        // than aborting the process.
+        let (qid, cmd) =
+            match self.host.issue_read(req.block.device, req.block.lba, page.dma, entry.0) {
+                Ok(v) => v,
+                Err(_) => {
+                    self.pmshr.invalidate(entry);
+                    self.queues[qidx].push(page);
+                    self.stats.issue_failures += 1;
+                    return MissOutcome::FailToOs { cost: self.timing.before_device(prefetched) };
+                }
+            };
         // Step 6 happens in the device; use the idle time to top up the
         // prefetch buffer (hides the memory round trip, §III-C).
         self.queues[qidx].refill_prefetch();
@@ -316,7 +340,13 @@ impl Smu {
             return None;
         };
         self.pmshr.set_frame(entry, page.pfn, page.dma);
-        let (qid, cmd) = self.host.issue_read(req.block.device, req.block.lba, page.dma, entry.0);
+        let Ok((qid, cmd)) =
+            self.host.issue_read(req.block.device, req.block.lba, page.dma, entry.0)
+        else {
+            self.pmshr.invalidate(entry);
+            self.queues[qidx].push(page);
+            return None;
+        };
         self.queues[qidx].refill_prefetch();
         self.stats.prefetches += 1;
         Some((entry, qid, cmd, page.pfn, self.timing.before_device(prefetched)))
@@ -326,34 +356,42 @@ impl Smu {
     /// handle the completion protocol, rewrite PTE/PMD/PUD through the
     /// page-table updater, broadcast, invalidate the entry.
     ///
-    /// # Panics
-    ///
-    /// Panics if `entry` is not live or has no frame assigned.
-    pub fn finish_io(&mut self, entry: EntryIdx, page_table: &mut PageTable) -> FinishResult {
-        let walk = self.pmshr.entry(entry).walk;
-        let pfn = self.pmshr.entry(entry).pfn.expect("entry has a frame before I/O");
-        let block = self.pmshr.entry(entry).block;
-        // Completion unit: CQ pointer, doorbell, phase (§III-C).
-        self.host.handle_completion(block.device);
+    /// Returns `None` when `entry` is no longer live or has no frame —
+    /// e.g. a completion that was delayed past its timeout arriving after
+    /// fault recovery abandoned the entry. The caller drops it.
+    pub fn finish_io(
+        &mut self,
+        entry: EntryIdx,
+        page_table: &mut PageTable,
+    ) -> Option<FinishResult> {
+        let e = self.pmshr.try_entry(entry)?;
+        let (walk, pfn, block) = (e.walk, e.pfn?, e.block);
+        // Completion unit: CQ pointer, doorbell, phase (§III-C). A missing
+        // descriptor means the SMU no longer owns the device; nothing to
+        // advance.
+        let _ = self.host.handle_completion(block.device);
         // Step 7: the page-table updater rewrites the three entries by
         // address; LBA bit stays set for kpted.
         let pte = page_table.smu_complete(&walk, pfn);
         // Step 8: broadcast + invalidate.
         let e = self.pmshr.invalidate(entry);
         self.stats.completed += 1;
-        FinishResult { waiters: e.waiters, pte, pfn, after_device: self.timing.after_device() }
+        Some(FinishResult { waiters: e.waiters, pte, pfn, after_device: self.timing.after_device() })
     }
 
     /// Completes an anonymous zero-fill miss (§V): the page-table updater
     /// runs exactly as for an I/O miss, but there is no NVMe completion to
     /// handle — the "after" latency is just the table update and notify.
     ///
-    /// # Panics
-    ///
-    /// Panics if `entry` is not live or has no frame assigned.
-    pub fn finish_zero_fill(&mut self, entry: EntryIdx, page_table: &mut PageTable) -> FinishResult {
-        let walk = self.pmshr.entry(entry).walk;
-        let pfn = self.pmshr.entry(entry).pfn.expect("entry has a frame");
+    /// Returns `None` when `entry` is no longer live or has no frame (the
+    /// same late-arrival race as [`Smu::finish_io`]).
+    pub fn finish_zero_fill(
+        &mut self,
+        entry: EntryIdx,
+        page_table: &mut PageTable,
+    ) -> Option<FinishResult> {
+        let e = self.pmshr.try_entry(entry)?;
+        let (walk, pfn) = (e.walk, e.pfn?);
         let pte = page_table.smu_complete(&walk, pfn);
         let e = self.pmshr.invalidate(entry);
         self.stats.completed += 1;
@@ -361,7 +399,35 @@ impl Smu {
             .timing
             .freq
             .cycles(self.timing.table_update_cycles + self.timing.notify_cycles);
-        FinishResult { waiters: e.waiters, pte, pfn, after_device: after }
+        Some(FinishResult { waiters: e.waiters, pte, pfn, after_device: after })
+    }
+
+    /// Fault recovery: regenerates and re-issues the NVMe read for a live
+    /// entry whose previous attempt failed (media error or host-side
+    /// timeout). The command reuses the entry's block and DMA target, so
+    /// the retry is indistinguishable from the original on the wire.
+    ///
+    /// Returns `None` when the entry is no longer live, never got a frame,
+    /// or the device descriptor is gone — the caller escalates instead.
+    pub fn reissue_read(&mut self, entry: EntryIdx) -> Option<(QueueId, NvmeCommand)> {
+        let e = self.pmshr.try_entry(entry)?;
+        let (block, dma) = (e.block, e.dma?);
+        self.host.issue_read(block.device, block.lba, dma, entry.0).ok()
+    }
+
+    /// Fault recovery: abandons an in-flight miss after retries are
+    /// exhausted — invalidates the entry and returns its frame to free
+    /// queue `core`, handing the entry (waiters and walk included) back so
+    /// the caller can re-execute the access through the OSDP software
+    /// path. Returns `None` when the entry is already gone.
+    pub fn abandon_io(&mut self, entry: EntryIdx, core: usize) -> Option<crate::pmshr::Entry> {
+        let e = self.pmshr.try_invalidate(entry)?;
+        if let (Some(pfn), Some(dma)) = (e.pfn, e.dma) {
+            let n = self.queues.len();
+            self.queues[core % n].push(crate::free_queue::FreePage { pfn, dma });
+        }
+        self.stats.abandoned += 1;
+        Some(e)
     }
 }
 
@@ -434,7 +500,7 @@ mod tests {
         assert_eq!(dma, pfn.base());
         assert!(before_device > Duration::from_nanos(70), "includes the 77ns cmd write");
         // Device I/O happens... then:
-        let fin = smu.finish_io(entry, &mut pt);
+        let fin = smu.finish_io(entry, &mut pt).expect("live entry completes");
         assert_eq!(fin.waiters, vec![7]);
         assert_eq!(fin.pfn, pfn);
         assert_eq!(fin.pte.class(), PteClass::ResidentNeedsSync);
@@ -454,7 +520,7 @@ mod tests {
         };
         assert_eq!(entry, e2);
         assert!(cost < Duration::from_nanos(5));
-        let fin = smu.finish_io(entry, &mut pt);
+        let fin = smu.finish_io(entry, &mut pt).expect("live entry completes");
         assert_eq!(fin.waiters, vec![7, 99], "both contexts woken by the broadcast");
         assert_eq!(smu.stats().coalesced, 1);
     }
@@ -500,7 +566,7 @@ mod tests {
         let (mut smu, mut pt) = setup();
         let req = augment(&mut pt, 1, 1);
         let MissOutcome::Started { entry, .. } = smu.begin_miss(req) else { panic!("started") };
-        smu.finish_io(entry, &mut pt);
+        smu.finish_io(entry, &mut pt).expect("live entry completes");
         // After one miss the prefetch buffer holds entries, so the next
         // miss's free page fetch is free (prefetched = true → smaller
         // before_device than a cold fetch).
@@ -524,10 +590,68 @@ mod tests {
         assert_eq!(smu.layer(), "smu");
         assert!(report.is_clean(), "{:?}", report.violations);
         assert!(report.checks > 0);
-        smu.finish_io(entry, &mut pt);
+        smu.finish_io(entry, &mut pt).expect("live entry completes");
         let mut report = hwdp_sim::AuditReport::new();
         smu.sanitize(hwdp_sim::SanitizeLevel::Off, &mut report);
         assert_eq!(report.checks, 0, "Off level runs no checks");
+    }
+
+    #[test]
+    fn reissue_regenerates_the_same_command() {
+        let (mut smu, mut pt) = setup();
+        let req = augment(&mut pt, 7, 42);
+        let MissOutcome::Started { entry, cmd, qid, .. } = smu.begin_miss(req) else {
+            panic!("started")
+        };
+        let (rqid, rcmd) = smu.reissue_read(entry).expect("entry is live");
+        assert_eq!(rqid, qid);
+        assert_eq!((rcmd.slba, rcmd.cid, rcmd.prp1), (cmd.slba, cmd.cid, cmd.prp1));
+        assert_eq!(smu.host.stats().command_writes, 2, "retry rings the doorbell again");
+        smu.finish_io(entry, &mut pt).expect("live entry completes");
+        assert_eq!(smu.reissue_read(entry), None, "retired entries cannot be reissued");
+    }
+
+    #[test]
+    fn abandon_returns_frame_and_waiters() {
+        let (mut smu, mut pt) = setup();
+        let req = augment(&mut pt, 7, 42);
+        let dup = MissRequest { waiter: 99, ..req };
+        let MissOutcome::Started { entry, pfn, .. } = smu.begin_miss(req) else {
+            panic!("started")
+        };
+        assert!(matches!(smu.begin_miss(dup), MissOutcome::Coalesced { .. }));
+        let before = smu.free_queue().available();
+        let e = smu.abandon_io(entry, 0).expect("entry is live");
+        assert_eq!(e.waiters, vec![7, 99], "caller re-executes both contexts via OSDP");
+        assert_eq!(e.pfn, Some(pfn));
+        assert_eq!(smu.pmshr.occupancy(), 0, "entry invalidated");
+        assert_eq!(smu.free_queue().available(), before + 1, "frame returned to the free queue");
+        assert_eq!(smu.stats().abandoned, 1);
+        // A completion delayed past its timeout now finds nothing: dropped.
+        assert!(smu.finish_io(entry, &mut pt).is_none());
+        assert_eq!(smu.abandon_io(entry, 0).map(|e| e.waiters), None);
+        // The PTE is untouched — OSDP re-executes from LbaAugmented.
+        assert_eq!(pt.pte(Vpn(7)).class(), PteClass::LbaAugmented);
+    }
+
+    #[test]
+    fn missing_descriptor_degrades_to_os() {
+        let (mut smu, mut pt) = setup();
+        // Device 1 never had a queue pair installed.
+        let block = BlockRef::new(SocketId(0), DeviceId(1), Lba(5));
+        pt.set_pte(Vpn(5), Pte::lba_augmented(block, PteFlags::user_data()));
+        let req = MissRequest { walk: pt.walk(Vpn(5)).unwrap(), block, waiter: 5, core: 0 };
+        let frames = smu.free_queue().available();
+        let MissOutcome::FailToOs { cost } = smu.begin_miss(req) else {
+            panic!("missing descriptor must degrade, not panic")
+        };
+        assert!(cost > Duration::ZERO);
+        assert_eq!(smu.pmshr.occupancy(), 0, "entry rolled back");
+        assert_eq!(smu.free_queue().available(), frames, "frame returned");
+        assert_eq!(smu.stats().issue_failures, 1);
+        // Prefetches fail silently the same way.
+        assert!(smu.begin_prefetch(MissRequest { waiter: 0, ..req }).is_none());
+        assert_eq!(smu.pmshr.occupancy(), 0);
     }
 
     #[test]
@@ -535,7 +659,7 @@ mod tests {
         let (mut smu, mut pt) = setup();
         let req = augment(&mut pt, 1, 1);
         let MissOutcome::Started { entry, .. } = smu.begin_miss(req) else { panic!("started") };
-        smu.finish_io(entry, &mut pt);
+        smu.finish_io(entry, &mut pt).expect("live entry completes");
         let hs = smu.host.stats();
         assert_eq!(hs.snooped_completions, 1);
         assert_eq!(hs.cq_doorbells, 1);
