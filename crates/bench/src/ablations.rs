@@ -1,11 +1,18 @@
 //! Ablations of the design choices DESIGN.md calls out: `kpoold` (§IV-D),
 //! PMSHR capacity, free-page-queue depth, and the prefetch buffer.
+//!
+//! The four knob sweeps (`kpoold`, PMSHR, free-queue depth, `kpted`
+//! period) run as `hwdp-harness` campaigns; the remaining extension
+//! tables still drive the simulator directly through [`fio_with`], which
+//! stays the parity reference the campaign tests pin against.
 
 use hwdp_core::{Mode, SystemBuilder};
+use hwdp_harness::{Campaign, JobSpec, Scenario};
 use hwdp_sim::rng::Prng;
 use hwdp_sim::time::Duration;
 use hwdp_workloads::FioRandRead;
 
+use crate::campaigns::{self, CampaignResults};
 use crate::scenarios::Scale;
 use crate::tables::{pct, us, Table};
 
@@ -22,15 +29,124 @@ fn fio_with(
     let file = sys.create_pattern_file("data", pages);
     let region = sys.map_file(file);
     for i in 0..threads {
-        let rng = Prng::seed_from(scale.seed ^ (77 + i as u64));
+        // Same per-thread RNG derivation as the harness FioRand scenario,
+        // so campaign jobs reproduce these runs bit for bit.
+        let rng = Prng::seed_from(scale.seed ^ (0xF10 + i as u64));
         sys.spawn(Box::new(FioRandRead::new(region, pages, scale.ops_per_thread, rng)), 1.8, None);
     }
     sys.run(scale.time_cap)
 }
 
+/// A single-job FIO campaign matching [`fio_with`]: HWDP, dataset 8:1,
+/// and the builder-default 20 ms `kpted` period (`fio_with` never
+/// overrides it, while harness jobs default to 1 ms).
+fn fio_ablation_base(name: &str, scale: &Scale, threads: usize) -> Campaign {
+    campaigns::scale_grid(name, scale)
+        .scenarios([Scenario::FioRand])
+        .modes([Mode::Hwdp])
+        .threads([threads])
+        .ratios([8.0])
+        .tweak(|j| j.kpted_period_us = 20_000)
+        .expand()
+}
+
+/// Expands the base job into one job per knob edit.
+fn sweep_jobs(mut base: Campaign, edits: &[&dyn Fn(&mut JobSpec)]) -> Campaign {
+    let template = base.jobs[0];
+    base.jobs = edits
+        .iter()
+        .map(|edit| {
+            let mut job = template;
+            edit(&mut job);
+            job
+        })
+        .collect();
+    base
+}
+
+/// §IV-D kpoold ablation (off vs on) as a harness campaign.
+pub fn kpoold_campaign(scale: &Scale) -> Campaign {
+    sweep_jobs(
+        fio_ablation_base("abl-kpoold", scale, 2),
+        &[
+            &|j| {
+                j.free_queue_depth = Some(64);
+                j.kpoold_enabled = false;
+                j.kpoold_period_us = Some(300);
+            },
+            &|j| {
+                j.free_queue_depth = Some(64);
+                j.kpoold_enabled = true;
+                j.kpoold_period_us = Some(300);
+            },
+        ],
+    )
+}
+
+/// PMSHR entries swept by [`ablation_pmshr`].
+pub const PMSHR_ENTRIES: [usize; 5] = [2, 4, 8, 16, 32];
+
+/// PMSHR capacity sweep as a harness campaign.
+pub fn pmshr_campaign(scale: &Scale) -> Campaign {
+    let mut c = fio_ablation_base("abl-pmshr", scale, 8);
+    let template = c.jobs[0];
+    c.jobs = PMSHR_ENTRIES
+        .iter()
+        .map(|&entries| {
+            let mut job = template;
+            job.pmshr_entries = Some(entries);
+            job
+        })
+        .collect();
+    c
+}
+
+/// Queue depths swept by [`ablation_free_queue`].
+pub const FREE_QUEUE_DEPTHS: [usize; 4] = [16, 32, 64, 128];
+
+/// Free-page-queue depth sweep as a harness campaign.
+pub fn free_queue_campaign(scale: &Scale) -> Campaign {
+    let mut c = fio_ablation_base("abl-freeq", scale, 4);
+    let template = c.jobs[0];
+    c.jobs = FREE_QUEUE_DEPTHS
+        .iter()
+        .map(|&depth| {
+            let mut job = template;
+            job.free_queue_depth = Some(depth);
+            job.kpoold_period_us = Some(500);
+            job
+        })
+        .collect();
+    c
+}
+
+/// `kpted` periods (ms) swept by [`ablation_kpted`].
+pub const KPTED_PERIODS_MS: [u64; 3] = [1, 5, 20];
+
+/// `kpted` period sweep as a harness campaign.
+pub fn kpted_campaign(scale: &Scale) -> Campaign {
+    let mut c = fio_ablation_base("abl-kpted", scale, 2);
+    let template = c.jobs[0];
+    c.jobs = KPTED_PERIODS_MS
+        .iter()
+        .map(|&ms| {
+            let mut job = template;
+            job.kpted_period_us = ms * 1_000;
+            job
+        })
+        .collect();
+    c
+}
+
 /// §IV-D: `kpoold` on/off — how many misses fall back to the OS because
 /// the free-page queue ran dry.
 pub fn ablation_kpoold(scale: &Scale) -> Table {
+    ablation_kpoold_with(scale, campaigns::default_workers())
+}
+
+/// [`ablation_kpoold`] with an explicit harness worker count.
+pub fn ablation_kpoold_with(scale: &Scale, workers: usize) -> Table {
+    let results = CampaignResults::collect(&kpoold_campaign(scale), workers);
     let mut t = Table::new(
         "abl-kpoold",
         "kpoold ablation: OS-handled synchronous-refill faults (FIO, 2 threads)",
@@ -38,23 +154,19 @@ pub fn ablation_kpoold(scale: &Scale) -> Table {
     );
     let mut counts = Vec::new();
     for enabled in [false, true] {
-        let r = fio_with(scale, 2, |b| {
-            b.free_queue_depth(64)
-                .kpoold(enabled)
-                .tweak(|c| c.kpoold_period = Duration::from_micros(300))
-        });
-        counts.push(r.sync_refill_faults);
+        let m = |name: &str| results.metric(name, |s| s.kpoold_enabled == enabled);
+        counts.push(m("sync_refill_faults"));
         t.row(vec![
             if enabled { "on" } else { "off" }.into(),
-            r.sync_refill_faults.to_string(),
-            r.os.major_faults.to_string(),
-            us(r.read_latency.mean()),
+            (m("sync_refill_faults") as u64).to_string(),
+            (m("major_faults") as u64).to_string(),
+            us(Duration::from_nanos_f64(m("read_lat_mean_ns"))),
         ]);
     }
-    if counts[0] > 0 {
+    if counts[0] > 0.0 {
         t.note(format!(
             "reduction from kpoold: {} (paper: 44.3–78.4%)",
-            pct(1.0 - counts[1] as f64 / counts[0] as f64)
+            pct(1.0 - counts[1] / counts[0])
         ));
     }
     t
@@ -62,18 +174,24 @@ pub fn ablation_kpoold(scale: &Scale) -> Table {
 
 /// PMSHR capacity sweep: outstanding-miss concurrency vs stalls.
 pub fn ablation_pmshr(scale: &Scale) -> Table {
+    ablation_pmshr_with(scale, campaigns::default_workers())
+}
+
+/// [`ablation_pmshr`] with an explicit harness worker count.
+pub fn ablation_pmshr_with(scale: &Scale, workers: usize) -> Table {
+    let results = CampaignResults::collect(&pmshr_campaign(scale), workers);
     let mut t = Table::new(
         "abl-pmshr",
         "PMSHR size sweep (FIO, 8 threads)",
         &["entries", "pmshr-full stalls", "mean read latency", "throughput (ops/s)"],
     );
-    for entries in [2usize, 4, 8, 16, 32] {
-        let r = fio_with(scale, 8, |b| b.pmshr_entries(entries));
+    for entries in PMSHR_ENTRIES {
+        let m = |name: &str| results.metric(name, |s| s.pmshr_entries == Some(entries));
         t.row(vec![
             entries.to_string(),
-            r.pmshr_stalls.to_string(),
-            us(r.read_latency.mean()),
-            format!("{:.0}", r.throughput_ops_s()),
+            (m("pmshr_stalls") as u64).to_string(),
+            us(Duration::from_nanos_f64(m("read_lat_mean_ns"))),
+            format!("{:.0}", m("throughput_ops_s")),
         ]);
     }
     t.note("paper §III-C: 32 entries 'works well in our setup' — stalls vanish well before 32");
@@ -82,19 +200,23 @@ pub fn ablation_pmshr(scale: &Scale) -> Table {
 
 /// Free-page queue depth sweep.
 pub fn ablation_free_queue(scale: &Scale) -> Table {
+    ablation_free_queue_with(scale, campaigns::default_workers())
+}
+
+/// [`ablation_free_queue`] with an explicit harness worker count.
+pub fn ablation_free_queue_with(scale: &Scale, workers: usize) -> Table {
+    let results = CampaignResults::collect(&free_queue_campaign(scale), workers);
     let mut t = Table::new(
         "abl-freeq",
         "free-page queue depth sweep (FIO, 4 threads)",
         &["depth", "sync-refill faults", "mean read latency"],
     );
-    for depth in [16usize, 32, 64, 128] {
-        let r = fio_with(scale, 4, |b| {
-            b.free_queue_depth(depth).tweak(|c| c.kpoold_period = Duration::from_micros(500))
-        });
+    for depth in FREE_QUEUE_DEPTHS {
+        let m = |name: &str| results.metric(name, |s| s.free_queue_depth == Some(depth));
         t.row(vec![
             depth.to_string(),
-            r.sync_refill_faults.to_string(),
-            us(r.read_latency.mean()),
+            (m("sync_refill_faults") as u64).to_string(),
+            us(Duration::from_nanos_f64(m("read_lat_mean_ns"))),
         ]);
     }
     t.note("deeper queues absorb burstier miss streams between kpoold wakeups");
@@ -157,18 +279,24 @@ pub fn extension_anon(scale: &Scale) -> Table {
 
 /// `kpted` period sweep: staleness of OS metadata vs scan overhead.
 pub fn ablation_kpted(scale: &Scale) -> Table {
+    ablation_kpted_with(scale, campaigns::default_workers())
+}
+
+/// [`ablation_kpted`] with an explicit harness worker count.
+pub fn ablation_kpted_with(scale: &Scale, workers: usize) -> Table {
+    let results = CampaignResults::collect(&kpted_campaign(scale), workers);
     let mut t = Table::new(
         "abl-kpted",
         "kpted period sweep (FIO, 2 threads, dataset 8:1)",
         &["period", "scans", "pages synced", "kpted instr"],
     );
-    for ms in [1u64, 5, 20] {
-        let r = fio_with(scale, 2, |b| b.kpted_period(Duration::from_millis(ms)));
+    for ms in KPTED_PERIODS_MS {
+        let m = |name: &str| results.metric(name, |s| s.kpted_period_us == ms * 1_000);
         t.row(vec![
             format!("{ms}ms"),
-            r.os.kpted_scans.to_string(),
-            r.os.kpted_synced.to_string(),
-            r.kernel.kpted_instr.to_string(),
+            (m("kpted_scans") as u64).to_string(),
+            (m("kpted_synced") as u64).to_string(),
+            (m("kpted_instr") as u64).to_string(),
         ]);
     }
     t.note("paper §VI-C: a 1 s period is safe because rotating the whole LRU takes ≥10 s");
@@ -195,6 +323,63 @@ mod tests {
         assert!(stalls[0] >= stalls[stalls.len() - 1], "more entries, fewer stalls: {stalls:?}");
         // With the paper's 32 entries there should be almost no stalls.
         assert!(stalls[stalls.len() - 1] <= stalls[0]);
+    }
+
+    #[test]
+    fn pmshr_campaign_parity_with_legacy_loop() {
+        let scale = Scale { memory_frames: 128, ops_per_thread: 60, ..Scale::quick() };
+        let legacy = fio_with(&scale, 8, |b| b.pmshr_entries(4));
+        let campaign = pmshr_campaign(&scale);
+        let job = campaign.jobs.iter().find(|j| j.pmshr_entries == Some(4)).unwrap();
+        let metrics = hwdp_harness::runner::run_job(job);
+        let get = |n: &str| metrics.iter().find(|(k, _)| k == n).unwrap().1;
+        assert_eq!(get("pmshr_stalls"), legacy.pmshr_stalls as f64);
+        assert_eq!(get("read_lat_mean_ns"), legacy.read_latency.mean().as_nanos_f64());
+        assert_eq!(get("throughput_ops_s"), legacy.throughput_ops_s());
+    }
+
+    #[test]
+    fn kpoold_campaign_parity_with_legacy_loop() {
+        let scale = Scale { memory_frames: 128, ops_per_thread: 60, ..Scale::quick() };
+        let legacy = fio_with(&scale, 2, |b| {
+            b.free_queue_depth(64)
+                .kpoold(false)
+                .tweak(|c| c.kpoold_period = Duration::from_micros(300))
+        });
+        let campaign = kpoold_campaign(&scale);
+        let job = campaign.jobs.iter().find(|j| !j.kpoold_enabled).unwrap();
+        let metrics = hwdp_harness::runner::run_job(job);
+        let get = |n: &str| metrics.iter().find(|(k, _)| k == n).unwrap().1;
+        assert_eq!(get("sync_refill_faults"), legacy.sync_refill_faults as f64);
+        assert_eq!(get("major_faults"), legacy.os.major_faults as f64);
+        assert_eq!(get("read_lat_mean_ns"), legacy.read_latency.mean().as_nanos_f64());
+    }
+
+    #[test]
+    fn free_queue_campaign_parity_with_legacy_loop() {
+        let scale = Scale { memory_frames: 128, ops_per_thread: 60, ..Scale::quick() };
+        let legacy = fio_with(&scale, 4, |b| {
+            b.free_queue_depth(32).tweak(|c| c.kpoold_period = Duration::from_micros(500))
+        });
+        let campaign = free_queue_campaign(&scale);
+        let job = campaign.jobs.iter().find(|j| j.free_queue_depth == Some(32)).unwrap();
+        let metrics = hwdp_harness::runner::run_job(job);
+        let get = |n: &str| metrics.iter().find(|(k, _)| k == n).unwrap().1;
+        assert_eq!(get("sync_refill_faults"), legacy.sync_refill_faults as f64);
+        assert_eq!(get("read_lat_mean_ns"), legacy.read_latency.mean().as_nanos_f64());
+    }
+
+    #[test]
+    fn kpted_campaign_parity_with_legacy_loop() {
+        let scale = Scale { memory_frames: 128, ops_per_thread: 60, ..Scale::quick() };
+        let legacy = fio_with(&scale, 2, |b| b.kpted_period(Duration::from_millis(5)));
+        let campaign = kpted_campaign(&scale);
+        let job = campaign.jobs.iter().find(|j| j.kpted_period_us == 5_000).unwrap();
+        let metrics = hwdp_harness::runner::run_job(job);
+        let get = |n: &str| metrics.iter().find(|(k, _)| k == n).unwrap().1;
+        assert_eq!(get("kpted_scans"), legacy.os.kpted_scans as f64);
+        assert_eq!(get("kpted_synced"), legacy.os.kpted_synced as f64);
+        assert_eq!(get("kpted_instr"), legacy.kernel.kpted_instr as f64);
     }
 }
 

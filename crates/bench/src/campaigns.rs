@@ -10,6 +10,7 @@
 use hwdp_core::Mode;
 use hwdp_harness::{
     execute_campaign, progress::Silent, Artifact, Campaign, DeviceKind, Grid, Scenario,
+    SmtPartner,
 };
 use hwdp_workloads::YcsbKind;
 
@@ -38,7 +39,7 @@ pub fn default_workers() -> usize {
 /// A grid preconfigured from `scale`: its sizing, its time cap, and the
 /// historic fixed-seed behaviour (each figure run used `scale.seed`
 /// directly).
-fn scale_grid(name: &str, scale: &Scale) -> Grid {
+pub(crate) fn scale_grid(name: &str, scale: &Scale) -> Grid {
     Grid::new(name, scale.seed)
         .memory_frames(scale.memory_frames)
         .ops(scale.ops_per_thread)
@@ -65,6 +66,51 @@ pub fn fig13_campaign(scale: &Scale) -> Campaign {
         .modes([Mode::Osdp, Mode::Hwdp])
         .threads(THREADS)
         .ratios([2.0])
+        .expand()
+}
+
+/// Shared Fig. 14/15 grid: YCSB-C at 4 threads, dataset 2:1, both modes.
+/// The two figures are the user-level and kernel-level views of the same
+/// pair of runs.
+fn ycsb_4t_grid(name: &str, scale: &Scale) -> Grid {
+    scale_grid(name, scale)
+        .scenarios([Scenario::Ycsb(YcsbKind::C)])
+        .modes([Mode::Osdp, Mode::Hwdp])
+        .threads([4])
+        .ratios([2.0])
+}
+
+/// Fig. 14: YCSB-C throughput, user IPC and user-level miss events,
+/// OSDP vs HWDP.
+pub fn fig14_campaign(scale: &Scale) -> Campaign {
+    ycsb_4t_grid("fig14", scale).expand()
+}
+
+/// Fig. 15: kernel-level retired instructions and cycles for the same
+/// YCSB-C pair.
+pub fn fig15_campaign(scale: &Scale) -> Campaign {
+    ycsb_4t_grid("fig15", scale).expand()
+}
+
+/// Fig. 16: the SMT co-run — FIO pinned to hardware context 0, each SPEC
+/// kernel on context 1 of the same physical core, a 20 ms window, both
+/// modes.
+///
+/// Mirrors `scenarios::run_smt_corun`: FIO ops are effectively unbounded
+/// (`1 << 62` rather than the bespoke `u64::MAX / 2`, which is not exactly
+/// representable as f64 and would drift through the JSON round-trip; the
+/// window ends the run long before either bound) and `kpted` keeps the
+/// builder-default 20 ms period the bespoke loop never overrode.
+pub fn fig16_campaign(scale: &Scale) -> Campaign {
+    scale_grid("fig16", scale)
+        .scenarios(SmtPartner::ALL.map(Scenario::SmtCorun))
+        .modes([Mode::Osdp, Mode::Hwdp])
+        .threads([1])
+        .ratios([8.0])
+        .pin(0)
+        .ops(1 << 62)
+        .time_cap_ms(20)
+        .tweak(|j| j.kpted_period_us = 20_000)
         .expand()
 }
 
@@ -134,6 +180,9 @@ mod tests {
         let scale = Scale::quick();
         assert_eq!(fig12_campaign(&scale).jobs.len(), 2 * THREADS.len());
         assert_eq!(fig13_campaign(&scale).jobs.len(), 8 * 2 * THREADS.len());
+        assert_eq!(fig14_campaign(&scale).jobs.len(), 2);
+        assert_eq!(fig15_campaign(&scale).jobs.len(), 2);
+        assert_eq!(fig16_campaign(&scale).jobs.len(), 6 * 2);
         assert_eq!(fig17_campaign().jobs.len(), 2 * 3);
     }
 
@@ -176,6 +225,64 @@ mod tests {
         let get = |n: &str| metrics.iter().find(|(k, _)| k == n).unwrap().1;
         assert_eq!(get("throughput_ops_s"), legacy.throughput_ops_s());
         assert_eq!(get("elapsed_ns"), legacy.elapsed.as_nanos_f64());
+    }
+
+    #[test]
+    fn fig14_campaign_parity_with_legacy_kv_loop() {
+        // Fig. 14/15 rest on this: the campaign's YCSB-C/4-thread job is
+        // the exact run the bespoke `run_kv` loop produced.
+        let scale = Scale { memory_frames: 128, ops_per_thread: 60, ..Scale::quick() };
+        let legacy = crate::scenarios::run_kv(
+            Mode::Hwdp,
+            crate::scenarios::KvWorkload::Ycsb(YcsbKind::C),
+            4,
+            2.0,
+            &scale,
+        );
+        let campaign = fig14_campaign(&scale);
+        let job = campaign.jobs.iter().find(|j| j.mode == Mode::Hwdp).unwrap();
+        let metrics = run_job(job);
+        let get = |n: &str| metrics.iter().find(|(k, _)| k == n).unwrap().1;
+        assert_eq!(get("throughput_ops_s"), legacy.throughput_ops_s());
+        assert_eq!(get("user_ipc"), legacy.user_ipc());
+        assert_eq!(get("user_instructions"), legacy.perf.user_instructions as f64);
+        assert_eq!(get("l1d_misses"), legacy.perf.l1d_misses as f64);
+        assert_eq!(get("app_kernel_instr"), legacy.kernel.app_kernel_instr as f64);
+        assert_eq!(get("kpted_instr"), legacy.kernel.kpted_instr as f64);
+        assert_eq!(get("kpoold_instr"), legacy.kernel.kpoold_instr as f64);
+    }
+
+    #[test]
+    fn fig16_campaign_parity_with_legacy_smt_loop() {
+        // The per-thread keys behind Fig. 16 reproduce run_smt_corun's
+        // SmtCorun struct field for field.
+        let scale = Scale::quick();
+        let legacy = crate::scenarios::run_smt_corun(
+            Mode::Hwdp,
+            hwdp_workloads::SpecProfile::by_name("mcf").unwrap(),
+            &scale,
+            hwdp_sim::time::Duration::from_millis(20),
+        );
+        let campaign = fig16_campaign(&scale);
+        let job = campaign
+            .jobs
+            .iter()
+            .find(|j| {
+                j.mode == Mode::Hwdp && j.scenario == Scenario::SmtCorun(SmtPartner::Mcf)
+            })
+            .unwrap();
+        let metrics = run_job(job);
+        let get = |n: &str| metrics.iter().find(|(k, _)| k == n).unwrap().1;
+        assert_eq!(get("thread/0/ops"), legacy.fio_ops as f64);
+        assert_eq!(get("thread/0/user_instructions"), legacy.fio_user_instr as f64);
+        assert_eq!(
+            get("thread/0/user_instructions") + get("thread/0/kernel_instructions"),
+            legacy.fio_total_instr as f64
+        );
+        assert_eq!(get("thread/1/user_ipc"), legacy.spec_ipc);
+        assert_eq!(get("thread/1/user_instructions"), legacy.spec_instr as f64);
+        assert_eq!(get("thread/0/hw_context"), 0.0);
+        assert_eq!(get("thread/1/hw_context"), 1.0);
     }
 
     #[test]

@@ -78,17 +78,29 @@ FIO OPTIONS:
 
 SWEEP OPTIONS (axes are comma-separated lists; cross product = campaign):
   --name S                   campaign name          (default sweep)
-  --scenarios a,b            fio|dbbench|ycsb-a..f|anon|anatomy (default fio)
+  --scenarios a,b            fio|dbbench|ycsb-a..f|anon|smt-<spec>|anatomy
+                             (default fio; smt-<spec> is the Fig. 16 SMT
+                             co-run, <spec> one of perlbench|gcc|mcf|lbm|
+                             deepsjeng|xz)
   --modes a,b                osdp|hwdp|sw-only      (default osdp,hwdp)
   --devices a,b              zssd|optane|pmm        (default zssd)
   --threads-list a,b         client thread counts   (default 1)
   --ratios a,b               dataset:memory ratios  (default 2)
   --workers N                executor threads       (default 4)
   --out DIR                  artifact directory     (default .)
+  --time-cap-ms MS           virtual-time cap per job (default 30000)
+  --pin N                    pin workload thread i to hardware context N+i
+                             (a co-run partner lands after the workload)
+  --kpted-us US              kpted sync-scan period in microseconds
+                             (default 1000; the Fig. 16 co-run uses 20000)
+  --repeats K                run each job K times with derived per-repeat
+                             seeds; metrics become mean + /stddev + /ci95
+                             keys, and compare gates on CI overlap
   --fixed-seed               every job uses the campaign seed itself
   --resume                   reuse completed jobs from an existing artifact
   --baseline FILE            also gate the fresh artifact against FILE
-  (with --sanitize, sweep also writes AUDIT_<name>.json and exits
+  (multi-thread jobs export per-thread reports into a `threads` array;
+  with --sanitize, sweep also writes AUDIT_<name>.json and exits
   nonzero when any invariant violation was detected)
 
 COMPARE OPTIONS:
@@ -223,6 +235,23 @@ fn sweep_campaign(args: &Args) -> Result<harness::Campaign, ArgError> {
     .memory_frames(args.num("memory", 1024)? as usize)
     .ops(args.num("ops", 2000)?)
     .sanitize(sanitize_level(args)?);
+    if let Some(ms) = args.get("time-cap-ms") {
+        let ms = ms.parse().map_err(|_| ArgError(format!("--time-cap-ms: bad value '{ms}'")))?;
+        grid = grid.time_cap_ms(ms);
+    }
+    if let Some(pin) = args.get("pin") {
+        let pin = pin.parse().map_err(|_| ArgError(format!("--pin: bad context '{pin}'")))?;
+        grid = grid.pin(pin);
+    }
+    if let Some(us) = args.get("kpted-us") {
+        let us: u64 =
+            us.parse().map_err(|_| ArgError(format!("--kpted-us: bad period '{us}'")))?;
+        grid = grid.tweak(|j| j.kpted_period_us = us);
+    }
+    let repeats = args.num("repeats", 1)?;
+    if repeats > 1 {
+        grid = grid.repeats(repeats as u32);
+    }
     if let Some(faults) = fault_config(args)? {
         grid = grid.faults(faults);
     }
@@ -486,6 +515,21 @@ fn report(label: &str, r: &RunResult) {
             "  fault recovery   {} retries, {} timeouts, {} SMU fallbacks, {} errors surfaced",
             p.io_retries, p.io_timeouts, p.smu_fallbacks_fault, p.io_errors_surfaced
         );
+    }
+    if r.threads.len() > 1 {
+        for (i, t) in r.threads.iter().enumerate() {
+            let hw = t
+                .hw_context
+                .map_or_else(|| "-".to_string(), |h| format!("{h}"));
+            println!(
+                "  thread {i:<2}        {:<12} hw {hw:<3} ops {:<8} IPC {:.3} (adj {:.3}, warmth {:.2})",
+                t.name,
+                t.ops,
+                t.user_ipc(),
+                t.adjusted_user_ipc(),
+                t.pollution_warmth
+            );
+        }
     }
     match r.verify_failures() {
         0 => println!("  data integrity   ok (every read verified)"),

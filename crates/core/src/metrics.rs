@@ -48,12 +48,57 @@ pub struct ThreadReport {
     pub ops: u64,
     /// Data-verification failures (must be zero in a correct system).
     pub verify_failures: u64,
+    /// SMT hardware context the thread last ran on (its pin if pinned;
+    /// `None` if it never got a context).
+    pub hw_context: Option<usize>,
+    /// End-of-run cache warmth from the pollution model, in `[0, 1]`
+    /// (1 = fully warm, never disturbed by kernel execution).
+    pub pollution_warmth: f64,
+    /// User cycles the thread would have spent at full cache warmth
+    /// (pollution excluded, SMT issue sharing included).
+    pub warm_user_cycles: u64,
     /// Hardware counters.
     pub perf: PerfCounters,
     /// Time breakdown.
     pub time: TimeBreakdown,
     /// Page-miss handling latency seen by this thread.
     pub miss_latency: LatencyHist,
+}
+
+impl ThreadReport {
+    /// User-level IPC of this thread alone.
+    pub fn user_ipc(&self) -> f64 {
+        self.perf.user_ipc()
+    }
+
+    /// Pollution-adjusted user IPC: what the thread would have retired
+    /// per cycle with a permanently warm cache (the Fig. 14 "IPC lost to
+    /// kernel pollution" counterfactual). Equals [`ThreadReport::user_ipc`]
+    /// when no kernel code disturbed the caches.
+    pub fn adjusted_user_ipc(&self) -> f64 {
+        if self.warm_user_cycles == 0 {
+            return 0.0;
+        }
+        self.perf.user_instructions as f64 / self.warm_user_cycles as f64
+    }
+
+    /// Flattens the per-thread report into `(name, value)` pairs, mirroring
+    /// [`RunResult::export_metrics`]. `hw_context` is `-1` when the thread
+    /// never ran on a hardware context.
+    pub fn export_metrics(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("hw_context", self.hw_context.map_or(-1.0, |h| h as f64)),
+            ("ops", self.ops as f64),
+            ("verify_failures", self.verify_failures as f64),
+            ("user_instructions", self.perf.user_instructions as f64),
+            ("kernel_instructions", self.perf.kernel_instructions as f64),
+            ("user_cycles", self.perf.user_cycles as f64),
+            ("kernel_cycles", self.perf.kernel_cycles as f64),
+            ("user_ipc", self.user_ipc()),
+            ("adjusted_user_ipc", self.adjusted_user_ipc()),
+            ("pollution_warmth", self.pollution_warmth),
+        ]
+    }
 }
 
 /// Results of one system run.
@@ -230,6 +275,42 @@ mod tests {
         names.dedup();
         assert_eq!(names.len(), len, "duplicate metric names");
         assert!(kv.iter().all(|(_, v)| v.is_finite()));
+    }
+
+    #[test]
+    fn thread_report_export_metrics() {
+        let mut perf = PerfCounters::default();
+        perf.user_instructions = 1_000;
+        perf.user_cycles = 800;
+        let t = ThreadReport {
+            name: "fio".into(),
+            ops: 7,
+            verify_failures: 0,
+            hw_context: Some(3),
+            pollution_warmth: 0.5,
+            warm_user_cycles: 500,
+            perf,
+            time: TimeBreakdown::default(),
+            miss_latency: LatencyHist::new(),
+        };
+        let kv = t.export_metrics();
+        let get = |n: &str| kv.iter().find(|(k, _)| *k == n).map(|(_, v)| *v).unwrap();
+        assert_eq!(get("hw_context"), 3.0);
+        assert_eq!(get("ops"), 7.0);
+        assert!((get("user_ipc") - 1.25).abs() < 1e-12);
+        assert!((get("adjusted_user_ipc") - 2.0).abs() < 1e-12);
+        let mut names: Vec<&str> = kv.iter().map(|(n, _)| *n).collect();
+        let len = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), len, "duplicate per-thread metric names");
+
+        let mut never_ran = t.clone();
+        never_ran.hw_context = None;
+        never_ran.warm_user_cycles = 0;
+        let kv = never_ran.export_metrics();
+        assert_eq!(kv[0], ("hw_context", -1.0));
+        assert_eq!(never_ran.adjusted_user_ipc(), 0.0);
     }
 
     #[test]

@@ -84,6 +84,13 @@ struct Thread {
     current: Option<Step>,
     last_read: Option<Vec<u8>>,
     pin: Option<HwId>,
+    /// Last hardware context this thread ran on (SMT identity for the
+    /// per-thread report; `None` until first installed).
+    last_hw: Option<HwId>,
+    /// User cycles this thread would have spent at full cache warmth
+    /// (pollution factor excluded, SMT sharing included). The ratio
+    /// user_instructions / warm_user_cycles is the pollution-adjusted IPC.
+    warm_user_cycles: u64,
     time: TimeBreakdown,
     miss_hist: LatencyHist,
     read_hist: LatencyHist,
@@ -546,6 +553,14 @@ impl System {
         pin: Option<HwId>,
     ) -> ThreadId {
         assert!(base_ipc > 0.0, "IPC must be positive");
+        if let Some(p) = pin {
+            assert!(
+                p.0 < self.hw.len(),
+                "pin {} exceeds the {} hardware contexts (physical_cores x smt_ways)",
+                p.0,
+                self.hw.len()
+            );
+        }
         let tid = ThreadId(self.threads.len());
         self.threads.push(Thread {
             name: workload.name(),
@@ -557,6 +572,8 @@ impl System {
             current: None,
             last_read: None,
             pin,
+            last_hw: None,
+            warm_user_cycles: 0,
             time: TimeBreakdown::default(),
             miss_hist: LatencyHist::new(),
             read_hist: LatencyHist::new(),
@@ -597,6 +614,7 @@ impl System {
         self.hw[hw.0].state = HwThreadState::Active;
         self.hw[hw.0].tlb.flush();
         self.hw[hw.0].walker.flush();
+        self.threads[tid.0].last_hw = Some(hw);
         self.threads[tid.0].state = ThreadState::Running(hw);
     }
 
@@ -664,16 +682,23 @@ impl System {
         };
         match step {
             Step::Compute { instructions } => {
+                let share = issue_factor(self.sibling_active(hw));
                 let factor = {
-                    let share = issue_factor(self.sibling_active(hw));
                     let t = &mut self.threads[tid.0];
                     t.base_ipc * t.pollution.retire_user(instructions) * share
                 };
                 let dt = self.cfg.freq.retire(instructions, factor);
                 let cycles = self.cfg.freq.cycles_in(dt);
+                // Counterfactual cycle count at full cache warmth (same SMT
+                // sharing, no pollution slowdown): observation-only input to
+                // the per-thread pollution-adjusted IPC.
+                let warm_dt =
+                    self.cfg.freq.retire(instructions, self.threads[tid.0].base_ipc * share);
+                let warm_cycles = self.cfg.freq.cycles_in(warm_dt);
                 let t = &mut self.threads[tid.0];
                 let mpki = t.pollution.mpki();
                 t.perf.record_user(instructions, cycles, mpki);
+                t.warm_user_cycles += warm_cycles;
                 t.time.compute += dt;
                 self.hw[hw.0].state = HwThreadState::Active;
                 self.queue.schedule(now + dt, Event::Step(tid));
@@ -1563,6 +1588,9 @@ impl System {
                 name: t.name.clone(),
                 ops: t.workload.ops_done(),
                 verify_failures: t.workload.verify_failures(),
+                hw_context: t.pin.or(t.last_hw).map(|h| h.0),
+                pollution_warmth: t.pollution.warmth(),
+                warm_user_cycles: t.warm_user_cycles,
                 perf: t.perf,
                 time: t.time,
                 miss_latency: t.miss_hist.clone(),

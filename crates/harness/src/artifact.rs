@@ -71,18 +71,34 @@ impl JobRecord {
             JobStatus::Ok => Json::str("ok"),
             JobStatus::Failed(msg) => Json::obj([("failed", Json::str(msg.clone()))]),
         };
-        Json::obj([
+        // Per-thread metrics (flat `thread/<i>/<name>` keys) render as a
+        // `threads` array of objects; everything else stays in `metrics`.
+        // Single-thread jobs have no such keys and no `threads` field, so
+        // their records are byte-identical to the pre-thread-report schema.
+        let mut plain: Vec<(String, Json)> = Vec::new();
+        let mut threads: Vec<Vec<(String, Json)>> = Vec::new();
+        for (k, v) in &self.metrics {
+            match split_thread_key(k) {
+                Some((i, name)) => {
+                    while threads.len() <= i {
+                        threads.push(Vec::new());
+                    }
+                    threads[i].push((name.to_string(), Json::Num(*v)));
+                }
+                None => plain.push((k.clone(), Json::Num(*v))),
+            }
+        }
+        let mut fields = vec![
             ("index", Json::Num(self.index as f64)),
             ("status", status),
             ("wall_ms", Json::Num(self.wall_ms)),
             ("config", self.spec.to_json()),
-            (
-                "metrics",
-                Json::Obj(
-                    self.metrics.iter().map(|(k, v)| (k.clone(), Json::Num(*v))).collect(),
-                ),
-            ),
-        ])
+            ("metrics", Json::Obj(plain)),
+        ];
+        if !threads.is_empty() {
+            fields.push(("threads", Json::Arr(threads.into_iter().map(Json::Obj).collect())));
+        }
+        Json::obj(fields)
     }
 }
 
@@ -170,6 +186,14 @@ fn parse_hex_seed(s: Option<&str>) -> Option<u64> {
     u64::from_str_radix(s, 16).ok()
 }
 
+/// Splits a flat per-thread metric key `thread/<i>/<name>` into
+/// `(i, name)`; `None` for ordinary metric names.
+fn split_thread_key(key: &str) -> Option<(usize, &str)> {
+    let rest = key.strip_prefix("thread/")?;
+    let (index, name) = rest.split_once('/')?;
+    Some((index.parse().ok()?, name))
+}
+
 fn parse_job(j: &Json, fallback_index: usize) -> Result<JobRecord, String> {
     use crate::spec::{DeviceKind, Scenario};
     use hwdp_core::Mode;
@@ -203,6 +227,8 @@ fn parse_job(j: &Json, fallback_index: usize) -> Result<JobRecord, String> {
         mode,
         device,
         threads: req_num("threads")? as usize,
+        pin: opt_num("pin").map(|n| n as usize),
+        repeats: opt_num("repeats").map_or(1, |n| n as u32),
         ratio: req_num("ratio")?,
         memory_frames: req_num("memory_frames")? as usize,
         ops: req_num("ops")? as u64,
@@ -229,13 +255,27 @@ fn parse_job(j: &Json, fallback_index: usize) -> Result<JobRecord, String> {
         sanitize: hwdp_sim::SanitizeLevel::Off,
     };
 
-    let metrics = match j.get("metrics") {
+    let mut metrics: Vec<(String, f64)> = match j.get("metrics") {
         Some(Json::Obj(pairs)) => pairs
             .iter()
             .filter_map(|(k, v)| v.as_f64().map(|n| (k.clone(), n)))
             .collect(),
         _ => Vec::new(),
     };
+    // Fold the `threads` array back into flat `thread/<i>/<name>` keys.
+    // The runner always appends per-thread keys after plain metrics, so
+    // appending here round-trips the metric vector exactly.
+    if let Some(Json::Arr(threads)) = j.get("threads") {
+        for (i, t) in threads.iter().enumerate() {
+            if let Json::Obj(pairs) = t {
+                for (k, v) in pairs {
+                    if let Some(n) = v.as_f64() {
+                        metrics.push((format!("thread/{i}/{k}"), n));
+                    }
+                }
+            }
+        }
+    }
     Ok(JobRecord { index, spec, status, metrics, wall_ms })
 }
 
@@ -301,6 +341,62 @@ mod tests {
         let parsed = Artifact::parse(&a.to_json_string()).unwrap();
         assert_eq!(parsed.jobs[0].spec.seed, u64::MAX);
         assert_eq!(parsed.seed, u64::MAX - 3);
+    }
+
+    #[test]
+    fn per_thread_metrics_round_trip_through_threads_array() {
+        let mut a = sample();
+        a.jobs[0].metrics = vec![
+            ("ops".into(), 300.0),
+            ("user_ipc".into(), 1.4),
+            ("thread/0/ops".into(), 150.0),
+            ("thread/0/user_ipc".into(), 1.5),
+            ("thread/1/ops".into(), 150.0),
+            ("thread/1/user_ipc".into(), 1.3),
+        ];
+        let text = a.to_json_string();
+        assert!(text.contains("\"threads\": ["), "multi-thread jobs grow a threads array");
+        assert!(!text.contains("thread/0"), "flat keys are structured, not copied verbatim");
+        let parsed = Artifact::parse(&text).unwrap();
+        assert_eq!(parsed, a);
+    }
+
+    #[test]
+    fn jobs_without_thread_metrics_have_no_threads_field() {
+        let a = sample();
+        assert!(!a.to_json_string().contains("\"threads\": ["));
+    }
+
+    #[test]
+    fn pin_and_repeats_round_trip() {
+        let mut a = sample();
+        a.jobs[0].spec.pin = Some(2);
+        a.jobs[0].spec.repeats = 5;
+        let parsed = Artifact::parse(&a.to_json_string()).unwrap();
+        assert_eq!(parsed.jobs[0].spec.pin, Some(2));
+        assert_eq!(parsed.jobs[0].spec.repeats, 5);
+        assert_eq!(parsed, a);
+    }
+
+    #[test]
+    fn smt_corun_scenario_round_trips() {
+        let mut a = sample();
+        a.jobs[1].spec.scenario = Scenario::SmtCorun(crate::spec::SmtPartner::Xz);
+        let parsed = Artifact::parse(&a.to_json_string()).unwrap();
+        assert_eq!(parsed.jobs[1].spec.scenario, a.jobs[1].spec.scenario);
+    }
+
+    #[test]
+    fn absent_pin_and_repeats_default_on_parse() {
+        // Identity-exclusion: old artifacts (no pin/repeats fields) parse
+        // to specs equal to freshly built defaults.
+        let a = sample();
+        let text = a.to_json_string();
+        assert!(!text.contains("\"pin\""));
+        assert!(!text.contains("\"repeats\""));
+        let parsed = Artifact::parse(&text).unwrap();
+        assert_eq!(parsed.jobs[0].spec.pin, None);
+        assert_eq!(parsed.jobs[0].spec.effective_repeats(), 1);
     }
 
     #[test]

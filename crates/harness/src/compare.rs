@@ -42,6 +42,13 @@ pub enum Direction {
 /// Unknown metrics are informational — the gate only acts on metrics it
 /// understands, so adding new exports can't spuriously fail CI.
 pub fn direction(name: &str) -> Direction {
+    // Namespaced keys never gate directly: `sanitize/...` violation
+    // counts gate the sweep itself, `thread/...` detail is covered by the
+    // aggregates, and `<metric>/stddev` + `<metric>/ci95` spread keys feed
+    // the CI-overlap test on their base metric instead.
+    if name.contains('/') {
+        return Direction::Informational;
+    }
     match name {
         "throughput_ops_s" | "user_ipc" => Direction::HigherBetter,
         "verify_failures"
@@ -145,11 +152,13 @@ fn fmt(v: f64) -> String {
 /// derived seed (which legitimately differs if grid axes were reordered).
 fn match_key(spec: &JobSpec) -> String {
     format!(
-        "{}|{}|{}|t{}|r{}|m{}|o{}|{:?}|{:?}|{}|{:?}|k{}|ra{}|sp{}|{}|{:?}|c{}",
+        "{}|{}|{}|t{}|p{:?}|x{}|r{}|m{}|o{}|{:?}|{:?}|{}|{:?}|k{}|ra{}|sp{}|{}|{:?}|c{}",
         spec.scenario.name(),
         spec.mode.label(),
         spec.device.name(),
         spec.threads,
+        spec.pin,
+        spec.effective_repeats(),
         spec.ratio,
         spec.memory_frames,
         spec.ops,
@@ -202,7 +211,22 @@ pub fn compare(baseline: &Artifact, current: &Artifact, thresholds: &Thresholds)
                 // change; treat as 100 %.
                 1.0_f64.copysign(delta)
             };
-            if rel.abs() <= thresholds.relative {
+            // Jobs run with repeats > 1 carry a `<metric>/ci95` key per
+            // metric; when either side has one, statistical overlap
+            // replaces the raw relative threshold: non-overlapping 95 %
+            // intervals are a significant change (whatever its size),
+            // overlapping intervals are within noise (whatever the delta).
+            let ci_key = format!("{name}/ci95");
+            let base_ci = base_job.metric(&ci_key);
+            let cur_ci = cur_job.metric(&ci_key);
+            if base_ci.is_some() || cur_ci.is_some() {
+                let bci = base_ci.unwrap_or(0.0);
+                let cci = cur_ci.unwrap_or(0.0);
+                let overlap = base_val - bci <= cur_val + cci && cur_val - cci <= base_val + bci;
+                if overlap {
+                    continue;
+                }
+            } else if rel.abs() <= thresholds.relative {
                 continue;
             }
             let bad = match dir {
@@ -346,5 +370,70 @@ mod tests {
         assert_eq!(direction("miss_lat_count"), Direction::Informational);
         assert_eq!(direction("anatomy_total_ns"), Direction::LowerBetter);
         assert_eq!(direction("brand_new_metric"), Direction::Informational);
+        // Namespaced keys never gate directly: spreads feed the CI test,
+        // per-thread detail is covered by aggregates.
+        assert_eq!(direction("user_ipc/stddev"), Direction::Informational);
+        assert_eq!(direction("miss_lat_mean_ns/ci95"), Direction::Informational);
+        assert_eq!(direction("thread/0/user_ipc"), Direction::Informational);
+        assert_eq!(direction("sanitize/mem/pte-roundtrip"), Direction::Informational);
+    }
+
+    #[test]
+    fn overlapping_cis_suppress_large_deltas() {
+        // -10 % throughput would trip the 5 % raw gate, but the repeats
+        // say the metric is noisy: intervals [850, 1150] and [750, 1050]
+        // overlap, so the change is within noise and the gate passes.
+        let base = artifact(vec![("throughput_ops_s", 1000.0), ("throughput_ops_s/ci95", 150.0)]);
+        let cur = artifact(vec![("throughput_ops_s", 900.0), ("throughput_ops_s/ci95", 150.0)]);
+        assert!(compare(&base, &cur, &Thresholds::default()).passed());
+    }
+
+    #[test]
+    fn disjoint_cis_gate_even_small_deltas() {
+        // -3 % would pass the raw 5 % gate, but tight intervals
+        // [995, 1005] and [965, 975] are disjoint: a real regression.
+        let base = artifact(vec![("throughput_ops_s", 1000.0), ("throughput_ops_s/ci95", 5.0)]);
+        let cur = artifact(vec![("throughput_ops_s", 970.0), ("throughput_ops_s/ci95", 5.0)]);
+        let report = compare(&base, &cur, &Thresholds::default());
+        assert!(!report.passed());
+        assert_eq!(report.regressions.len(), 1);
+    }
+
+    #[test]
+    fn disjoint_cis_in_good_direction_are_improvements() {
+        let base = artifact(vec![("miss_lat_mean_ns", 500.0), ("miss_lat_mean_ns/ci95", 5.0)]);
+        let cur = artifact(vec![("miss_lat_mean_ns", 400.0), ("miss_lat_mean_ns/ci95", 5.0)]);
+        let report = compare(&base, &cur, &Thresholds::default());
+        assert!(report.passed());
+        assert_eq!(report.improvements.len(), 1);
+    }
+
+    #[test]
+    fn one_sided_ci_still_engages_overlap_gating() {
+        // Baseline captured without repeats (no CI), current run with
+        // repeats: the baseline point value is treated as a zero-width
+        // interval.
+        let base = artifact(vec![("throughput_ops_s", 1000.0)]);
+        let inside = artifact(vec![("throughput_ops_s", 900.0), ("throughput_ops_s/ci95", 150.0)]);
+        assert!(compare(&base, &inside, &Thresholds::default()).passed());
+        let outside = artifact(vec![("throughput_ops_s", 900.0), ("throughput_ops_s/ci95", 10.0)]);
+        assert!(!compare(&base, &outside, &Thresholds::default()).passed());
+    }
+
+    #[test]
+    fn matching_distinguishes_pin_and_repeats() {
+        let base = artifact(vec![("throughput_ops_s", 1000.0)]);
+        let mut cur = base.clone();
+        cur.jobs[0].spec.pin = Some(0);
+        assert!(!compare(&base, &cur, &Thresholds::default()).passed(), "pin changes identity");
+        let mut cur = base.clone();
+        cur.jobs[0].spec.repeats = 3;
+        assert!(
+            !compare(&base, &cur, &Thresholds::default()).passed(),
+            "repeat count changes identity"
+        );
+        let mut cur = base.clone();
+        cur.jobs[0].spec.repeats = 0; // normalizes to 1
+        assert!(compare(&base, &cur, &Thresholds::default()).passed());
     }
 }

@@ -20,7 +20,11 @@
 //! * [`artifact`] — the `BENCH_*.json` schema: per-job config, metrics,
 //!   status, and wall time; byte-stable except for wall-time fields.
 //! * [`compare`] — the baseline comparator: per-metric deltas with
-//!   configurable thresholds and direction-aware regression verdicts.
+//!   configurable thresholds and direction-aware regression verdicts;
+//!   jobs run with `repeats > 1` gate on 95 % confidence-interval overlap
+//!   instead of raw deltas.
+//! * [`stats`] — mean / sample-stddev / Student-t 95 % CI summaries for
+//!   repeated jobs.
 //!
 //! # Quickstart
 //!
@@ -52,11 +56,13 @@ pub mod progress;
 pub mod runner;
 pub mod seed;
 pub mod spec;
+pub mod stats;
 
 pub use artifact::{Artifact, JobRecord, JobStatus};
 pub use compare::{CompareReport, Thresholds};
 pub use executor::{execute, execute_campaign, execute_campaign_resume, JobOutcome};
 pub use json::Json;
 pub use progress::Progress;
-pub use seed::job_seed;
-pub use spec::{Campaign, DeviceKind, Grid, JobSpec, Scenario};
+pub use seed::{job_seed, repeat_seed};
+pub use spec::{Campaign, DeviceKind, Grid, JobSpec, Scenario, SmtPartner};
+pub use stats::{summarize, t95, Summary};

@@ -5,22 +5,44 @@
 //! harness job with `fixed_seed` campaign seeding reproduces the historic
 //! figure numbers bit for bit.
 
+use crate::seed::repeat_seed;
 use crate::spec::{JobSpec, Scenario};
+use crate::stats::summarize;
 use hwdp_core::anatomy::{hwdp_anatomy, osdp_anatomy, swonly_anatomy};
-use hwdp_core::{Mode, RunResult, SystemBuilder};
+use hwdp_core::{HwId, Mode, RunResult, SystemBuilder};
 use hwdp_os::costs::{OsdpCosts, SwOnlyCosts};
 use hwdp_sim::rng::Prng;
 use hwdp_sim::time::Duration;
 use hwdp_smu::SmuTiming;
 use hwdp_workloads::{
-    DbBenchReadRandom, FioRandRead, MiniDb, ScratchChurn, Workload, Ycsb,
+    DbBenchReadRandom, FioRandRead, MiniDb, ScratchChurn, SpecKernel, Workload, Ycsb,
 };
 
 /// Runs one job to completion and returns its flattened metrics.
 ///
 /// Deterministic: the same spec always yields the same metric values
 /// (virtual time only; no wall-clock inputs).
+///
+/// With `repeats > 1` the job runs once per derived repeat seed and every
+/// metric `m` is reported as three keys: `m` (mean), `m/stddev`, and
+/// `m/ci95` (Student-t 95 % confidence half-width).
 pub fn run_job(spec: &JobSpec) -> Vec<(String, f64)> {
+    let k = spec.effective_repeats();
+    if k == 1 {
+        return run_once(spec);
+    }
+    let runs: Vec<Vec<(String, f64)>> = (0..k)
+        .map(|i| {
+            let mut s = *spec;
+            s.seed = repeat_seed(spec.seed, i);
+            run_once(&s)
+        })
+        .collect();
+    aggregate_repeats(&runs)
+}
+
+/// One plain simulator run for `spec` (ignoring its repeat count).
+fn run_once(spec: &JobSpec) -> Vec<(String, f64)> {
     match spec.scenario {
         Scenario::Anatomy => anatomy_metrics(spec),
         _ => {
@@ -36,9 +58,48 @@ pub fn run_job(spec: &JobSpec) -> Vec<(String, f64)> {
             for ((layer, invariant), count) in result.audit.by_invariant() {
                 metrics.push((format!("sanitize/{layer}/{invariant}"), count as f64));
             }
+            // Per-thread reports, only for jobs that actually ran more
+            // than one thread: single-thread artifacts stay byte-identical
+            // to baselines captured before per-thread export existed.
+            if result.threads.len() > 1 {
+                for (i, t) in result.threads.iter().enumerate() {
+                    for (name, value) in t.export_metrics() {
+                        metrics.push((format!("thread/{i}/{name}"), value));
+                    }
+                }
+            }
             metrics
         }
     }
+}
+
+/// Folds per-repeat metric vectors into mean / stddev / 95 % CI triples.
+///
+/// Key order is first-appearance order across runs (run 0's order, with
+/// keys that only materialize in later repeats — conditional exports like
+/// fault-recovery counters — appended); a key missing from some repeats is
+/// summarized over the repeats that produced it.
+fn aggregate_repeats(runs: &[Vec<(String, f64)>]) -> Vec<(String, f64)> {
+    let mut order: Vec<&String> = Vec::new();
+    for run in runs {
+        for (k, _) in run {
+            if !order.contains(&k) {
+                order.push(k);
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(order.len() * 3);
+    for key in order {
+        let values: Vec<f64> = runs
+            .iter()
+            .filter_map(|run| run.iter().find(|(k, _)| k == key).map(|(_, v)| *v))
+            .collect();
+        let s = summarize(&values);
+        out.push((key.clone(), s.mean));
+        out.push((format!("{key}/stddev"), s.stddev));
+        out.push((format!("{key}/ci95"), s.ci95_half));
+    }
+    out
 }
 
 /// Builds the system described by `spec` and runs its workload.
@@ -68,9 +129,29 @@ pub fn simulate(spec: &JobSpec) -> RunResult {
     if let Some(faults) = spec.effective_faults() {
         builder = builder.faults(faults);
     }
+    if matches!(spec.scenario, Scenario::SmtCorun(_)) {
+        // The Fig. 16 co-location squeezes the workload threads plus the
+        // SPEC partner onto as few physical cores as they need — one core
+        // (two SMT contexts) for the canonical single-FIO-thread co-run.
+        let contexts = spec.pin.unwrap_or(0) + spec.threads + 1;
+        builder = builder.tweak(move |cfg| {
+            cfg.physical_cores = ((contexts + cfg.smt_ways - 1) / cfg.smt_ways).max(1);
+        });
+    } else if let Some(base) = spec.pin {
+        // Pinning places thread i on context `base + i`; grow the core
+        // count when the pinned span runs past the default topology.
+        let contexts = base + spec.threads;
+        builder = builder.tweak(move |cfg| {
+            let needed = (contexts + cfg.smt_ways - 1) / cfg.smt_ways;
+            cfg.physical_cores = cfg.physical_cores.max(needed);
+        });
+    }
     let mut sys = builder.build();
     let time_cap = Duration::from_millis(spec.time_cap_ms);
     let pages = spec.dataset_pages();
+    // Hardware-context pinning: workload thread i goes on context
+    // `pin + i`, a co-run partner right after the workload threads.
+    let pin_for = |i: usize| spec.pin.map(|base| HwId(base + i));
 
     match spec.scenario {
         Scenario::FioRand => {
@@ -78,7 +159,11 @@ pub fn simulate(spec: &JobSpec) -> RunResult {
             let region = sys.map_file(file);
             for i in 0..spec.threads {
                 let rng = Prng::seed_from(spec.seed ^ (0xF10 + i as u64));
-                sys.spawn(Box::new(FioRandRead::new(region, pages, spec.ops, rng)), 1.8, None);
+                sys.spawn(
+                    Box::new(FioRandRead::new(region, pages, spec.ops, rng)),
+                    1.8,
+                    pin_for(i),
+                );
             }
         }
         Scenario::DbBench | Scenario::Ycsb(_) => {
@@ -94,15 +179,36 @@ pub fn simulate(spec: &JobSpec) -> RunResult {
                     Scenario::Ycsb(kind) => Box::new(Ycsb::new(kind, db, spec.ops, rng)),
                     _ => unreachable!(),
                 };
-                sys.spawn(workload, 1.6, None);
+                sys.spawn(workload, 1.6, pin_for(i));
             }
         }
         Scenario::Anon => {
             let region = sys.map_anon(pages);
             for i in 0..spec.threads {
                 let rng = Prng::seed_from(spec.seed ^ (0xA40 + i as u64));
-                sys.spawn(Box::new(ScratchChurn::new(region, pages, spec.ops, rng)), 1.6, None);
+                sys.spawn(
+                    Box::new(ScratchChurn::new(region, pages, spec.ops, rng)),
+                    1.6,
+                    pin_for(i),
+                );
             }
+        }
+        Scenario::SmtCorun(partner) => {
+            // Mirrors hwdp-bench's run_smt_corun: FIO threads first (the
+            // bespoke loop's rng seed is `seed ^ 0x516`, i.e. thread 0
+            // here), then one SPEC kernel on the next hardware context.
+            let file = sys.create_pattern_file("fio-data", pages);
+            let region = sys.map_file(file);
+            for i in 0..spec.threads {
+                let rng = Prng::seed_from(spec.seed ^ (0x516 + i as u64));
+                sys.spawn(
+                    Box::new(FioRandRead::new(region, pages, spec.ops, rng)),
+                    1.8,
+                    pin_for(i),
+                );
+            }
+            let profile = partner.profile();
+            sys.spawn(Box::new(SpecKernel::new(profile)), profile.base_ipc, pin_for(spec.threads));
         }
         Scenario::Anatomy => unreachable!("anatomy jobs are closed-form"),
     }
@@ -181,6 +287,115 @@ mod tests {
         let audited = run_job(&sanitized);
         assert_eq!(plain, audited);
         assert!(audited.iter().all(|(k, _)| !k.starts_with("sanitize")));
+    }
+
+    #[test]
+    fn single_thread_jobs_export_no_per_thread_metrics() {
+        // The baseline byte-identity contract: per-thread keys appear only
+        // when a job actually ran more than one thread.
+        let m = run_job(&quick(Scenario::FioRand, Mode::Hwdp));
+        assert!(m.iter().all(|(k, _)| !k.starts_with("thread/")));
+    }
+
+    #[test]
+    fn multi_thread_jobs_export_per_thread_metrics() {
+        let mut spec = quick(Scenario::FioRand, Mode::Hwdp);
+        spec.threads = 2;
+        let m = run_job(&spec);
+        for i in 0..2 {
+            let ipc = m.iter().find(|(k, _)| k == &format!("thread/{i}/user_ipc"));
+            assert!(ipc.is_some(), "missing thread/{i}/user_ipc");
+        }
+        let sum: f64 = (0..2)
+            .map(|i| {
+                m.iter().find(|(k, _)| k == &format!("thread/{i}/ops")).map_or(0.0, |(_, v)| *v)
+            })
+            .sum();
+        let total = m.iter().find(|(k, _)| k == "ops").map_or(0.0, |(_, v)| *v);
+        assert_eq!(sum, total, "per-thread ops must sum to the aggregate");
+    }
+
+    #[test]
+    fn pinned_threads_report_their_contexts() {
+        let mut spec = quick(Scenario::FioRand, Mode::Hwdp);
+        spec.threads = 2;
+        spec.pin = Some(0);
+        let m = run_job(&spec);
+        let hw = |i: usize| {
+            m.iter()
+                .find(|(k, _)| k == &format!("thread/{i}/hw_context"))
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert_eq!(hw(0), 0.0);
+        assert_eq!(hw(1), 1.0);
+    }
+
+    #[test]
+    fn smt_corun_scenario_runs_both_threads() {
+        let mut spec = quick(Scenario::SmtCorun(crate::spec::SmtPartner::Mcf), Mode::Hwdp);
+        spec.ratio = 8.0;
+        spec.pin = Some(0);
+        spec.ops = 1 << 62; // effectively unbounded; the window ends the run
+        spec.time_cap_ms = 3;
+        let m = run_job(&spec);
+        let get = |k: &str| m.iter().find(|(n, _)| n == k).map(|(_, v)| *v).unwrap();
+        assert!(get("thread/0/ops") > 10.0, "FIO made progress");
+        assert!(get("thread/1/user_instructions") > 1000.0, "SPEC kernel retired work");
+        assert_eq!(get("thread/0/hw_context"), 0.0);
+        assert_eq!(get("thread/1/hw_context"), 1.0);
+    }
+
+    #[test]
+    fn smt_corun_with_multiple_workload_threads_fits_the_partner() {
+        let mut spec = quick(Scenario::SmtCorun(crate::spec::SmtPartner::Mcf), Mode::Hwdp);
+        spec.ratio = 8.0;
+        spec.threads = 2;
+        spec.pin = Some(0);
+        spec.ops = 1 << 62;
+        spec.time_cap_ms = 3;
+        let m = run_job(&spec);
+        let get = |k: &str| m.iter().find(|(n, _)| n == k).map(|(_, v)| *v).unwrap();
+        assert_eq!(get("thread/0/hw_context"), 0.0);
+        assert_eq!(get("thread/1/hw_context"), 1.0);
+        assert_eq!(get("thread/2/hw_context"), 2.0, "SPEC partner lands past the FIO threads");
+    }
+
+    #[test]
+    fn pin_span_past_default_topology_grows_the_machine() {
+        let mut spec = quick(Scenario::FioRand, Mode::Hwdp);
+        spec.threads = 4;
+        spec.pin = Some(14); // contexts 14..18 vs the default 8x2 = 16
+        let m = run_job(&spec);
+        let get = |k: &str| m.iter().find(|(n, _)| n == k).map(|(_, v)| *v).unwrap();
+        assert_eq!(get("thread/0/hw_context"), 14.0);
+        assert_eq!(get("thread/3/hw_context"), 17.0);
+    }
+
+    #[test]
+    fn repeats_produce_mean_stddev_ci_triples() {
+        let mut spec = quick(Scenario::FioRand, Mode::Hwdp);
+        spec.repeats = 3;
+        let m = run_job(&spec);
+        let names: Vec<&str> = m.iter().map(|(k, _)| k.as_str()).collect();
+        assert!(names.contains(&"user_ipc"));
+        assert!(names.contains(&"user_ipc/stddev"));
+        assert!(names.contains(&"user_ipc/ci95"));
+        // Deterministic: repeats use derived seeds, not wall-clock.
+        assert_eq!(m, run_job(&spec));
+        // And the mean really averages distinct runs: ops is fixed per
+        // run, so its spread is zero while elapsed time varies.
+        let get = |k: &str| m.iter().find(|(n, _)| n == k).map(|(_, v)| *v).unwrap();
+        assert_eq!(get("ops/stddev"), 0.0);
+        assert!(get("elapsed_ns/stddev") > 0.0, "repeat seeds must differ");
+    }
+
+    #[test]
+    fn repeats_one_is_byte_identical_to_plain_run() {
+        let spec = quick(Scenario::FioRand, Mode::Hwdp);
+        let mut r1 = spec;
+        r1.repeats = 1;
+        assert_eq!(run_job(&spec), run_job(&r1));
     }
 
     #[test]

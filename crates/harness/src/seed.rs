@@ -25,6 +25,21 @@ pub fn job_seed(campaign_seed: u64, index: u64) -> u64 {
     splitmix64(&mut state)
 }
 
+/// The simulator seed for repeat `k` of a job seeded with `job_seed`.
+///
+/// Repeat 0 is anchored to the job seed itself, so a `repeats = 1` job is
+/// byte-identical to the same job without the repeats knob. Later repeats
+/// are SplitMix64-derived with a distinct mixing constant from
+/// [`job_seed`], keeping the two derivation trees disjoint.
+pub fn repeat_seed(job_seed: u64, k: u32) -> u64 {
+    if k == 0 {
+        return job_seed;
+    }
+    let mut state = job_seed ^ u64::from(k).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    splitmix64(&mut state);
+    splitmix64(&mut state)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -44,6 +59,30 @@ mod tests {
         for w in seeds.windows(2) {
             let differing = (w[0] ^ w[1]).count_ones();
             assert!((12..=52).contains(&differing), "{differing} differing bits");
+        }
+    }
+
+    #[test]
+    fn repeat_zero_is_the_job_seed() {
+        assert_eq!(repeat_seed(0xD15C, 0), 0xD15C);
+        assert_eq!(repeat_seed(0, 0), 0);
+    }
+
+    #[test]
+    fn repeats_pairwise_distinct_for_small_k() {
+        let mut seeds: Vec<u64> = (0..32).map(|k| repeat_seed(42, k)).collect();
+        let len = seeds.len();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), len, "repeat seeds collided");
+    }
+
+    #[test]
+    fn repeat_tree_disjoint_from_job_tree() {
+        // repeat k of job j must not collide with job k of the same
+        // campaign — the mixing constants differ.
+        for i in 0..16u64 {
+            assert_ne!(repeat_seed(job_seed(42, 0), i as u32 + 1), job_seed(42, i));
         }
     }
 

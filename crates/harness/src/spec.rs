@@ -11,7 +11,60 @@ use hwdp_core::Mode;
 use hwdp_nvme::fault::FaultConfig;
 use hwdp_nvme::profile::DeviceProfile;
 use hwdp_sim::SanitizeLevel;
-use hwdp_workloads::YcsbKind;
+use hwdp_workloads::{SpecProfile, YcsbKind};
+
+/// The SPEC CPU 2017 kernel co-located with FIO in the Fig. 16 SMT
+/// co-run scenario. Variant order matches `SpecProfile::ALL`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SmtPartner {
+    /// perlbench (base IPC 2.0).
+    Perlbench,
+    /// gcc (1.7).
+    Gcc,
+    /// mcf (0.9).
+    Mcf,
+    /// lbm (1.1).
+    Lbm,
+    /// deepsjeng (1.6).
+    Deepsjeng,
+    /// xz (1.3).
+    Xz,
+}
+
+impl SmtPartner {
+    /// All partners, in `SpecProfile::ALL` order.
+    pub const ALL: [SmtPartner; 6] = [
+        SmtPartner::Perlbench,
+        SmtPartner::Gcc,
+        SmtPartner::Mcf,
+        SmtPartner::Lbm,
+        SmtPartner::Deepsjeng,
+        SmtPartner::Xz,
+    ];
+
+    /// The SPEC benchmark name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SmtPartner::Perlbench => "perlbench",
+            SmtPartner::Gcc => "gcc",
+            SmtPartner::Mcf => "mcf",
+            SmtPartner::Lbm => "lbm",
+            SmtPartner::Deepsjeng => "deepsjeng",
+            SmtPartner::Xz => "xz",
+        }
+    }
+
+    /// Parses a SPEC benchmark name.
+    pub fn parse(s: &str) -> Option<SmtPartner> {
+        SmtPartner::ALL.iter().copied().find(|p| p.name() == s)
+    }
+
+    /// The workload profile (instruction mix / base IPC) for this partner.
+    pub fn profile(self) -> SpecProfile {
+        // Variant order mirrors SpecProfile::ALL (pinned by test).
+        SpecProfile::ALL[self as usize]
+    }
+}
 
 /// What a job runs.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -24,6 +77,9 @@ pub enum Scenario {
     Ycsb(YcsbKind),
     /// Anonymous-memory touch loop (zero-fill path).
     Anon,
+    /// Fig. 16 SMT co-location: FIO on hardware thread 0 and a SPEC
+    /// kernel on hardware thread 1 of a single physical core.
+    SmtCorun(SmtPartner),
     /// Closed-form single-miss anatomy (Fig. 10/17); no simulation.
     Anatomy,
 }
@@ -36,6 +92,14 @@ impl Scenario {
             Scenario::DbBench => "dbbench",
             Scenario::Ycsb(k) => k.name(),
             Scenario::Anon => "anon",
+            Scenario::SmtCorun(p) => match p {
+                SmtPartner::Perlbench => "smt-perlbench",
+                SmtPartner::Gcc => "smt-gcc",
+                SmtPartner::Mcf => "smt-mcf",
+                SmtPartner::Lbm => "smt-lbm",
+                SmtPartner::Deepsjeng => "smt-deepsjeng",
+                SmtPartner::Xz => "smt-xz",
+            },
             Scenario::Anatomy => "anatomy",
         }
     }
@@ -47,13 +111,32 @@ impl Scenario {
             "dbbench" => Some(Scenario::DbBench),
             "anon" => Some(Scenario::Anon),
             "anatomy" => Some(Scenario::Anatomy),
-            _ => YcsbKind::ALL.iter().find(|k| k.name() == s).map(|&k| Scenario::Ycsb(k)),
+            _ => {
+                if let Some(partner) = s.strip_prefix("smt-").and_then(SmtPartner::parse) {
+                    return Some(Scenario::SmtCorun(partner));
+                }
+                YcsbKind::ALL.iter().find(|k| k.name() == s).map(|&k| Scenario::Ycsb(k))
+            }
         }
     }
 
     /// All scenario identifiers, for CLI help text.
-    pub const ALL_NAMES: [&'static str; 10] = [
-        "fio", "dbbench", "ycsb-a", "ycsb-b", "ycsb-c", "ycsb-d", "ycsb-e", "ycsb-f", "anon",
+    pub const ALL_NAMES: [&'static str; 16] = [
+        "fio",
+        "dbbench",
+        "ycsb-a",
+        "ycsb-b",
+        "ycsb-c",
+        "ycsb-d",
+        "ycsb-e",
+        "ycsb-f",
+        "anon",
+        "smt-perlbench",
+        "smt-gcc",
+        "smt-mcf",
+        "smt-lbm",
+        "smt-deepsjeng",
+        "smt-xz",
         "anatomy",
     ];
 }
@@ -115,6 +198,16 @@ pub struct JobSpec {
     pub device: DeviceKind,
     /// Workload threads.
     pub threads: usize,
+    /// SMT hardware-context pinning: workload thread `i` is fixed to
+    /// hardware context `pin + i` (a co-run partner, if the scenario has
+    /// one, lands on `pin + threads`). `None` = scheduler placement.
+    pub pin: Option<usize>,
+    /// Statistical repeats: the job runs `max(repeats, 1)` times with
+    /// SplitMix64-derived per-repeat seeds and reports mean / stddev /
+    /// 95 % CI per metric. `1` is a plain single run and is normalized
+    /// away (compares equal to, and serializes identically to, a spec
+    /// without the knob).
+    pub repeats: u32,
     /// Dataset:memory ratio (dataset pages = `memory_frames × ratio`).
     pub ratio: f64,
     /// Simulated DRAM in 4 KiB frames.
@@ -160,6 +253,8 @@ impl PartialEq for JobSpec {
             && self.mode == other.mode
             && self.device == other.device
             && self.threads == other.threads
+            && self.pin == other.pin
+            && self.effective_repeats() == other.effective_repeats()
             && self.ratio == other.ratio
             && self.memory_frames == other.memory_frames
             && self.ops == other.ops
@@ -187,6 +282,8 @@ impl JobSpec {
             mode,
             device: DeviceKind::ZSsd,
             threads: 1,
+            pin: None,
+            repeats: 1,
             ratio: 2.0,
             memory_frames: 1024,
             ops: 1_500,
@@ -210,6 +307,12 @@ impl JobSpec {
     /// to `None` (they are inert by construction).
     pub fn effective_faults(&self) -> Option<FaultConfig> {
         self.faults.filter(|f| !f.is_zero())
+    }
+
+    /// The repeat count that actually applies: `0` normalizes to `1`
+    /// (running a job zero times is meaningless).
+    pub fn effective_repeats(&self) -> u32 {
+        self.repeats.max(1)
     }
 
     /// Dataset size in pages.
@@ -253,8 +356,15 @@ impl JobSpec {
             ("time_cap_ms", Json::Num(self.time_cap_ms as f64)),
             ("seed", Json::Str(format!("{:#018x}", self.seed))),
         ];
-        // Present only for jobs that can actually inject faults, so
-        // fault-free artifacts stay byte-identical to pre-fault baselines.
+        // Pay-as-you-go knobs: present only when they change behaviour, so
+        // artifacts from campaigns that never use them stay byte-identical
+        // to baselines captured before the knobs existed.
+        if let Some(pin) = self.pin {
+            fields.push(("pin", Json::Num(pin as f64)));
+        }
+        if self.effective_repeats() > 1 {
+            fields.push(("repeats", Json::Num(self.effective_repeats() as f64)));
+        }
         if let Some(f) = self.effective_faults() {
             fields.push(("faults", Json::Str(f.canonical())));
         }
@@ -353,6 +463,20 @@ impl Grid {
     /// Sets the virtual-time cap (milliseconds) for every job.
     pub fn time_cap_ms(mut self, ms: u64) -> Grid {
         self.template.time_cap_ms = ms;
+        self
+    }
+
+    /// Pins every job's workload threads to consecutive hardware contexts
+    /// starting at `base` (Fig. 16 SMT placement).
+    pub fn pin(mut self, base: usize) -> Grid {
+        self.template.pin = Some(base);
+        self
+    }
+
+    /// Runs every job `k` times with derived per-repeat seeds, reporting
+    /// mean / stddev / 95 % CI per metric.
+    pub fn repeats(mut self, k: u32) -> Grid {
+        self.template.repeats = k;
         self
     }
 
@@ -528,6 +652,45 @@ mod tests {
         let cfg = FaultConfig::parse("drop=0.05").expect("parses");
         let c = Grid::new("t", 1).ratios([2.0, 4.0]).faults(cfg).expand();
         assert!(c.jobs.iter().all(|j| j.effective_faults() == Some(cfg)));
+    }
+
+    #[test]
+    fn smt_partner_profiles_match_spec_profiles() {
+        for p in SmtPartner::ALL {
+            assert_eq!(p.profile().name, p.name(), "SmtPartner order drifted from SpecProfile");
+            assert_eq!(SmtPartner::parse(p.name()), Some(p));
+        }
+        assert!(SmtPartner::parse("fortran").is_none());
+    }
+
+    #[test]
+    fn repeats_one_normalizes_away() {
+        let a = JobSpec::new(Scenario::FioRand, Mode::Hwdp, 3);
+        let mut b = a;
+        b.repeats = 0; // zero runs is meaningless; normalizes to one
+        assert_eq!(a, b, "repeats <= 1 is a plain single run");
+        assert_eq!(a.to_json().pretty(), b.to_json().pretty(), "artifacts stay byte-identical");
+        let mut c = a;
+        c.repeats = 5;
+        assert_ne!(a, c, "a real repeat count distinguishes jobs");
+        assert_eq!(c.to_json().get("repeats").and_then(Json::as_f64), Some(5.0));
+        assert_eq!(a.to_json().get("repeats"), None, "repeats=1 omitted from JSON");
+    }
+
+    #[test]
+    fn pin_distinguishes_jobs_and_serializes_only_when_set() {
+        let a = JobSpec::new(Scenario::FioRand, Mode::Hwdp, 3);
+        let mut b = a;
+        b.pin = Some(0);
+        assert_ne!(a, b, "pinning changes placement, so it changes identity");
+        assert_eq!(a.to_json().get("pin"), None, "unpinned jobs omit the field");
+        assert_eq!(b.to_json().get("pin").and_then(Json::as_f64), Some(0.0));
+    }
+
+    #[test]
+    fn grid_pin_and_repeats_apply_to_every_job() {
+        let c = Grid::new("t", 1).ratios([2.0, 4.0]).pin(2).repeats(3).expand();
+        assert!(c.jobs.iter().all(|j| j.pin == Some(2) && j.effective_repeats() == 3));
     }
 
     #[test]

@@ -1,0 +1,107 @@
+//! Small-sample summary statistics for repeated campaign jobs.
+//!
+//! A job run with `repeats = K` produces K values per metric; the artifact
+//! reports their mean, sample standard deviation, and a 95 % confidence
+//! half-width based on Student's t distribution (small K makes the normal
+//! z = 1.96 badly anticonservative — at K = 3 the t multiplier is 4.30).
+
+/// Mean / spread summary of one metric across repeats.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n − 1 denominator; 0 for n < 2).
+    pub stddev: f64,
+    /// Half-width of the 95 % confidence interval for the mean
+    /// (`t95(n−1) · stddev / √n`; 0 for n < 2).
+    pub ci95_half: f64,
+}
+
+impl Summary {
+    /// The interval `[mean − ci95_half, mean + ci95_half]`.
+    pub fn interval(&self) -> (f64, f64) {
+        (self.mean - self.ci95_half, self.mean + self.ci95_half)
+    }
+}
+
+/// Two-sided 95 % Student's t critical value for `df` degrees of freedom.
+///
+/// Exact table values for df ≤ 30, the asymptotic normal quantile above
+/// (the df = 30 value 2.042 is within 4 % of it already).
+pub fn t95(df: usize) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    ];
+    match df {
+        0 => f64::INFINITY,
+        d if d <= TABLE.len() => TABLE[d - 1],
+        _ => 1.96,
+    }
+}
+
+/// Summarizes a sample. Empty input yields an all-zero summary with
+/// `n = 0`.
+pub fn summarize(values: &[f64]) -> Summary {
+    let n = values.len();
+    if n == 0 {
+        return Summary { n: 0, mean: 0.0, stddev: 0.0, ci95_half: 0.0 };
+    }
+    let mean = values.iter().sum::<f64>() / n as f64;
+    if n < 2 {
+        return Summary { n, mean, stddev: 0.0, ci95_half: 0.0 };
+    }
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64;
+    let stddev = var.sqrt();
+    let ci95_half = t95(n - 1) * stddev / (n as f64).sqrt();
+    Summary { n, mean, stddev, ci95_half }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_sample_has_zero_spread() {
+        let s = summarize(&[5.0, 5.0, 5.0]);
+        assert_eq!(s, Summary { n: 3, mean: 5.0, stddev: 0.0, ci95_half: 0.0 });
+    }
+
+    #[test]
+    fn known_small_sample() {
+        // Sample {1, 2, 3}: mean 2, variance 1, sd 1, CI = 4.303/√3.
+        let s = summarize(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.mean, 2.0);
+        assert!((s.stddev - 1.0).abs() < 1e-12);
+        assert!((s.ci95_half - 4.303 / 3.0_f64.sqrt()).abs() < 1e-9);
+        let (lo, hi) = s.interval();
+        assert!(lo < 2.0 && hi > 2.0);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(summarize(&[]).n, 0);
+        let one = summarize(&[7.5]);
+        assert_eq!((one.n, one.mean, one.stddev, one.ci95_half), (1, 7.5, 0.0, 0.0));
+    }
+
+    #[test]
+    fn t_table_monotone_toward_normal() {
+        assert_eq!(t95(0), f64::INFINITY);
+        assert!((t95(2) - 4.303).abs() < 1e-12);
+        for df in 1..40 {
+            assert!(t95(df + 1) <= t95(df), "t95 must decrease with df");
+        }
+        assert_eq!(t95(1000), 1.96);
+    }
+
+    #[test]
+    fn order_invariant_mean() {
+        let a = summarize(&[3.0, 1.0, 2.0]);
+        let b = summarize(&[1.0, 2.0, 3.0]);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests of the harness seeding and statistics layers.
+
+use hwdp_harness::{job_seed, repeat_seed, summarize, t95};
+use proptest::prelude::*;
+
+/// Maps a raw draw in `[0, 2·half)` onto an integer-valued f64 in
+/// `[-half, half)`: integer samples keep sums exact, so closed-form
+/// comparisons below are bit-level, not approximate.
+fn centered(v: u64, half: u64) -> f64 {
+    v as f64 - half as f64
+}
+
+proptest! {
+    /// Repeat 0 is the job seed itself: `repeats = 1` campaigns stay
+    /// byte-identical to plain runs for every possible seed.
+    #[test]
+    fn repeat_zero_anchors_to_job_seed(seed: u64) {
+        prop_assert_eq!(repeat_seed(seed, 0), seed);
+    }
+
+    /// Per-repeat seeds are pairwise distinct within any realistic repeat
+    /// count, for any job seed.
+    #[test]
+    fn repeat_seeds_pairwise_distinct(seed: u64, k in 2u32..64) {
+        let seeds: Vec<u64> = (0..k).map(|i| repeat_seed(seed, i)).collect();
+        let mut sorted = seeds.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), seeds.len(), "repeat seeds collided: {:?}", seeds);
+    }
+
+    /// `repeat_seed` is a pure function of `(seed, k)`: evaluating the
+    /// repeats in any order (here: reversed) yields the same values, so a
+    /// resumed or partially parallel campaign reproduces the same runs.
+    #[test]
+    fn repeat_seeds_order_independent(seed: u64, k in 1u32..64) {
+        let forward: Vec<u64> = (0..k).map(|i| repeat_seed(seed, i)).collect();
+        let mut backward: Vec<u64> = (0..k).rev().map(|i| repeat_seed(seed, i)).collect();
+        backward.reverse();
+        prop_assert_eq!(forward, backward);
+    }
+
+    /// The repeat tree of a derived job seed stays disjoint from the
+    /// job-seed tree of the same campaign: repeats never replay a sibling
+    /// job's run.
+    #[test]
+    fn repeat_tree_disjoint_from_job_tree(campaign: u64, idx in 0u64..32, k in 1u32..32) {
+        let job = job_seed(campaign, idx);
+        let repeat = repeat_seed(job, k);
+        for other in 0..32u64 {
+            prop_assert_ne!(repeat, job_seed(campaign, other));
+        }
+    }
+
+    /// Mean lies within the sample range; spread measures are
+    /// non-negative and the interval brackets the mean.
+    #[test]
+    fn summary_basic_invariants(raw in prop::collection::vec(0u64..2_000_000, 1..16)) {
+        let sample: Vec<f64> = raw.iter().map(|&v| centered(v, 1_000_000)).collect();
+        let s = summarize(&sample);
+        let min = sample.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = sample.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(s.mean >= min && s.mean <= max);
+        prop_assert!(s.stddev >= 0.0 && s.ci95_half >= 0.0);
+        let (lo, hi) = s.interval();
+        prop_assert!(lo <= s.mean && s.mean <= hi);
+    }
+
+    /// The reported CI half-width matches the closed form
+    /// `t95(n−1) · sd / √n` exactly.
+    #[test]
+    fn ci_matches_closed_form(raw in prop::collection::vec(0u64..2_000, 2..12)) {
+        let sample: Vec<f64> = raw.iter().map(|&v| centered(v, 1_000)).collect();
+        let s = summarize(&sample);
+        let n = sample.len();
+        prop_assert_eq!(s.ci95_half, t95(n - 1) * s.stddev / (n as f64).sqrt());
+    }
+
+    /// Closed-form check against the two-point distribution {a, b}:
+    /// mean = (a+b)/2, sd = |a−b|/2 · √2, CI = t95(1)·sd/√2.
+    #[test]
+    fn two_point_distribution_closed_form(ra in 0u64..2_000, rb in 0u64..2_000) {
+        let (a, b) = (centered(ra, 1_000), centered(rb, 1_000));
+        let s = summarize(&[a, b]);
+        prop_assert_eq!(s.mean, (a + b) / 2.0);
+        let sd = ((a - b) / 2.0).abs() * 2.0_f64.sqrt();
+        prop_assert!((s.stddev - sd).abs() <= 1e-9 * (1.0 + sd));
+        let ci = t95(1) * sd / 2.0_f64.sqrt();
+        prop_assert!((s.ci95_half - ci).abs() <= 1e-9 * (1.0 + ci));
+    }
+
+    /// Constant samples have exactly zero spread at any size.
+    #[test]
+    fn constant_sample_zero_spread(v in 0u64..2_000_000, n in 1usize..16) {
+        let x = centered(v, 1_000_000);
+        let s = summarize(&vec![x; n]);
+        prop_assert_eq!(s.mean, x);
+        prop_assert_eq!(s.stddev, 0.0);
+        prop_assert_eq!(s.ci95_half, 0.0);
+    }
+
+    /// Shifting every sample by a constant shifts the mean and leaves the
+    /// spread (nearly) unchanged.
+    #[test]
+    fn shift_moves_mean_not_spread(
+        raw in prop::collection::vec(0u64..2_000, 2..12),
+        rshift in 0u64..2_000,
+    ) {
+        let base: Vec<f64> = raw.iter().map(|&v| centered(v, 1_000)).collect();
+        let shift = centered(rshift, 1_000);
+        let shifted: Vec<f64> = base.iter().map(|v| v + shift).collect();
+        let (s0, s1) = (summarize(&base), summarize(&shifted));
+        prop_assert!((s1.mean - (s0.mean + shift)).abs() <= 1e-9 * (1.0 + shift.abs()));
+        prop_assert!((s1.stddev - s0.stddev).abs() <= 1e-9 * (1.0 + s0.stddev));
+    }
+
+    /// Integer-valued samples summarize order-independently: their sum is
+    /// exact in any order, so the mean is bit-identical; the spread (whose
+    /// squared deviations round) agrees to rounding error.
+    #[test]
+    fn integer_samples_order_invariant(raw in prop::collection::vec(0u64..200_000, 2..12)) {
+        let forward: Vec<f64> = raw.iter().map(|&v| centered(v, 100_000)).collect();
+        let mut backward = forward.clone();
+        backward.reverse();
+        let (a, b) = (summarize(&forward), summarize(&backward));
+        prop_assert_eq!(a.mean, b.mean);
+        prop_assert!((a.stddev - b.stddev).abs() <= 1e-9 * (1.0 + a.stddev));
+        prop_assert!((a.ci95_half - b.ci95_half).abs() <= 1e-9 * (1.0 + a.ci95_half));
+    }
+}

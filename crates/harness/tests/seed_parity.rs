@@ -106,6 +106,68 @@ fn zero_rate_fault_plan_reproduces_committed_baseline_byte_for_byte() {
 }
 
 #[test]
+fn explicit_repeats_one_reproduces_committed_baseline_byte_for_byte() {
+    // The statistics parity contract: `repeats = 1` (and the normalized
+    // `repeats = 0`) is a plain single run — repeat 0 is anchored to the
+    // job seed itself, no aggregation pass runs, no /stddev or /ci95 keys
+    // appear, and the spec serializes without a `repeats` field. The seed
+    // campaign with the knob explicitly set must be byte-identical to the
+    // committed baseline.
+    let baseline_path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../../baselines/BENCH_seed.json");
+    let text = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", baseline_path.display()));
+    let baseline = Artifact::parse(&text).expect("committed baseline parses");
+
+    let mut campaign = seed_campaign();
+    for job in &mut campaign.jobs {
+        job.repeats = 1;
+    }
+    let fresh = execute_campaign(&campaign, 4, &mut Counting::default());
+
+    assert_eq!(
+        fresh.canonical_string(),
+        baseline.canonical_string(),
+        "a repeats=1 sweep perturbed the seed campaign artifact; the \
+         repeats knob must be pay-as-you-go (single runs stay byte-identical \
+         to runs made before the knob existed)"
+    );
+}
+
+#[test]
+fn single_thread_jobs_carry_no_per_thread_or_spread_keys() {
+    // The committed baseline's single-thread, repeats=1 records must stay
+    // exactly as they were before per-thread export existed: no
+    // `thread/<i>/` metrics, no `threads` array, no statistics keys.
+    let baseline_path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../../baselines/BENCH_seed.json");
+    let text = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", baseline_path.display()));
+    let baseline = Artifact::parse(&text).expect("committed baseline parses");
+
+    for job in &baseline.jobs {
+        assert!(
+            job.metrics.iter().all(|(k, _)| !k.contains("/stddev") && !k.contains("/ci95")),
+            "repeats=1 job {} grew statistics keys",
+            job.spec.label()
+        );
+        if job.spec.threads == 1 {
+            assert!(
+                job.metrics.iter().all(|(k, _)| !k.starts_with("thread/")),
+                "single-thread job {} grew per-thread metrics",
+                job.spec.label()
+            );
+        } else {
+            assert!(
+                job.metrics.iter().any(|(k, _)| k.starts_with("thread/")),
+                "multi-thread job {} should carry per-thread metrics",
+                job.spec.label()
+            );
+        }
+    }
+}
+
+#[test]
 fn seed_campaign_is_worker_count_invariant() {
     let campaign = seed_campaign();
     let one = execute_campaign(&campaign, 1, &mut Counting::default());

@@ -3,7 +3,7 @@
 #
 #   scripts/ci.sh            # build, test, sweep, compare against baseline
 #   scripts/ci.sh --refresh  # additionally rewrite baselines/BENCH_seed.json
-#   scripts/ci.sh --proptest # only the per-crate property-test loop
+#   scripts/ci.sh --proptest # only the property-test suites
 #
 # Set HWDP_CI_OUT=<dir> to keep the campaign artifacts (BENCH_*.json,
 # AUDIT_*.json) instead of writing them to a throwaway temp dir; the
@@ -20,15 +20,20 @@ cd "$(dirname "$0")/.."
 
 # Crates carrying a `proptest` feature. The GitHub Actions
 # `optional-features` job and local runs share this one list via
-# `scripts/ci.sh --proptest` (cargo cannot yet unify workspace-level
-# features cleanly for this layout, so it stays a loop).
-PROPTEST_CRATES=(sim mem nvme os smu workloads core)
+# `scripts/ci.sh --proptest`, which runs them as a single cargo
+# invocation (one build graph, one test pass) instead of a per-crate
+# loop.
+PROPTEST_CRATES=(sim mem nvme os smu workloads core harness)
 
 if [[ "${1:-}" == "--proptest" ]]; then
+  echo "== proptest: ${PROPTEST_CRATES[*]} =="
+  pkgs=()
+  feats=()
   for c in "${PROPTEST_CRATES[@]}"; do
-    echo "== proptest: hwdp-$c =="
-    cargo test -q -p "hwdp-$c" --features proptest --offline
+    pkgs+=(-p "hwdp-$c")
+    feats+=("hwdp-$c/proptest")
   done
+  cargo test -q "${pkgs[@]}" --features "$(IFS=,; echo "${feats[*]}")" --offline
   echo "== proptest: ok =="
   exit 0
 fi
@@ -103,5 +108,39 @@ grep -q '"violations_total": 0' "$out/AUDIT_faults.json"
 grep -Eq '"io_retries": [1-9]' "$out/BENCH_faults.json"
 grep -Eq '"smu_fallbacks_fault": [1-9]' "$out/BENCH_faults.json"
 echo "fault injection: recovered cleanly (zero violations, retries exercised)"
+
+echo "== figures: Fig. 14/15 campaign (YCSB-C 4 threads, 3 repeats) =="
+# The per-figure headline bands (user-IPC gain, kernel-instruction
+# reduction, FIO speedup) are asserted by hwdp-bench's cargo tests above;
+# these sweeps prove the same campaigns run end-to-end through the CLI
+# with statistics enabled, and produce the artifacts CI archives. The
+# greps pin the new artifact surfaces: per-thread metric arrays and
+# mean/stddev/ci95 spread keys from repeated runs.
+./target/release/hwdp sweep \
+  --name fig14 \
+  --scenarios ycsb-c --modes osdp,hwdp \
+  --threads-list 4 --ratios 2 \
+  --memory 512 --ops 300 --seed 53596 --fixed-seed \
+  --repeats 3 \
+  --workers 4 --out "$out"
+grep -q '"repeats": 3' "$out/BENCH_fig14.json"
+grep -q '/stddev' "$out/BENCH_fig14.json"
+grep -q '/ci95' "$out/BENCH_fig14.json"
+grep -q '"threads": \[' "$out/BENCH_fig14.json"
+echo "fig14/15: repeated campaign carries spread + per-thread metrics"
+
+echo "== figures: Fig. 16 campaign (FIO vs SPEC SMT co-run) =="
+./target/release/hwdp sweep \
+  --name fig16 \
+  --scenarios smt-perlbench,smt-gcc,smt-mcf,smt-lbm,smt-deepsjeng,smt-xz \
+  --modes osdp,hwdp \
+  --threads-list 1 --ratios 8 --pin 0 \
+  --time-cap-ms 20 --ops 4611686018427387904 --kpted-us 20000 \
+  --memory 512 --seed 53596 --fixed-seed \
+  --workers 4 --out "$out"
+grep -q '"pin": 0' "$out/BENCH_fig16.json"
+grep -q '"threads": \[' "$out/BENCH_fig16.json"
+grep -q '"hw_context": 1' "$out/BENCH_fig16.json"
+echo "fig16: co-run campaign carries pinned per-context metrics"
 
 echo "== ci: ok =="
