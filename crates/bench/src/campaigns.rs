@@ -9,8 +9,8 @@
 
 use hwdp_core::Mode;
 use hwdp_harness::{
-    execute_campaign, progress::Silent, Artifact, Campaign, DeviceKind, Grid, Scenario,
-    SmtPartner,
+    execute_campaign, progress::Silent, Artifact, Campaign, DeviceKind, Grid, PolicyKind,
+    Scenario, SmtPartner, TierSpec,
 };
 use hwdp_workloads::YcsbKind;
 
@@ -114,6 +114,39 @@ pub fn fig16_campaign(scale: &Scale) -> Campaign {
         .expand()
 }
 
+/// Tiered storage: YCSB-C's zipfian accesses over a dataset 4x memory,
+/// homed on a slow Z-SSD capacity tier with a small Optane-PMM fast
+/// tier, OSDP vs HWDP for every placement policy.
+///
+/// The skew concentrates recurrent demand misses on a hot subset of the
+/// dataset (the working set exceeds both DRAM and the fast tier), so
+/// the migration daemon's promotions should raise the fast-hit ratio as
+/// the run progresses — the late-half ratio exceeding the early-half
+/// ratio is the campaign's headline signal.
+pub fn tier_campaign(scale: &Scale) -> Campaign {
+    let mut jobs = Vec::new();
+    for policy in PolicyKind::ALL {
+        // The daemon period doubles as the hotness epoch (heat halves per
+        // tick). At the 150 us default an epoch sees well under one device
+        // read per page and threshold heat never accumulates; 5 ms epochs
+        // let the zipfian hot set cross the bar while still giving the
+        // campaign's runs dozens of migration rounds.
+        let spec = TierSpec {
+            policy,
+            period_us: 5_000,
+            ..TierSpec::new(DeviceKind::OptanePmm, DeviceKind::ZSsd)
+        };
+        let grid = scale_grid("tier", scale)
+            .scenarios([Scenario::Ycsb(YcsbKind::C)])
+            .modes([Mode::Osdp, Mode::Hwdp])
+            .threads([2])
+            .ratios([4.0])
+            .tiers(spec);
+        jobs.extend(grid.expand().jobs);
+    }
+    Campaign { name: "tier".into(), seed: scale.seed, jobs }
+}
+
 /// Fig. 17: closed-form single-fault anatomy, SW-only vs HWDP, across
 /// the three device profiles.
 pub fn fig17_campaign() -> Campaign {
@@ -184,6 +217,31 @@ mod tests {
         assert_eq!(fig15_campaign(&scale).jobs.len(), 2);
         assert_eq!(fig16_campaign(&scale).jobs.len(), 6 * 2);
         assert_eq!(fig17_campaign().jobs.len(), 2 * 3);
+        assert_eq!(tier_campaign(&scale).jobs.len(), PolicyKind::ALL.len() * 2);
+    }
+
+    #[test]
+    fn tier_campaign_promotes_hot_pages_and_fast_hit_ratio_rises() {
+        let scale = Scale { memory_frames: 128, ops_per_thread: 1500, ..Scale::quick() };
+        let campaign = tier_campaign(&scale);
+        let job = campaign
+            .jobs
+            .iter()
+            .find(|j| {
+                j.mode == Mode::Hwdp
+                    && j.tiers.map(|t| t.policy) == Some(PolicyKind::Threshold)
+            })
+            .unwrap();
+        let metrics = run_job(job);
+        let get = |n: &str| metrics.iter().find(|(k, _)| k == n).unwrap().1;
+        assert!(get("tier/promotions") > 0.0, "daemon never promoted a hot page");
+        assert!(
+            get("tier/fast_hit_ratio_late") > get("tier/fast_hit_ratio_early"),
+            "fast-hit ratio did not rise: early {} late {}",
+            get("tier/fast_hit_ratio_early"),
+            get("tier/fast_hit_ratio_late")
+        );
+        assert!(get("tier/fast_reads") > 0.0, "fast tier never serviced a miss");
     }
 
     #[test]

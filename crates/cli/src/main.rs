@@ -70,6 +70,20 @@ COMMON OPTIONS:
                                writes         also target write commands
                              e.g. --faults media=0.05,delay=0.02x20
                              (all-zero rates are a no-op; seeded, reproducible)
+  --tiers SPEC               tiered storage: data lives on a slow device and a
+                             migration daemon promotes hot pages to a fast one.
+                             SPEC is comma-separated knobs; fast/slow required:
+                               fast:DEV       fast-tier device (zssd|optane|pmm)
+                               slow:DEV       slow-tier (capacity) device
+                               cap:PCT        fast-tier capacity, % of tracked
+                                              pages (default 25)
+                               policy:P       static|lru|threshold (default
+                                              threshold)
+                               period:US      migration-daemon tick in
+                                              microseconds (default 150)
+                               batch:N        max migrations per tick (default 8)
+                             e.g. --tiers fast:pmm,slow:zssd
+                             (omitting --tiers runs the paper's single device)
 
 FIO OPTIONS:
   --seq                      sequential instead of random reads
@@ -170,6 +184,16 @@ fn fault_config(args: &Args) -> Result<Option<hwdp_nvme::fault::FaultConfig>, Ar
     }
 }
 
+/// Parses the common `--tiers SPEC` option (default: single device).
+fn tier_spec(args: &Args) -> Result<Option<harness::TierSpec>, ArgError> {
+    match args.get("tiers") {
+        None => Ok(None),
+        Some(s) => harness::TierSpec::parse(s)
+            .map(Some)
+            .map_err(|e| ArgError(format!("--tiers: {e}"))),
+    }
+}
+
 /// Expands the `sweep` axis options into a harness campaign.
 fn sweep_campaign(args: &Args) -> Result<harness::Campaign, ArgError> {
     let parse_axis = |name: &str, default: &str, f: &dyn Fn(&str) -> Option<String>| {
@@ -207,10 +231,7 @@ fn sweep_campaign(args: &Args) -> Result<harness::Campaign, ArgError> {
     let devices: Vec<harness::DeviceKind> = args
         .list("devices", "zssd")
         .iter()
-        .map(|d| {
-            harness::DeviceKind::parse(d)
-                .ok_or_else(|| ArgError(format!("--devices: unknown device '{d}'")))
-        })
+        .map(|d| harness::DeviceKind::parse(d).map_err(|e| ArgError(format!("--devices: {e}"))))
         .collect::<Result<_, _>>()?;
     let threads: Vec<usize> = args
         .list("threads-list", "1")
@@ -254,6 +275,9 @@ fn sweep_campaign(args: &Args) -> Result<harness::Campaign, ArgError> {
     }
     if let Some(faults) = fault_config(args)? {
         grid = grid.faults(faults);
+    }
+    if let Some(tiers) = tier_spec(args)? {
+        grid = grid.tiers(tiers);
     }
     if args.flag("fixed-seed") {
         grid = grid.fixed_seed();
@@ -472,6 +496,9 @@ fn builder(args: &Args) -> Result<(SystemBuilder, usize, u64, u64), ArgError> {
     if let Some(faults) = fault_config(args)? {
         b = b.faults(faults);
     }
+    if let Some(tiers) = tier_spec(args)? {
+        b = b.tiers(tiers.to_config());
+    }
     Ok((b, threads, ratio, ops))
 }
 
@@ -530,6 +557,17 @@ fn report(label: &str, r: &RunResult) {
                 t.pollution_warmth
             );
         }
+    }
+    if let Some(t) = &r.tier {
+        println!(
+            "  tiering          {} promotions, {} demotions, {} aborts; fast-hit {:.1}% ({:.1}% -> {:.1}%)",
+            t.promotions,
+            t.demotions,
+            t.aborts,
+            t.fast_hit_ratio * 100.0,
+            t.fast_hit_ratio_early * 100.0,
+            t.fast_hit_ratio_late * 100.0
+        );
     }
     match r.verify_failures() {
         0 => println!("  data integrity   ok (every read verified)"),

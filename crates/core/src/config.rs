@@ -129,6 +129,12 @@ pub struct SystemConfig {
     /// — leaves the simulation byte-identical to a fault-free build: no
     /// watchdog events are scheduled and no recovery bookkeeping is kept.
     pub faults: Option<FaultConfig>,
+    /// Tiered-storage configuration. `None` (the default) runs the
+    /// single-device system of the paper; `Some` replaces device 0's
+    /// profile with the slow tier, attaches a fast device, and runs the
+    /// hot/cold migration daemon. Pay-as-you-go: `None` is byte-identical
+    /// to a build without the tier layer.
+    pub tiers: Option<hwdp_tier::TierConfig>,
     /// Master RNG seed; everything derives from it.
     pub seed: u64,
     /// hwdp-audit sanitizer level. Observation-only: any level produces
@@ -162,6 +168,7 @@ impl SystemConfig {
             long_io_timeout: None,
             retry: RetryPolicy::default(),
             faults: None,
+            tiers: None,
             seed: 0x5EED_CAFE,
             sanitize: SanitizeLevel::Off,
         }

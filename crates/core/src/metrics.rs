@@ -141,6 +141,9 @@ pub struct RunResult {
     /// hwdp-audit sanitizer report (empty when sanitizing was `Off` or
     /// every invariant held).
     pub audit: AuditReport,
+    /// Tiering report (`None` unless the run had a tier configuration;
+    /// single-device artifacts stay byte-identical to the baselines).
+    pub tier: Option<hwdp_tier::TierReport>,
 }
 
 impl RunResult {
@@ -237,6 +240,23 @@ impl RunResult {
             kv.push(("smu_fallbacks_fault", p.smu_fallbacks_fault as f64));
             kv.push(("io_errors_surfaced", p.io_errors_surfaced as f64));
         }
+        // Tiering metrics: present only when the run had a tier
+        // configuration, so single-device artifacts stay byte-identical
+        // to the seed baselines.
+        if let Some(t) = &self.tier {
+            kv.push(("tier/promotions", t.promotions as f64));
+            kv.push(("tier/demotions", t.demotions as f64));
+            kv.push(("tier/aborts", t.aborts as f64));
+            kv.push(("tier/fast_hits", t.fast_hits as f64));
+            kv.push(("tier/slow_hits", t.slow_hits as f64));
+            kv.push(("tier/fast_hit_ratio", t.fast_hit_ratio));
+            kv.push(("tier/fast_hit_ratio_early", t.fast_hit_ratio_early));
+            kv.push(("tier/fast_hit_ratio_late", t.fast_hit_ratio_late));
+            kv.push(("tier/fast_reads", t.fast_reads as f64));
+            kv.push(("tier/fast_writes", t.fast_writes as f64));
+            kv.push(("tier/slow_reads", t.slow_reads as f64));
+            kv.push(("tier/slow_writes", t.slow_writes as f64));
+        }
         kv
     }
 }
@@ -265,6 +285,7 @@ mod tests {
             readahead_reads: 0,
             smu_prefetches: 0,
             audit: AuditReport::new(),
+            tier: None,
         };
         let kv = r.export_metrics();
         let mut names: Vec<&str> = kv.iter().map(|(n, _)| *n).collect();
@@ -275,6 +296,17 @@ mod tests {
         names.dedup();
         assert_eq!(names.len(), len, "duplicate metric names");
         assert!(kv.iter().all(|(_, v)| v.is_finite()));
+
+        // Tierless runs export no tier/* metrics (baseline parity)…
+        assert!(kv.iter().all(|(n, _)| !n.starts_with("tier/")));
+        // …while tiered runs export the full block.
+        let mut tiered = r.clone();
+        tiered.tier = Some(hwdp_tier::TierReport { promotions: 4, ..Default::default() });
+        let kv = tiered.export_metrics();
+        let get = |n: &str| kv.iter().find(|(k, _)| *k == n).map(|(_, v)| *v);
+        assert_eq!(get("tier/promotions"), Some(4.0));
+        assert_eq!(get("tier/fast_hit_ratio"), Some(0.0));
+        assert_eq!(get("tier/slow_writes"), Some(0.0));
     }
 
     #[test]

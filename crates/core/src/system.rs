@@ -15,7 +15,7 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use hwdp_cpu::perf::PerfCounters;
 use hwdp_cpu::pollution::Pollution;
 use hwdp_cpu::smt::{issue_factor, HwThreadState};
-use hwdp_mem::addr::{BlockRef, DeviceId, PageData, Pfn, SocketId, Vpn};
+use hwdp_mem::addr::{BlockRef, DeviceId, Lba, PageData, Pfn, SocketId, Vpn};
 use hwdp_mem::pte::{Pte, PteClass};
 use hwdp_mem::tlb::Tlb;
 use hwdp_mem::walker::Walker;
@@ -36,6 +36,7 @@ use hwdp_sim::rng::Prng;
 use hwdp_sim::sanitize::{AuditReport, SanitizeLevel, Sanitizer};
 use hwdp_sim::stats::LatencyHist;
 use hwdp_sim::time::{Duration, Time};
+use hwdp_tier::{MigrationPlan, TierEngine, TierReport, TierResidence};
 use hwdp_workloads::kvstore::record_header;
 use hwdp_workloads::{RegionId, Step, Workload};
 
@@ -111,6 +112,11 @@ enum Purpose {
     HwdpMiss { entry: EntryIdx },
     OsdpRead { key: (u32, u64) },
     Writeback,
+    /// Migration copy read (source tier); `key` is the page's home slow
+    /// LBA.
+    TierRead { key: u64 },
+    /// Migration copy write (destination tier).
+    TierWrite { key: u64 },
 }
 
 #[derive(Debug)]
@@ -128,6 +134,8 @@ enum Event {
     KpoolTick,
     /// `kpted` wakeup.
     KptedTick,
+    /// Tier migration-daemon wakeup (scheduled only when tiering is on).
+    TierTick,
 }
 
 struct OsdpPending {
@@ -158,6 +166,25 @@ struct DeferredIo {
     data: Option<PageData>,
     purpose: Purpose,
     attempt: u32,
+}
+
+/// Driver-side tiering state: the placement engine plus what the engine
+/// deliberately does not know — which file page each tracked key belongs
+/// to, and which in-flight copies were invalidated by a concurrent
+/// writeback.
+struct TierRuntime {
+    engine: TierEngine,
+    /// The fast tier's device ID (device 0 is always the slow tier).
+    fast_dev: DeviceId,
+    /// Migration-daemon wake period.
+    period: Duration,
+    /// Page key (home slow LBA) → owning `(file, page)`, for location
+    /// updates at commit.
+    pages: BTreeMap<u64, (FileId, u64)>,
+    /// Keys whose source copy was rewritten while their migration was in
+    /// flight; the commit observes the mark and aborts (the copy is
+    /// stale).
+    dirty_guard: BTreeSet<u64>,
 }
 
 /// An I/O failure that exhausted every recovery layer (device retries,
@@ -219,6 +246,8 @@ pub struct System {
     /// going backwards between audit points means queue state was reset
     /// mid-run).
     audit_doorbells: Vec<u64>,
+    /// Tiered-storage runtime (`None` when `cfg.tiers` is `None`).
+    tier: Option<TierRuntime>,
 }
 
 impl System {
@@ -248,9 +277,11 @@ impl System {
 
         // Device 0: a namespace 8× memory (room for any experiment's
         // dataset), pattern-backed so unwritten blocks read deterministic
-        // data.
+        // data. With tiering on, device 0 is the slow tier — data starts
+        // cold there and the fast device is attached below.
         let blocks = (cfg.memory_frames as u64) * 16;
-        let mut dev = NvmeController::new(cfg.device, rng.fork(1));
+        let dev0_profile = cfg.tiers.map_or(cfg.device, |t| t.slow);
+        let mut dev = NvmeController::new(dev0_profile, rng.fork(1));
         if let Some(faults) = cfg.faults.filter(|f| !f.is_zero()) {
             dev.set_fault_plan(faults, cfg.seed);
         }
@@ -312,7 +343,18 @@ impl System {
             io_errors_surfaced: 0,
             audit: AuditReport::new(),
             audit_doorbells: vec![0],
+            tier: None,
         };
+        if let Some(tc) = sys.cfg.tiers {
+            let fast_dev = sys.add_device(tc.fast);
+            sys.tier = Some(TierRuntime {
+                engine: TierEngine::new(tc),
+                fast_dev,
+                period: tc.period,
+                pages: BTreeMap::new(),
+                dirty_guard: BTreeSet::new(),
+            });
+        }
         // Seed the SMU's free-page queue before anything runs (the OS does
         // this when enabling fast mmap).
         if sys.cfg.mode.uses_lba_ptes() {
@@ -381,7 +423,9 @@ impl System {
 
     /// Creates a pattern-backed file on a specific device.
     pub fn create_pattern_file_on(&mut self, name: &str, device: DeviceId, pages: u64) -> FileId {
-        self.os.fs.create(name, SocketId(0), device, 1, pages)
+        let file = self.os.fs.create(name, SocketId(0), device, 1, pages);
+        self.tier_register_file(file, device, pages);
+        file
     }
 
     /// Creates a MiniDB data file: `records` verifiable record pages, with
@@ -407,7 +451,24 @@ impl System {
             page.write(0, &record_header(key, 0));
             self.devices[dev].namespace_mut(1).write_block(lba, page);
         }
+        self.tier_register_file(file, device, capacity);
         file
+    }
+
+    /// Starts hotness tracking for every block of a file homed on the
+    /// slow tier (device 0). Files created on other devices — including
+    /// the fast tier itself — are not migration candidates. No-op without
+    /// a tier configuration.
+    fn tier_register_file(&mut self, file: FileId, device: DeviceId, pages: u64) {
+        let Some(tr) = self.tier.as_mut() else { return };
+        if device != DeviceId(0) {
+            return;
+        }
+        for p in 0..pages {
+            let key = self.os.fs.lba_of(file, p).0;
+            tr.engine.register(key);
+            tr.pages.insert(key, (file, p));
+        }
     }
 
     /// Maps `file` with mode-appropriate flags (fast mmap under
@@ -454,12 +515,19 @@ impl System {
     /// SMU zero-fills without I/O; swapped-out pages come back as ordinary
     /// hardware misses from the swap blocks.
     pub fn map_anon(&mut self, pages: u64) -> RegionId {
+        self.map_anon_on(DeviceId(0), pages)
+    }
+
+    /// Maps an anonymous region whose swap blocks live on a specific
+    /// device (multi-device setups place swap next to its consumers).
+    pub fn map_anon_on(&mut self, device: DeviceId, pages: u64) -> RegionId {
         let flags = if self.cfg.mode.uses_lba_ptes() {
             MmapFlags::fast()
         } else {
             MmapFlags::normal()
         };
-        let (id, _) = self.os.mmap_anon(SocketId(0), DeviceId(0), 1, pages, flags);
+        let (id, vma) = self.os.mmap_anon(SocketId(0), device, 1, pages, flags);
+        self.tier_register_file(vma.file, device, pages);
         let region = RegionId(self.next_region);
         self.next_region += 1;
         self.region_map.insert(region, id);
@@ -537,6 +605,7 @@ impl System {
                 }
             }
             if ev.dirty {
+                self.tier_note_writeback(&ev.block);
                 let dev = self.device_of(ev.block);
                 self.devices[dev].namespace_mut(1).write_block(ev.block.lba, ev.data.clone());
             }
@@ -1216,7 +1285,12 @@ impl System {
         attempt: u32,
         submit_at: Time,
     ) {
-        if !self.fault_injection_active() || matches!(purpose, Purpose::Writeback) {
+        if !self.fault_injection_active()
+            || matches!(
+                purpose,
+                Purpose::Writeback | Purpose::TierRead { .. } | Purpose::TierWrite { .. }
+            )
+        {
             return;
         }
         let deadline = submit_at + self.cfg.retry.command_timeout;
@@ -1238,6 +1312,16 @@ impl System {
         attempt: u32,
         at: Time,
     ) -> Option<Time> {
+        // Hotness tracking observes demand reads at first submission
+        // (retries and migration I/O are invisible to placement).
+        if attempt == 0 {
+            if let Some(tr) = self.tier.as_mut() {
+                if matches!(purpose, Purpose::HwdpMiss { .. } | Purpose::OsdpRead { .. }) {
+                    let fast = DeviceId(dev as u8) == tr.fast_dev;
+                    tr.engine.record_access(fast, cmd.slba);
+                }
+            }
+        }
         match self.devices[dev].submit(qid, cmd, data.clone(), at) {
             Ok((token, done_at)) => {
                 self.queue.schedule(done_at, Event::IoDone { dev, token, purpose });
@@ -1287,6 +1371,7 @@ impl System {
             Purpose::HwdpMiss { entry } => self.escalate_hwdp(entry, now),
             Purpose::OsdpRead { key } => self.surface_osdp_error(key, now),
             Purpose::Writeback => {}
+            Purpose::TierRead { key } | Purpose::TierWrite { key } => self.tier_abort(key),
         }
     }
 
@@ -1339,6 +1424,137 @@ impl System {
                 // semantics), so a failed writeback loses nothing in-sim;
                 // a real kernel would re-dirty the page.
             }
+            Purpose::TierRead { key } => match done.read_data {
+                Some(data) if ok => self.tier_read_done(key, data, now),
+                _ => self.tier_abort(key),
+            },
+            Purpose::TierWrite { key } => {
+                if ok {
+                    self.tier_commit(key);
+                } else {
+                    self.tier_abort(key);
+                }
+            }
+        }
+    }
+
+    // ----- tier migration daemon ------------------------------------------------
+
+    /// One migration-daemon wakeup: asks the engine for a plan and starts
+    /// the copy reads. Migration I/O goes through the same submission path
+    /// as demand misses, so it contends for the OS driver queues and
+    /// device bandwidth.
+    fn tier_tick(&mut self, now: Time) {
+        let (plans, fast_dev) = {
+            let Some(tr) = self.tier.as_mut() else { return };
+            let fast_dev = tr.fast_dev;
+            let TierRuntime { engine, pages, .. } = tr;
+            let cache = &self.os.cache;
+            // Pages resident in the page cache are skipped: their next
+            // writeback would race the copy (and a cached page's hotness
+            // is invisible to the device layer anyway).
+            let plans = engine.plan_tick(|key| {
+                pages.get(&key).map_or(false, |(f, p)| cache.lookup(*f, *p).is_none())
+            });
+            (plans, fast_dev)
+        };
+        for plan in plans {
+            let (dev, slba, key) = match plan {
+                MigrationPlan::Promote { key, .. } => (0usize, key, key),
+                MigrationPlan::Demote { key, fast_lba } => {
+                    (self.device_index[&(0, fast_dev.0)], fast_lba, key)
+                }
+            };
+            self.wb_cid = self.wb_cid.wrapping_add(1);
+            let cmd = NvmeCommand::read4k(self.wb_cid, 1, slba, Pfn(0).base());
+            let qid = self.os_queues[dev];
+            self.submit_or_defer(dev, qid, cmd, None, Purpose::TierRead { key }, 0, now);
+        }
+    }
+
+    /// Migration copy read completed: write the snapshot to the
+    /// destination tier.
+    fn tier_read_done(&mut self, key: u64, data: PageData, now: Time) {
+        let Some(tr) = self.tier.as_ref() else { return };
+        let (dev, slba) = match tr.engine.residence_of(key) {
+            Some(TierResidence::PromoteInFlight(f)) => {
+                (self.device_index[&(0, tr.fast_dev.0)], f)
+            }
+            Some(TierResidence::DemoteInFlight(_)) => (0usize, key),
+            // The migration was aborted while the read was in flight.
+            _ => return,
+        };
+        self.wb_cid = self.wb_cid.wrapping_add(1);
+        let cmd = NvmeCommand::write4k(self.wb_cid, 1, slba, Pfn(0).base());
+        let qid = self.os_queues[dev];
+        self.submit_or_defer(dev, qid, cmd, Some(data), Purpose::TierWrite { key }, 0, now);
+    }
+
+    /// Migration copy write completed: transfer ownership atomically —
+    /// engine residence, file-system location, and any LBA-augmented PTEs
+    /// all flip at this virtual-time instant — unless the source copy was
+    /// invalidated under the migration, in which case the stale copy is
+    /// dropped.
+    fn tier_commit(&mut self, key: u64) {
+        let Some(tr) = self.tier.as_mut() else { return };
+        let Some(&(file, page)) = tr.pages.get(&key) else { return };
+        let dirty = tr.dirty_guard.remove(&key);
+        let loc_ok = match tr.engine.residence_of(key) {
+            Some(TierResidence::PromoteInFlight(_)) => {
+                // The page must still live on its home LBA (a remap under
+                // the copy would have changed it).
+                self.os.fs.location_override(file, page).is_none()
+                    && self.os.fs.lba_of(file, page).0 == key
+            }
+            Some(TierResidence::DemoteInFlight(f)) => {
+                self.os.fs.location_override(file, page)
+                    == Some((SocketId(0), tr.fast_dev, 1, Lba(f)))
+            }
+            _ => return,
+        };
+        if dirty || !loc_ok {
+            tr.engine.abort(key);
+            return;
+        }
+        match tr.engine.commit(key) {
+            Some(TierResidence::Fast(f)) => {
+                let block = BlockRef { socket: SocketId(0), device: tr.fast_dev, lba: Lba(f) };
+                self.os.fs.set_location(file, page, SocketId(0), tr.fast_dev, 1, Lba(f));
+                self.os.propagate_block_update(file, page, block);
+            }
+            Some(TierResidence::Slow) => {
+                let block = BlockRef { socket: SocketId(0), device: DeviceId(0), lba: Lba(key) };
+                self.os.fs.clear_location(file, page);
+                self.os.propagate_block_update(file, page, block);
+            }
+            _ => {}
+        }
+    }
+
+    /// Aborts an in-flight migration (I/O failure, timeout, or submission
+    /// that could never be accepted).
+    fn tier_abort(&mut self, key: u64) {
+        if let Some(tr) = self.tier.as_mut() {
+            tr.dirty_guard.remove(&key);
+            tr.engine.abort(key);
+        }
+    }
+
+    /// Marks a page whose source copy is being rewritten while its
+    /// migration copy is in flight; [`System::tier_commit`] observes the
+    /// mark and aborts instead of committing a stale copy.
+    fn tier_note_writeback(&mut self, block: &BlockRef) {
+        let Some(tr) = self.tier.as_mut() else { return };
+        let key = if block.device == tr.fast_dev {
+            match tr.engine.key_of_fast(block.lba.0) {
+                Some(k) => k,
+                None => return,
+            }
+        } else {
+            block.lba.0
+        };
+        if tr.engine.in_flight(key) {
+            tr.dirty_guard.insert(key);
         }
     }
 
@@ -1454,6 +1670,7 @@ impl System {
                 // Batch evictions (kpoold refills) pace their writebacks at
                 // the device's write drain rate instead of dumping the
                 // whole burst at once — the kernel's writeback throttling.
+                self.tier_note_writeback(&ev.block);
                 let dev = self.device_of(ev.block);
                 let pace = self.devices[dev].profile().write_4k
                     / self.devices[dev].profile().channels as u64;
@@ -1509,6 +1726,9 @@ impl System {
             }
             self.queue.schedule(Time::ZERO + self.cfg.kpted_period, Event::KptedTick);
         }
+        if let Some(tr) = &self.tier {
+            self.queue.schedule(Time::ZERO + tr.period, Event::TierTick);
+        }
 
         let mut end = Time::ZERO;
         while let Some(at) = self.queue.peek_time() {
@@ -1540,6 +1760,9 @@ impl System {
                             }
                             Purpose::OsdpRead { key } => self.recover_osdp(key, now),
                             Purpose::Writeback => {}
+                            Purpose::TierRead { key } | Purpose::TierWrite { key } => {
+                                self.tier_abort(key)
+                            }
                         }
                     }
                 }
@@ -1559,6 +1782,14 @@ impl System {
                     if self.active_threads > 0 {
                         self.os.kpted_scan();
                         self.queue.schedule(now + self.cfg.kpted_period, Event::KptedTick);
+                    }
+                }
+                Event::TierTick => {
+                    if self.active_threads > 0 {
+                        self.tier_tick(now);
+                        if let Some(tr) = &self.tier {
+                            self.queue.schedule(now + tr.period, Event::TierTick);
+                        }
                     }
                 }
             }
@@ -1604,6 +1835,15 @@ impl System {
         perf.io_errors_surfaced += self.io_errors_surfaced;
         let device_reads = self.devices.iter().map(|d| d.stats().reads).sum();
         let device_writes = self.devices.iter().map(|d| d.stats().writes).sum();
+        let tier = self.tier.as_ref().map(|tr| {
+            let mut t = tr.engine.report();
+            let fast = self.device_index[&(0, tr.fast_dev.0)];
+            t.fast_reads = self.devices[fast].stats().reads;
+            t.fast_writes = self.devices[fast].stats().writes;
+            t.slow_reads = self.devices[0].stats().reads;
+            t.slow_writes = self.devices[0].stats().writes;
+            t
+        });
         RunResult {
             elapsed: end.since_start(),
             ops,
@@ -1622,7 +1862,14 @@ impl System {
             readahead_reads: self.readahead_reads,
             smu_prefetches: self.smu.stats().prefetches,
             audit: self.audit.clone(),
+            tier,
         }
+    }
+
+    /// The tiering engine's current counters (`None` when tiering is
+    /// off). Device service fields are only filled in by [`System::run`].
+    pub fn tier_report(&self) -> Option<TierReport> {
+        self.tier.as_ref().map(|tr| tr.engine.report())
     }
 
     /// Direct access to the SMU (ablation benches).
@@ -1694,6 +1941,20 @@ impl System {
             (u32::MAX, u64::MAX),
             OsdpPending { vpn: Vpn(0), pfn: bogus, block, attempts: 0, waiters: Vec::new() },
         );
+    }
+
+    /// Test-only corruption hook: makes the file system claim a page
+    /// lives on the fast tier while the tiering engine still holds it
+    /// slow-resident — the cross-namespace LBA corruption the
+    /// `tier-residence-consistent` negative test injects.
+    #[cfg(test)]
+    pub(crate) fn corrupt_tier_residence_for_test(&mut self) {
+        // No-op without tiering or tracked pages: the negative test then
+        // fails loudly on its missing-violation assertion.
+        let Some(tr) = self.tier.as_ref() else { return };
+        let Some((&key, &(file, page))) = tr.pages.iter().next() else { return };
+        let fast_dev = tr.fast_dev;
+        self.os.fs.set_location(file, page, SocketId(0), fast_dev, 1, Lba(key));
     }
 }
 
@@ -1777,7 +2038,36 @@ impl Sanitizer for System {
                         },
                     );
                 }
-                Purpose::Writeback => {}
+                Purpose::Writeback | Purpose::TierRead { .. } | Purpose::TierWrite { .. } => {}
+            }
+        }
+        // Tier layer: the engine's own invariants (capacity, ownership
+        // bijection), plus the cross-layer residence check — what the
+        // engine believes about a page's placement must agree with the
+        // file system's per-page location override, or reads would be
+        // routed to a block the tier layer does not own.
+        if let Some(tr) = &self.tier {
+            tr.engine.sanitize(level, report);
+            if level.full_checks() {
+                for (&key, &(file, page)) in &tr.pages {
+                    let over = self.os.fs.location_override(file, page);
+                    let res = tr.engine.residence_of(key);
+                    let ok = match res {
+                        Some(TierResidence::Slow | TierResidence::PromoteInFlight(_)) | None => {
+                            over.is_none()
+                        }
+                        Some(TierResidence::Fast(f) | TierResidence::DemoteInFlight(f)) => {
+                            over == Some((SocketId(0), tr.fast_dev, 1, Lba(f)))
+                        }
+                    };
+                    report.check("core", "tier-residence-consistent", ok, || {
+                        format!(
+                            "page key {key} (file {} page {page}): engine residence {res:?} \
+                             disagrees with fs location override {over:?}",
+                            file.0
+                        )
+                    });
+                }
             }
         }
         // Clean-exit drain: once every thread finished, no in-flight fault
@@ -1896,6 +2186,14 @@ impl SystemBuilder {
         self
     }
 
+    /// Enables tiered storage: device 0 becomes the slow tier (profile
+    /// `cfg.slow`), a fast device is attached at construction, and the
+    /// hot/cold migration daemon wakes every `cfg.period`.
+    pub fn tiers(mut self, cfg: hwdp_tier::TierConfig) -> Self {
+        self.cfg.tiers = Some(cfg);
+        self
+    }
+
     /// Sets the master seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.cfg.seed = seed;
@@ -1987,5 +2285,105 @@ mod tests {
         sys.run_audit();
         assert!(sys.audit_report().is_clean());
         assert_eq!(sys.audit_doorbells, before, "idle audit sees unchanged doorbells");
+    }
+
+    #[test]
+    fn add_device_registers_controller_queues_and_doorbells() {
+        let mut sys = SystemBuilder::new(Mode::Hwdp).memory_frames(128).seed(3).build();
+        let id = sys.add_device(DeviceProfile::OPTANE_PMM);
+        assert_eq!(id, DeviceId(1));
+        assert_eq!(sys.devices.len(), 2);
+        assert_eq!(sys.os_queues.len(), 2);
+        assert_eq!(sys.deferred_io.len(), 2);
+        assert_eq!(sys.audit_doorbells.len(), 2);
+        assert_eq!(sys.device_index[&(0, 1)], 1);
+        // The SMU got its own descriptor register set for the new device,
+        // with doorbell addresses disjoint from device 0's.
+        let d0 = sys.smu().host.descriptor(DeviceId(0)).expect("device 0 installed").clone();
+        let d1 = sys.smu().host.descriptor(DeviceId(1)).expect("device 1 installed").clone();
+        assert_ne!(d0.sq_doorbell, d1.sq_doorbell);
+        assert_ne!(d0.cq_doorbell, d1.cq_doorbell);
+    }
+
+    #[test]
+    fn cross_device_reads_serve_from_the_added_device() {
+        let mut sys = SystemBuilder::new(Mode::Hwdp).memory_frames(256).seed(9).build();
+        let second = sys.add_device(DeviceProfile::OPTANE_PMM);
+        let file = sys.create_pattern_file_on("second.dat", second, 512);
+        let region = sys.map_file(file);
+        let rng = sys.fork_rng();
+        sys.spawn(Box::new(FioRandRead::new(region, 512, 200, rng)), 1.5, None);
+        let r = sys.run(Duration::from_millis(400));
+        assert!(r.ops > 0, "workload made progress");
+        assert_eq!(r.verify_failures(), 0, "pattern data verified across devices");
+        assert!(sys.devices[1].stats().reads > 0, "misses served by the added device");
+        assert_eq!(sys.devices[0].stats().reads, 0, "device 0 holds no data for this run");
+    }
+
+    fn tier_config(policy: hwdp_tier::PolicyKind) -> hwdp_tier::TierConfig {
+        hwdp_tier::TierConfig {
+            fast: DeviceProfile::OPTANE_PMM,
+            slow: DeviceProfile::Z_SSD,
+            cap_pct: 25,
+            policy,
+            period: Duration::from_micros(100),
+            batch: 8,
+        }
+    }
+
+    fn tiered_system(level: SanitizeLevel) -> System {
+        let mut sys = SystemBuilder::new(Mode::Hwdp)
+            .memory_frames(128)
+            .seed(21)
+            .sanitize(level)
+            .tiers(tier_config(hwdp_tier::PolicyKind::LruEpoch))
+            .build();
+        let file = sys.create_pattern_file("tier.dat", 512);
+        let region = sys.map_file(file);
+        let rng = sys.fork_rng();
+        sys.spawn(Box::new(FioRandRead::new(region, 512, 1500, rng)), 1.5, None);
+        sys
+    }
+
+    #[test]
+    fn tiering_migrates_pages_and_audits_clean_end_to_end() {
+        let mut sys = tiered_system(SanitizeLevel::Full);
+        let r = sys.run(Duration::from_millis(2000));
+        assert!(r.ops > 0);
+        assert_eq!(r.verify_failures(), 0, "data survives migration");
+        assert!(r.audit.is_clean(), "{:?}", r.audit.violations);
+        let t = r.tier.expect("tier report present when tiering is on");
+        assert!(t.promotions > 0, "hot pages promoted: {t:?}");
+        assert!(t.fast_hits > 0, "promoted pages served demand misses: {t:?}");
+        assert!(t.fast_reads > 0 && t.slow_reads > 0, "both tiers serviced I/O: {t:?}");
+        let kv = r.export_metrics();
+        assert!(kv.iter().any(|(n, v)| *n == "tier/promotions" && *v > 0.0));
+    }
+
+    #[test]
+    fn tierless_runs_export_no_tier_metrics() {
+        let mut sys = small_system(SanitizeLevel::Off);
+        let r = sys.run(Duration::from_millis(100));
+        assert!(r.tier.is_none());
+        assert!(r.export_metrics().iter().all(|(n, _)| !n.starts_with("tier/")));
+    }
+
+    #[test]
+    fn negative_cross_namespace_location_corruption_detected() {
+        // Injected corruption: the fs claims a page lives on the fast
+        // tier while the engine still owns it on the slow tier — reads
+        // would be routed to an LBA the tier layer never wrote.
+        let mut sys = tiered_system(SanitizeLevel::Full);
+        sys.corrupt_tier_residence_for_test();
+        sys.run_audit();
+        let report = sys.audit_report();
+        assert!(!report.is_clean());
+        let v = report
+            .violations
+            .iter()
+            .find(|v| v.invariant == "tier-residence-consistent")
+            .expect("cross-namespace corruption detected");
+        assert_eq!(v.layer, "core");
+        assert!(v.message.contains("disagrees with fs location override"));
     }
 }

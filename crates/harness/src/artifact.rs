@@ -219,7 +219,7 @@ fn parse_job(j: &Json, fallback_index: usize) -> Result<JobRecord, String> {
         "SW-only" => Mode::SwOnly,
         other => return Err(format!("unknown mode {other}")),
     };
-    let device = DeviceKind::parse(req_str("device")?).ok_or("unknown device")?;
+    let device = DeviceKind::parse(req_str("device")?)?;
     let seed = parse_hex_seed(cfg.get("seed").and_then(Json::as_str)).ok_or("malformed seed")?;
 
     let spec = JobSpec {
@@ -246,6 +246,13 @@ fn parse_job(j: &Json, fallback_index: usize) -> Result<JobRecord, String> {
             Some(s) => Some(
                 hwdp_nvme::fault::FaultConfig::parse(s)
                     .ok_or(format!("malformed faults: {s}"))?,
+            ),
+            None => None,
+        },
+        tiers: match cfg.get("tiers").and_then(Json::as_str) {
+            Some(s) => Some(
+                crate::spec::TierSpec::parse(s)
+                    .map_err(|e| format!("malformed tiers: {e}"))?,
             ),
             None => None,
         },
@@ -331,6 +338,20 @@ mod tests {
     #[test]
     fn file_name_follows_convention() {
         assert_eq!(sample().file_name(), "BENCH_unit.json");
+    }
+
+    #[test]
+    fn tiers_round_trip_and_stay_absent_when_unset() {
+        let mut a = sample();
+        a.jobs[0].spec.tiers =
+            Some(crate::spec::TierSpec::parse("fast:pmm,slow:zssd,cap:10").unwrap());
+        let text = a.to_json_string();
+        assert!(text.contains("\"tiers\": \"fast:pmm,slow:zssd,cap:10\""));
+        let parsed = Artifact::parse(&text).unwrap();
+        assert_eq!(parsed, a);
+        // The tierless job in the same artifact carries no tiers field.
+        let tierless = sample();
+        assert!(!tierless.to_json_string().contains("tiers"));
     }
 
     #[test]

@@ -64,5 +64,6 @@ pub use executor::{execute, execute_campaign, execute_campaign_resume, JobOutcom
 pub use json::Json;
 pub use progress::Progress;
 pub use seed::{job_seed, repeat_seed};
-pub use spec::{Campaign, DeviceKind, Grid, JobSpec, Scenario, SmtPartner};
+pub use hwdp_tier::PolicyKind;
+pub use spec::{Campaign, DeviceKind, Grid, JobSpec, Scenario, SmtPartner, TierSpec};
 pub use stats::{summarize, t95, Summary};

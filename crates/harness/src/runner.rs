@@ -129,6 +129,9 @@ pub fn simulate(spec: &JobSpec) -> RunResult {
     if let Some(faults) = spec.effective_faults() {
         builder = builder.faults(faults);
     }
+    if let Some(tiers) = spec.tiers {
+        builder = builder.tiers(tiers.to_config());
+    }
     if matches!(spec.scenario, Scenario::SmtCorun(_)) {
         // The Fig. 16 co-location squeezes the workload threads plus the
         // SPEC partner onto as few physical cores as they need — one core

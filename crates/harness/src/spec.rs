@@ -10,7 +10,9 @@ use crate::seed::job_seed;
 use hwdp_core::Mode;
 use hwdp_nvme::fault::FaultConfig;
 use hwdp_nvme::profile::DeviceProfile;
+use hwdp_sim::time::Duration;
 use hwdp_sim::SanitizeLevel;
+use hwdp_tier::PolicyKind;
 use hwdp_workloads::{SpecProfile, YcsbKind};
 
 /// The SPEC CPU 2017 kernel co-located with FIO in the Fig. 16 SMT
@@ -153,6 +155,10 @@ pub enum DeviceKind {
 }
 
 impl DeviceKind {
+    /// Every device kind, in artifact order.
+    pub const ALL: [DeviceKind; 3] =
+        [DeviceKind::ZSsd, DeviceKind::OptaneSsd, DeviceKind::OptanePmm];
+
     /// Stable identifier used in artifacts and on the CLI.
     pub fn name(self) -> &'static str {
         match self {
@@ -162,13 +168,18 @@ impl DeviceKind {
         }
     }
 
-    /// Parses a device identifier.
-    pub fn parse(s: &str) -> Option<DeviceKind> {
+    /// Parses a device identifier (the inverse of [`DeviceKind::name`],
+    /// plus hyphenated aliases). The error names every accepted
+    /// identifier, so CLI typos are self-explaining.
+    pub fn parse(s: &str) -> Result<DeviceKind, String> {
         match s {
-            "zssd" => Some(DeviceKind::ZSsd),
-            "optane" => Some(DeviceKind::OptaneSsd),
-            "pmm" => Some(DeviceKind::OptanePmm),
-            _ => None,
+            "zssd" | "z-ssd" => Ok(DeviceKind::ZSsd),
+            "optane" | "optane-ssd" => Ok(DeviceKind::OptaneSsd),
+            "pmm" | "optane-pmm" => Ok(DeviceKind::OptanePmm),
+            other => Err(format!(
+                "unknown device '{other}' (accepted: zssd, optane, pmm; \
+                 aliases: z-ssd, optane-ssd, optane-pmm)"
+            )),
         }
     }
 
@@ -178,6 +189,123 @@ impl DeviceKind {
             DeviceKind::ZSsd => DeviceProfile::Z_SSD,
             DeviceKind::OptaneSsd => DeviceProfile::OPTANE_SSD,
             DeviceKind::OptanePmm => DeviceProfile::OPTANE_PMM,
+        }
+    }
+}
+
+/// Tiered-storage knob: which device profiles form the fast/slow pair
+/// plus the migration daemon's parameters. Serialized canonically (like
+/// `faults`) so artifacts stay diffable; defaults are omitted from the
+/// canonical form.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct TierSpec {
+    /// Fast-tier device (attached as device 1).
+    pub fast: DeviceKind,
+    /// Slow-tier device (replaces device 0's profile; data homes here).
+    pub slow: DeviceKind,
+    /// Fast-tier capacity as a percentage of the tracked pages.
+    pub cap_pct: u32,
+    /// Placement policy.
+    pub policy: PolicyKind,
+    /// Migration-daemon wake period in microseconds.
+    pub period_us: u64,
+    /// Max promotions (and, separately, demotions) per tick.
+    pub batch: usize,
+}
+
+impl TierSpec {
+    const DEFAULT_CAP_PCT: u32 = 25;
+    const DEFAULT_PERIOD_US: u64 = 150;
+    const DEFAULT_BATCH: usize = 8;
+
+    /// A tier pair with default daemon parameters (25 % capacity,
+    /// threshold policy, 150 µs period, batch 8).
+    pub fn new(fast: DeviceKind, slow: DeviceKind) -> TierSpec {
+        TierSpec {
+            fast,
+            slow,
+            cap_pct: Self::DEFAULT_CAP_PCT,
+            policy: PolicyKind::Threshold,
+            period_us: Self::DEFAULT_PERIOD_US,
+            batch: Self::DEFAULT_BATCH,
+        }
+    }
+
+    /// Canonical `--tiers` syntax: `fast:<dev>,slow:<dev>` plus any
+    /// non-default knob (`cap:<pct>`, `policy:<name>`, `period:<us>`,
+    /// `batch:<n>`), in fixed order.
+    pub fn canonical(&self) -> String {
+        let mut s = format!("fast:{},slow:{}", self.fast.name(), self.slow.name());
+        if self.cap_pct != Self::DEFAULT_CAP_PCT {
+            s.push_str(&format!(",cap:{}", self.cap_pct));
+        }
+        if self.policy != PolicyKind::Threshold {
+            s.push_str(&format!(",policy:{}", self.policy.name()));
+        }
+        if self.period_us != Self::DEFAULT_PERIOD_US {
+            s.push_str(&format!(",period:{}", self.period_us));
+        }
+        if self.batch != Self::DEFAULT_BATCH {
+            s.push_str(&format!(",batch:{}", self.batch));
+        }
+        s
+    }
+
+    /// Parses the [`TierSpec::canonical`] syntax. `fast:` and `slow:` are
+    /// required; the remaining knobs default.
+    pub fn parse(s: &str) -> Result<TierSpec, String> {
+        let mut fast = None;
+        let mut slow = None;
+        let mut spec = TierSpec::new(DeviceKind::OptanePmm, DeviceKind::ZSsd);
+        for part in s.split(',').filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once(':')
+                .ok_or_else(|| format!("tier knob '{part}' is not key:value"))?;
+            match key {
+                "fast" => fast = Some(DeviceKind::parse(value)?),
+                "slow" => slow = Some(DeviceKind::parse(value)?),
+                "cap" => {
+                    spec.cap_pct = value
+                        .parse()
+                        .map_err(|_| format!("tier cap '{value}' is not a percentage"))?
+                }
+                "policy" => {
+                    spec.policy = PolicyKind::parse(value).ok_or_else(|| {
+                        format!("unknown tier policy '{value}' (accepted: static, lru, threshold)")
+                    })?
+                }
+                "period" => {
+                    spec.period_us = value
+                        .parse()
+                        .map_err(|_| format!("tier period '{value}' is not microseconds"))?
+                }
+                "batch" => {
+                    spec.batch = value
+                        .parse()
+                        .map_err(|_| format!("tier batch '{value}' is not a count"))?
+                }
+                other => {
+                    return Err(format!(
+                        "unknown tier knob '{other}' (accepted: fast, slow, cap, policy, \
+                         period, batch)"
+                    ))
+                }
+            }
+        }
+        spec.fast = fast.ok_or("tier spec needs fast:<device>")?;
+        spec.slow = slow.ok_or("tier spec needs slow:<device>")?;
+        Ok(spec)
+    }
+
+    /// The simulator-level configuration.
+    pub fn to_config(&self) -> hwdp_tier::TierConfig {
+        hwdp_tier::TierConfig {
+            fast: self.fast.profile(),
+            slow: self.slow.profile(),
+            cap_pct: self.cap_pct,
+            policy: self.policy,
+            period: Duration::from_micros(self.period_us),
+            batch: self.batch,
         }
     }
 }
@@ -240,6 +368,11 @@ pub struct JobSpec {
     /// omitted from the JSON artifact, because such a run is byte-identical
     /// to a fault-free one.
     pub faults: Option<FaultConfig>,
+    /// Tiered-storage configuration (`None` = the single-device system).
+    /// Pay-as-you-go like `faults`: omitted from the JSON artifact when
+    /// unset, so tierless campaigns stay byte-identical to baselines
+    /// captured before the knob existed.
+    pub tiers: Option<TierSpec>,
     /// Simulator master seed (derived from the campaign seed).
     pub seed: u64,
     /// hwdp-audit sanitizer level (observation-only; excluded from
@@ -269,6 +402,7 @@ impl PartialEq for JobSpec {
             && self.long_io_timeout_us == other.long_io_timeout_us
             && self.time_cap_ms == other.time_cap_ms
             && self.effective_faults() == other.effective_faults()
+            && self.tiers == other.tiers
             && self.seed == other.seed
     }
 }
@@ -298,6 +432,7 @@ impl JobSpec {
             long_io_timeout_us: None,
             time_cap_ms: 30_000,
             faults: None,
+            tiers: None,
             seed,
             sanitize: SanitizeLevel::Off,
         }
@@ -367,6 +502,9 @@ impl JobSpec {
         }
         if let Some(f) = self.effective_faults() {
             fields.push(("faults", Json::Str(f.canonical())));
+        }
+        if let Some(t) = self.tiers {
+            fields.push(("tiers", Json::Str(t.canonical())));
         }
         Json::obj(fields)
     }
@@ -500,6 +638,12 @@ impl Grid {
         self
     }
 
+    /// Enables tiered storage on every job.
+    pub fn tiers(mut self, spec: TierSpec) -> Grid {
+        self.template.tiers = Some(spec);
+        self
+    }
+
     /// Gives every job the campaign seed itself instead of a per-index
     /// derived seed. Used when reproducing figure tables whose historical
     /// runs all shared one master seed.
@@ -567,10 +711,75 @@ mod tests {
 
     #[test]
     fn device_names_round_trip() {
-        for d in [DeviceKind::ZSsd, DeviceKind::OptaneSsd, DeviceKind::OptanePmm] {
-            assert_eq!(DeviceKind::parse(d.name()), Some(d));
+        for d in DeviceKind::ALL {
+            assert_eq!(DeviceKind::parse(d.name()), Ok(d));
         }
-        assert!(DeviceKind::parse("floppy").is_none());
+        // Hyphenated profile aliases resolve too.
+        assert_eq!(DeviceKind::parse("z-ssd"), Ok(DeviceKind::ZSsd));
+        assert_eq!(DeviceKind::parse("optane-ssd"), Ok(DeviceKind::OptaneSsd));
+        assert_eq!(DeviceKind::parse("optane-pmm"), Ok(DeviceKind::OptanePmm));
+        // The error names every accepted identifier.
+        let err = DeviceKind::parse("floppy").unwrap_err();
+        assert!(err.contains("floppy"));
+        for name in ["zssd", "optane", "pmm"] {
+            assert!(err.contains(name), "error lists '{name}': {err}");
+        }
+    }
+
+    #[test]
+    fn tier_spec_canonical_round_trips() {
+        let t = TierSpec::new(DeviceKind::OptanePmm, DeviceKind::ZSsd);
+        assert_eq!(t.canonical(), "fast:pmm,slow:zssd", "defaults are omitted");
+        assert_eq!(TierSpec::parse(&t.canonical()), Ok(t));
+
+        let full = TierSpec {
+            fast: DeviceKind::OptaneSsd,
+            slow: DeviceKind::ZSsd,
+            cap_pct: 10,
+            policy: PolicyKind::LruEpoch,
+            period_us: 500,
+            batch: 4,
+        };
+        assert_eq!(full.canonical(), "fast:optane,slow:zssd,cap:10,policy:lru,period:500,batch:4");
+        assert_eq!(TierSpec::parse(&full.canonical()), Ok(full));
+
+        assert!(TierSpec::parse("fast:pmm").is_err(), "slow is required");
+        assert!(TierSpec::parse("fast:pmm,slow:zssd,warp:9").is_err(), "unknown knob rejected");
+        assert!(TierSpec::parse("fast:floppy,slow:zssd").is_err(), "bad device rejected");
+    }
+
+    #[test]
+    fn tier_spec_to_config_carries_every_knob() {
+        let t = TierSpec::parse("fast:pmm,slow:zssd,cap:30,policy:lru,period:200,batch:2")
+            .expect("parses");
+        let c = t.to_config();
+        assert_eq!(c.fast.name, DeviceProfile::OPTANE_PMM.name);
+        assert_eq!(c.slow.name, DeviceProfile::Z_SSD.name);
+        assert_eq!(c.cap_pct, 30);
+        assert_eq!(c.policy, PolicyKind::LruEpoch);
+        assert_eq!(c.period, Duration::from_micros(200));
+        assert_eq!(c.batch, 2);
+    }
+
+    #[test]
+    fn tiers_distinguish_jobs_and_serialize_only_when_set() {
+        let a = JobSpec::new(Scenario::FioRand, Mode::Hwdp, 3);
+        let mut b = a;
+        b.tiers = Some(TierSpec::new(DeviceKind::OptanePmm, DeviceKind::ZSsd));
+        assert_ne!(a, b, "tiering changes the simulated system");
+        assert_eq!(a.to_json().get("tiers"), None, "tierless jobs omit the field");
+        assert_eq!(
+            b.to_json().get("tiers").and_then(Json::as_str),
+            Some("fast:pmm,slow:zssd"),
+            "tiered jobs serialize in --tiers syntax"
+        );
+    }
+
+    #[test]
+    fn grid_tiers_apply_to_every_job() {
+        let t = TierSpec::new(DeviceKind::OptanePmm, DeviceKind::ZSsd);
+        let c = Grid::new("t", 1).ratios([2.0, 4.0]).tiers(t).expand();
+        assert!(c.jobs.iter().all(|j| j.tiers == Some(t)));
     }
 
     #[test]

@@ -18,14 +18,14 @@ use crate::lexer::{lex, TokKind, Token};
 /// Crates on the simulation path: their container iteration order, clock
 /// sources, and threading discipline decide whether a campaign replays
 /// byte-identically.
-pub const SIM_PATH_CRATES: [&str; 8] =
-    ["sim", "mem", "nvme", "smu", "os", "cpu", "core", "workloads"];
+pub const SIM_PATH_CRATES: [&str; 9] =
+    ["sim", "mem", "nvme", "smu", "os", "cpu", "core", "workloads", "tier"];
 
 /// Crates that must register hwdp-audit sanitizer checkers (an
 /// `impl … Sanitizer for …` somewhere in their `src/` tree). These are
 /// the layers whose invariants the cross-layer audit covers; a crate
 /// dropping its registration silently would hollow out `--sanitize=full`.
-pub const AUDIT_REQUIRED_CRATES: [&str; 5] = ["core", "mem", "nvme", "os", "smu"];
+pub const AUDIT_REQUIRED_CRATES: [&str; 6] = ["core", "mem", "nvme", "os", "smu", "tier"];
 
 /// Where a source file sits in the workspace, for rule scoping.
 #[derive(Clone, Debug)]
@@ -121,7 +121,7 @@ pub const RULES: [RuleInfo; 10] = [
     RuleInfo {
         id: "audit-coverage",
         summary: "audited sim-path crates must register an `impl ... Sanitizer for ...` checker",
-        scope: "core, mem, nvme, os, smu",
+        scope: "core, mem, nvme, os, smu, tier",
     },
 ];
 

@@ -43,6 +43,9 @@ pub struct MiniFs {
     next_lba: std::collections::BTreeMap<(u8, u8), u64>,
     /// Device capacities in blocks, for allocation checks.
     capacity: std::collections::BTreeMap<(u8, u8), u64>,
+    /// Per-page location overrides: a page migrated off its home device
+    /// (tiered storage) resolves here first; absent means home placement.
+    overrides: std::collections::BTreeMap<(u32, u64), (SocketId, DeviceId, u32, Lba)>,
 }
 
 impl MiniFs {
@@ -190,12 +193,52 @@ impl MiniFs {
         *next += 1;
         let f = &mut self.files[file.0 as usize];
         let old = std::mem::replace(&mut f.blocks[page as usize], new);
-        (old, new, f.lba_mapped)
+        let mapped = f.lba_mapped;
+        // A home-block remap supersedes any migration override; an
+        // in-flight migration sees the location change and aborts.
+        self.overrides.remove(&(file.0, page));
+        (old, new, mapped)
     }
 
     /// Blocks allocated on a device so far.
     pub fn device_used(&self, socket: SocketId, device: DeviceId) -> u64 {
         *self.next_lba.get(&(socket.0, device.0)).unwrap_or(&0)
+    }
+
+    /// The `(socket, device, nsid, lba)` where `page` of `file` currently
+    /// lives: its migration override when one is set, otherwise its home
+    /// placement.
+    pub fn location(&self, file: FileId, page: u64) -> (SocketId, DeviceId, u32, Lba) {
+        if let Some(loc) = self.overrides.get(&(file.0, page)) {
+            return *loc;
+        }
+        let f = &self.files[file.0 as usize];
+        (f.socket, f.device, f.nsid, f.blocks[page as usize])
+    }
+
+    /// Moves a page's current location off its home device (a tier
+    /// migration committed). The home block mapping is retained so a later
+    /// [`MiniFs::clear_location`] restores it.
+    pub fn set_location(
+        &mut self,
+        file: FileId,
+        page: u64,
+        socket: SocketId,
+        device: DeviceId,
+        nsid: u32,
+        lba: Lba,
+    ) {
+        self.overrides.insert((file.0, page), (socket, device, nsid, lba));
+    }
+
+    /// Restores a page's location to its home placement (demotion).
+    pub fn clear_location(&mut self, file: FileId, page: u64) {
+        self.overrides.remove(&(file.0, page));
+    }
+
+    /// The raw migration override for a page, if any (audit cross-checks).
+    pub fn location_override(&self, file: FileId, page: u64) -> Option<(SocketId, DeviceId, u32, Lba)> {
+        self.overrides.get(&(file.0, page)).copied()
     }
 }
 
@@ -251,6 +294,32 @@ mod tests {
         fs.register_device(SocketId(2), DeviceId(3), 100);
         let f = fs.create("x", SocketId(2), DeviceId(3), 7, 1);
         assert_eq!(fs.home(f), (SocketId(2), DeviceId(3), 7));
+    }
+
+    #[test]
+    fn location_overrides_resolve_and_clear() {
+        let mut fs = fs_with_device();
+        fs.register_device(SocketId(0), DeviceId(1), 100);
+        let f = fs.create("f", SocketId(0), DeviceId(0), 1, 4);
+        assert_eq!(fs.location(f, 2), (SocketId(0), DeviceId(0), 1, Lba(2)));
+        fs.set_location(f, 2, SocketId(0), DeviceId(1), 1, Lba(7));
+        assert_eq!(fs.location(f, 2), (SocketId(0), DeviceId(1), 1, Lba(7)));
+        assert_eq!(fs.location_override(f, 2), Some((SocketId(0), DeviceId(1), 1, Lba(7))));
+        assert_eq!(fs.lba_of(f, 2), Lba(2), "home mapping retained under the override");
+        fs.clear_location(f, 2);
+        assert_eq!(fs.location(f, 2), (SocketId(0), DeviceId(0), 1, Lba(2)));
+        assert_eq!(fs.location_override(f, 2), None);
+    }
+
+    #[test]
+    fn remap_supersedes_location_override() {
+        let mut fs = fs_with_device();
+        fs.register_device(SocketId(0), DeviceId(1), 100);
+        let f = fs.create("f", SocketId(0), DeviceId(0), 1, 4);
+        fs.set_location(f, 1, SocketId(0), DeviceId(1), 1, Lba(3));
+        let (_, new, _) = fs.remap_page(f, 1);
+        assert_eq!(fs.location_override(f, 1), None);
+        assert_eq!(fs.location(f, 1), (SocketId(0), DeviceId(0), 1, new));
     }
 
     #[test]

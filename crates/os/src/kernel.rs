@@ -173,11 +173,11 @@ impl Os {
     /// pages, the reserved [`hwdp_mem::addr::Lba::ANON_ZERO`] constant for
     /// never-written anonymous pages (§V).
     pub fn block_for(&self, file: FileId, page: u64) -> BlockRef {
-        let (socket, device, _) = self.fs.home(file);
+        let (socket, device, _, lba) = self.fs.location(file, page);
         let lba = if self.fs.is_anon(file) && !self.fs.is_swap_initialized(file, page) {
             hwdp_mem::addr::Lba::ANON_ZERO
         } else {
-            self.fs.lba_of(file, page)
+            lba
         };
         BlockRef::new(socket, device, lba)
     }
@@ -296,10 +296,11 @@ impl Os {
             if dirty && self.fs.is_anon(v.file) {
                 self.fs.mark_swap_initialized(v.file, v.page);
             }
-            // Writebacks always target the real block; the PTE gets the
-            // sentinel again only if the anon page is still never-written.
-            let (socket, device, _) = self.fs.home(v.file);
-            let wb_block = BlockRef::new(socket, device, self.fs.lba_of(v.file, v.page));
+            // Writebacks always target the page's current block (its tier
+            // migration override, if any); the PTE gets the sentinel again
+            // only if the anon page is still never-written.
+            let (socket, device, _, lba) = self.fs.location(v.file, v.page);
+            let wb_block = BlockRef::new(socket, device, lba);
             let pte_block = self.block_for(v.file, v.page);
             let data = self.frames.snapshot(v.pfn);
             if let Some(vpn) = v.vpn {
@@ -334,21 +335,25 @@ impl Os {
         let (old, new, propagate) = self.fs.remap_page(file, page);
         if propagate {
             let (socket, device, _) = self.fs.home(file);
-            let block = BlockRef::new(socket, device, new);
-            for (_, vma) in self.aspace.iter().collect::<Vec<_>>() {
-                if vma.file != file {
-                    continue;
-                }
-                let Some(vpn) = vma.vpn_of_file_page(page) else { continue };
-                if self.page_table.pte(vpn).class()
-                    == hwdp_mem::pte::PteClass::LbaAugmented
-                {
-                    self.page_table.update_pte(vpn, |p| p.evict_to(block));
-                }
-            }
-            self.acct.app_kernel_instr += 120;
+            self.propagate_block_update(file, page, BlockRef::new(socket, device, new));
         }
         (old, new)
+    }
+
+    /// Rewrites every LBA-augmented PTE mapping `(file, page)` to point at
+    /// `block`. Shared by block remaps (§IV-B) and tier-migration commits,
+    /// both of which move a non-resident page's backing store.
+    pub fn propagate_block_update(&mut self, file: FileId, page: u64, block: BlockRef) {
+        for (_, vma) in self.aspace.iter().collect::<Vec<_>>() {
+            if vma.file != file {
+                continue;
+            }
+            let Some(vpn) = vma.vpn_of_file_page(page) else { continue };
+            if self.page_table.pte(vpn).class() == hwdp_mem::pte::PteClass::LbaAugmented {
+                self.page_table.update_pte(vpn, |p| p.evict_to(block));
+            }
+        }
+        self.acct.app_kernel_instr += 120;
     }
 
     /// §V: a process `fork()` reverts the area's LBA-augmented PTEs to
@@ -500,8 +505,7 @@ impl Os {
             if pte.is_present() {
                 let pfn = pte.pfn().expect("present");
                 let file_page = vma.file_page(vpn);
-                let (socket, device, _) = self.fs.home(vma.file);
-                let lba = self.fs.lba_of(vma.file, file_page);
+                let (socket, device, _, lba) = self.fs.location(vma.file, file_page);
                 let dirty = self.frames.is_dirty(pfn) || pte.is_dirty();
                 if dirty && self.fs.is_anon(vma.file) {
                     self.fs.mark_swap_initialized(vma.file, file_page);
@@ -540,8 +544,7 @@ impl Os {
             if let Some(pfn) = pte.pfn() {
                 if self.frames.is_dirty(pfn) || pte.is_dirty() {
                     let file_page = vma.file_page(vpn);
-                    let (socket, device, _) = self.fs.home(vma.file);
-                    let lba = self.fs.lba_of(vma.file, file_page);
+                    let (socket, device, _, lba) = self.fs.location(vma.file, file_page);
                     if self.fs.is_anon(vma.file) {
                         self.fs.mark_swap_initialized(vma.file, file_page);
                     }

@@ -1,0 +1,860 @@
+//! hwdp-tier: tiered storage with hot/cold page migration.
+//!
+//! The paper evaluates HWDP against three device classes one at a time;
+//! this crate turns the single-device reproduction into a storage
+//! hierarchy: a *fast* and a *slow* NVMe device, a per-page hotness
+//! tracker, and a virtual-time migration engine that promotes hot pages
+//! into the (capacity-limited) fast tier and demotes cold ones back.
+//!
+//! The engine is deliberately device-agnostic: it reasons about pages by
+//! their *home LBA on the slow tier* (a stable `u64` key), decides *what*
+//! to move, and leaves the *how* — issuing real NVMe reads and writes so
+//! migration traffic contends with demand misses — to the system driver.
+//! Placement decisions sit behind the [`PlacementPolicy`] trait so
+//! static, LRU-epoch, and promotion-threshold policies are swappable
+//! research knobs (the Virtuoso methodology), not constants.
+//!
+//! Ownership discipline: every page is owned by exactly one tier at any
+//! virtual-time instant. A migration holds the page in an explicit
+//! in-flight state (`PromoteInFlight` / `DemoteInFlight`) while its copy
+//! I/O is outstanding and transfers ownership atomically at commit; the
+//! [`Sanitizer`] impl audits the fast-LBA ownership bijection and the
+//! capacity bound, and the system driver cross-checks engine residence
+//! against the file system's per-page location overrides.
+
+use std::collections::BTreeMap;
+
+use hwdp_nvme::profile::DeviceProfile;
+use hwdp_sim::sanitize::{AuditReport, SanitizeLevel, Sanitizer};
+use hwdp_sim::time::Duration;
+
+/// Which placement policy drives migration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum PolicyKind {
+    /// Never migrate: pages stay on their home (slow) tier. The control
+    /// arm of any policy comparison.
+    Static,
+    /// Promote pages touched in the current epoch, demote pages idle for
+    /// a fixed number of epochs (classic epoch-LRU).
+    LruEpoch,
+    /// Promote pages whose decayed access count crosses a threshold,
+    /// demote pages whose count decayed to zero.
+    #[default]
+    Threshold,
+}
+
+impl PolicyKind {
+    /// Stable lower-case name (CLI value and artifact key).
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Static => "static",
+            PolicyKind::LruEpoch => "lru",
+            PolicyKind::Threshold => "threshold",
+        }
+    }
+
+    /// Parses a policy name produced by [`PolicyKind::name`].
+    pub fn parse(s: &str) -> Option<PolicyKind> {
+        match s {
+            "static" => Some(PolicyKind::Static),
+            "lru" | "lru-epoch" => Some(PolicyKind::LruEpoch),
+            "threshold" => Some(PolicyKind::Threshold),
+            _ => None,
+        }
+    }
+
+    /// Every policy, in deterministic grid order.
+    pub const ALL: [PolicyKind; 3] =
+        [PolicyKind::Static, PolicyKind::LruEpoch, PolicyKind::Threshold];
+}
+
+/// Full tiering configuration the system driver builds a hierarchy from.
+#[derive(Clone, Copy, Debug)]
+pub struct TierConfig {
+    /// The fast tier's device (extra controller added at construction).
+    pub fast: DeviceProfile,
+    /// The slow tier's device (replaces the configured home device so
+    /// data starts cold on the slow tier).
+    pub slow: DeviceProfile,
+    /// Fast-tier capacity as a percentage of the tracked page population.
+    pub cap_pct: u32,
+    /// The placement policy.
+    pub policy: PolicyKind,
+    /// Virtual-time period between migration-daemon ticks.
+    pub period: Duration,
+    /// Maximum promotions (and, separately, demotions) planned per tick.
+    pub batch: usize,
+}
+
+/// Where a tracked page currently lives.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TierResidence {
+    /// On its home LBA on the slow tier.
+    Slow,
+    /// On the given fast-tier LBA.
+    Fast(u64),
+    /// Copy to the (reserved) fast LBA is in flight; the slow copy still
+    /// owns the page until commit.
+    PromoteInFlight(u64),
+    /// Copy back to the home LBA is in flight; the fast LBA still owns
+    /// the page until commit.
+    DemoteInFlight(u64),
+}
+
+/// A page's trackable state, as seen by a [`PlacementPolicy`].
+#[derive(Clone, Copy, Debug)]
+pub struct PageView {
+    /// The page's key (its home LBA on the slow tier).
+    pub key: u64,
+    /// Decayed access count (halved every epoch).
+    pub heat: u32,
+    /// Epoch of the most recent device access.
+    pub last_epoch: u64,
+}
+
+/// A placement policy: decides, per epoch, which slow-resident pages to
+/// promote and which fast-resident pages to demote. Implementations must
+/// be deterministic pure functions of the page view and epoch.
+pub trait PlacementPolicy: Send {
+    /// Stable policy name for artifacts and reports.
+    fn name(&self) -> &'static str;
+    /// Whether a slow-resident page should be promoted this epoch.
+    fn promote(&self, page: &PageView, epoch: u64) -> bool;
+    /// Standalone demotion: `Some(score)` to demote a fast-resident page
+    /// (lower scores are demoted first), `None` to keep it.
+    fn demote(&self, page: &PageView, epoch: u64) -> Option<u64>;
+}
+
+/// Never migrates anything.
+pub struct StaticPolicy;
+
+impl PlacementPolicy for StaticPolicy {
+    fn name(&self) -> &'static str {
+        "static"
+    }
+    fn promote(&self, _page: &PageView, _epoch: u64) -> bool {
+        false
+    }
+    fn demote(&self, _page: &PageView, _epoch: u64) -> Option<u64> {
+        None
+    }
+}
+
+/// Epoch-LRU: promote what was touched this epoch, demote what has been
+/// idle for `idle_epochs`.
+pub struct LruEpochPolicy {
+    /// Epochs of inactivity before a fast-resident page is demoted.
+    pub idle_epochs: u64,
+}
+
+impl PlacementPolicy for LruEpochPolicy {
+    fn name(&self) -> &'static str {
+        "lru"
+    }
+    fn promote(&self, page: &PageView, epoch: u64) -> bool {
+        page.last_epoch == epoch && page.heat > 0
+    }
+    fn demote(&self, page: &PageView, epoch: u64) -> Option<u64> {
+        (epoch.saturating_sub(page.last_epoch) >= self.idle_epochs).then_some(page.last_epoch)
+    }
+}
+
+/// Promotion-threshold: promote once the decayed access count reaches
+/// `threshold`, demote once it decays back to zero.
+pub struct ThresholdPolicy {
+    /// Decayed access count at which a slow page becomes promotion-worthy.
+    pub threshold: u32,
+}
+
+impl PlacementPolicy for ThresholdPolicy {
+    fn name(&self) -> &'static str {
+        "threshold"
+    }
+    fn promote(&self, page: &PageView, _epoch: u64) -> bool {
+        page.heat >= self.threshold
+    }
+    fn demote(&self, page: &PageView, _epoch: u64) -> Option<u64> {
+        (page.heat == 0).then_some(page.last_epoch)
+    }
+}
+
+/// Builds the concrete policy for a [`PolicyKind`].
+pub fn make_policy(kind: PolicyKind) -> Box<dyn PlacementPolicy> {
+    match kind {
+        PolicyKind::Static => Box::new(StaticPolicy),
+        PolicyKind::LruEpoch => Box::new(LruEpochPolicy { idle_epochs: 4 }),
+        PolicyKind::Threshold => Box::new(ThresholdPolicy { threshold: 2 }),
+    }
+}
+
+/// One migration the engine wants the system driver to perform.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MigrationPlan {
+    /// Copy the page from its home LBA to the reserved `fast_lba`.
+    Promote {
+        /// Page key (home slow LBA).
+        key: u64,
+        /// Destination LBA on the fast tier.
+        fast_lba: u64,
+    },
+    /// Copy the page from `fast_lba` back to its home LBA.
+    Demote {
+        /// Page key (home slow LBA).
+        key: u64,
+        /// Source LBA on the fast tier.
+        fast_lba: u64,
+    },
+}
+
+impl MigrationPlan {
+    /// The page the plan moves.
+    pub fn key(self) -> u64 {
+        match self {
+            MigrationPlan::Promote { key, .. } | MigrationPlan::Demote { key, .. } => key,
+        }
+    }
+}
+
+/// Tiering outcome counters, exported as `tier/...` metrics only when
+/// tiering was enabled (single-device artifacts stay byte-identical).
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct TierReport {
+    /// Committed promotions (slow → fast).
+    pub promotions: u64,
+    /// Committed demotions (fast → slow).
+    pub demotions: u64,
+    /// Migrations aborted (I/O failure, concurrent dirty writeback, or
+    /// a location change under the copy).
+    pub aborts: u64,
+    /// Tracked demand reads served by the fast tier.
+    pub fast_hits: u64,
+    /// Tracked demand reads served by the slow tier.
+    pub slow_hits: u64,
+    /// `fast_hits / (fast_hits + slow_hits)` over the whole run.
+    pub fast_hit_ratio: f64,
+    /// The same ratio over the first half of the run's epochs.
+    pub fast_hit_ratio_early: f64,
+    /// The same ratio over the second half of the run's epochs.
+    pub fast_hit_ratio_late: f64,
+    /// Fast-tier device service counters (reads include migration I/O).
+    pub fast_reads: u64,
+    /// Fast-tier device writes (demand writebacks plus promotions).
+    pub fast_writes: u64,
+    /// Slow-tier device reads.
+    pub slow_reads: u64,
+    /// Slow-tier device writes.
+    pub slow_writes: u64,
+}
+
+/// A tracked page's internal state.
+#[derive(Clone, Copy, Debug)]
+struct PageState {
+    residence: TierResidence,
+    heat: u32,
+    last_epoch: u64,
+}
+
+/// The tiering engine: hotness tracking, placement planning, and
+/// ownership bookkeeping over one fast / one slow tier.
+pub struct TierEngine {
+    cfg: TierConfig,
+    policy: Box<dyn PlacementPolicy>,
+    /// Tracked pages keyed by home slow LBA.
+    pages: BTreeMap<u64, PageState>,
+    /// Fast-LBA ownership: fast LBA → page key. Exactly the pages whose
+    /// residence is `Fast`/`PromoteInFlight`/`DemoteInFlight` on that LBA.
+    fast_map: BTreeMap<u64, u64>,
+    /// Fast-LBA bump allocator plus free list (LIFO, deterministic).
+    next_fast: u64,
+    free_fast: Vec<u64>,
+    epoch: u64,
+    promotions: u64,
+    demotions: u64,
+    aborts: u64,
+    fast_hits: u64,
+    slow_hits: u64,
+    /// Per-epoch `(fast, slow)` hit deltas, for the early/late ratios.
+    epoch_hits: Vec<(u64, u64)>,
+    /// Totals already folded into `epoch_hits`.
+    counted_hits: (u64, u64),
+}
+
+impl TierEngine {
+    /// Creates an engine for `cfg` with no tracked pages.
+    pub fn new(cfg: TierConfig) -> TierEngine {
+        TierEngine {
+            policy: make_policy(cfg.policy),
+            cfg,
+            pages: BTreeMap::new(),
+            fast_map: BTreeMap::new(),
+            next_fast: 0,
+            free_fast: Vec::new(),
+            epoch: 0,
+            promotions: 0,
+            demotions: 0,
+            aborts: 0,
+            fast_hits: 0,
+            slow_hits: 0,
+            epoch_hits: Vec::new(),
+            counted_hits: (0, 0),
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &TierConfig {
+        &self.cfg
+    }
+
+    /// Starts tracking a page (idempotent); new pages are slow-resident.
+    pub fn register(&mut self, key: u64) {
+        self.pages.entry(key).or_insert(PageState {
+            residence: TierResidence::Slow,
+            heat: 0,
+            last_epoch: 0,
+        });
+    }
+
+    /// Number of tracked pages.
+    pub fn tracked(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Fast-tier capacity in pages: `cap_pct` percent of the tracked
+    /// population, at least one page.
+    pub fn fast_limit(&self) -> usize {
+        ((self.pages.len() as u64 * self.cfg.cap_pct as u64 / 100).max(1)) as usize
+    }
+
+    /// Current residence of a tracked page.
+    pub fn residence_of(&self, key: u64) -> Option<TierResidence> {
+        self.pages.get(&key).map(|p| p.residence)
+    }
+
+    /// Whether `key` has a migration in flight.
+    pub fn in_flight(&self, key: u64) -> bool {
+        matches!(
+            self.residence_of(key),
+            Some(TierResidence::PromoteInFlight(_) | TierResidence::DemoteInFlight(_))
+        )
+    }
+
+    /// The page owning a fast-tier LBA, if any.
+    pub fn key_of_fast(&self, fast_lba: u64) -> Option<u64> {
+        self.fast_map.get(&fast_lba).copied()
+    }
+
+    /// Records one demand read serviced by a device. `fast` selects the
+    /// tier the read hit; `lba` is the device-local LBA. Reads of
+    /// untracked blocks are ignored.
+    pub fn record_access(&mut self, fast: bool, lba: u64) {
+        let key = if fast {
+            match self.fast_map.get(&lba) {
+                Some(k) => *k,
+                None => return,
+            }
+        } else {
+            lba
+        };
+        let epoch = self.epoch;
+        if let Some(p) = self.pages.get_mut(&key) {
+            p.heat = p.heat.saturating_add(1);
+            p.last_epoch = epoch;
+            if fast {
+                self.fast_hits += 1;
+            } else {
+                self.slow_hits += 1;
+            }
+        }
+    }
+
+    fn alloc_fast(&mut self) -> u64 {
+        if let Some(f) = self.free_fast.pop() {
+            return f;
+        }
+        let f = self.next_fast;
+        self.next_fast += 1;
+        f
+    }
+
+    /// One migration-daemon tick: evaluates the policy over every tracked
+    /// page and returns the migrations to start. `eligible` filters pages
+    /// the driver cannot safely migrate right now (e.g. resident in the
+    /// page cache). Planned pages are marked in flight; the driver must
+    /// later [`TierEngine::commit`] or [`TierEngine::abort`] each one.
+    /// After planning, heats decay by half and the epoch advances.
+    pub fn plan_tick(&mut self, mut eligible: impl FnMut(u64) -> bool) -> Vec<MigrationPlan> {
+        let epoch = self.epoch;
+        let mut plans = Vec::new();
+
+        // Promotion candidates: hottest first, key order tie-break.
+        let mut cands: Vec<(u32, u64)> = self
+            .pages
+            .iter()
+            .filter(|(k, p)| {
+                matches!(p.residence, TierResidence::Slow)
+                    && self.policy.promote(
+                        &PageView { key: **k, heat: p.heat, last_epoch: p.last_epoch },
+                        epoch,
+                    )
+            })
+            .map(|(k, p)| (p.heat, *k))
+            .collect();
+        cands.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+
+        let limit = self.fast_limit();
+        let mut promoted = 0usize;
+        let mut overflow = 0usize;
+        for (_, key) in cands {
+            if promoted >= self.cfg.batch || self.fast_map.len() >= limit {
+                // Pressure: candidates that could not be placed this tick
+                // drive room-making demotions below; the page retries on a
+                // later tick once a slot is free.
+                overflow += 1;
+                continue;
+            }
+            if !eligible(key) {
+                continue;
+            }
+            let f = self.alloc_fast();
+            self.fast_map.insert(f, key);
+            if let Some(p) = self.pages.get_mut(&key) {
+                p.residence = TierResidence::PromoteInFlight(f);
+            }
+            plans.push(MigrationPlan::Promote { key, fast_lba: f });
+            promoted += 1;
+        }
+
+        // Demotion victims: policy-driven demotions first, then (only
+        // under promotion pressure) forced demotions of the coldest
+        // fast-resident pages to make room for the next tick.
+        let fast_resident: Vec<PageView> = self
+            .pages
+            .iter()
+            .filter(|(_, p)| matches!(p.residence, TierResidence::Fast(_)))
+            .map(|(k, p)| PageView { key: *k, heat: p.heat, last_epoch: p.last_epoch })
+            .collect();
+        let mut victims: Vec<(u8, u64, u64)> = Vec::new();
+        for v in &fast_resident {
+            match self.policy.demote(v, epoch) {
+                Some(score) => victims.push((0, score, v.key)),
+                None if overflow > 0 => {
+                    // Coldest first: heat, then staleness, then key.
+                    let score = ((v.heat as u64) << 32) | (v.last_epoch & 0xFFFF_FFFF);
+                    victims.push((1, score, v.key));
+                }
+                None => {}
+            }
+        }
+        victims.sort_unstable();
+        let mut demoted = 0usize;
+        let mut forced = 0usize;
+        for (kind, _, key) in victims {
+            if demoted >= self.cfg.batch {
+                break;
+            }
+            if kind == 1 {
+                if forced >= overflow {
+                    continue;
+                }
+                forced += 1;
+            }
+            if !eligible(key) {
+                continue;
+            }
+            let Some(p) = self.pages.get_mut(&key) else { continue };
+            let TierResidence::Fast(f) = p.residence else { continue };
+            p.residence = TierResidence::DemoteInFlight(f);
+            plans.push(MigrationPlan::Demote { key, fast_lba: f });
+            demoted += 1;
+        }
+
+        // Close the epoch: fold hit deltas, decay heat, advance.
+        let delta =
+            (self.fast_hits - self.counted_hits.0, self.slow_hits - self.counted_hits.1);
+        self.epoch_hits.push(delta);
+        self.counted_hits = (self.fast_hits, self.slow_hits);
+        for p in self.pages.values_mut() {
+            p.heat /= 2;
+        }
+        self.epoch += 1;
+        plans
+    }
+
+    /// Commits an in-flight migration: ownership transfers atomically at
+    /// this virtual-time instant. Returns the new residence, or `None`
+    /// when no migration was in flight for `key`.
+    pub fn commit(&mut self, key: u64) -> Option<TierResidence> {
+        let p = self.pages.get_mut(&key)?;
+        match p.residence {
+            TierResidence::PromoteInFlight(f) => {
+                p.residence = TierResidence::Fast(f);
+                self.promotions += 1;
+                Some(p.residence)
+            }
+            TierResidence::DemoteInFlight(f) => {
+                p.residence = TierResidence::Slow;
+                self.fast_map.remove(&f);
+                self.free_fast.push(f);
+                self.demotions += 1;
+                Some(p.residence)
+            }
+            _ => None,
+        }
+    }
+
+    /// Aborts an in-flight migration, restoring the previous residence
+    /// (a reserved promotion slot returns to the free pool).
+    pub fn abort(&mut self, key: u64) {
+        let Some(p) = self.pages.get_mut(&key) else { return };
+        match p.residence {
+            TierResidence::PromoteInFlight(f) => {
+                p.residence = TierResidence::Slow;
+                self.fast_map.remove(&f);
+                self.free_fast.push(f);
+                self.aborts += 1;
+            }
+            TierResidence::DemoteInFlight(f) => {
+                p.residence = TierResidence::Fast(f);
+                self.aborts += 1;
+            }
+            _ => {}
+        }
+    }
+
+    /// Tiering counters plus overall and early/late fast-hit ratios.
+    /// Device service counters are filled in by the system driver.
+    pub fn report(&self) -> TierReport {
+        let ratio = |fast: u64, slow: u64| {
+            let total = fast + slow;
+            if total == 0 {
+                0.0
+            } else {
+                fast as f64 / total as f64
+            }
+        };
+        // Hits since the last tick form a final partial epoch.
+        let mut epochs = self.epoch_hits.clone();
+        let tail =
+            (self.fast_hits - self.counted_hits.0, self.slow_hits - self.counted_hits.1);
+        if tail != (0, 0) {
+            epochs.push(tail);
+        }
+        let mid = epochs.len() / 2;
+        let sum = |slice: &[(u64, u64)]| {
+            slice.iter().fold((0, 0), |acc, d| (acc.0 + d.0, acc.1 + d.1))
+        };
+        let (early_f, early_s) = sum(&epochs[..mid.max(usize::from(!epochs.is_empty()))]);
+        let (late_f, late_s) = sum(&epochs[mid..]);
+        TierReport {
+            promotions: self.promotions,
+            demotions: self.demotions,
+            aborts: self.aborts,
+            fast_hits: self.fast_hits,
+            slow_hits: self.slow_hits,
+            fast_hit_ratio: ratio(self.fast_hits, self.slow_hits),
+            fast_hit_ratio_early: ratio(early_f, early_s),
+            fast_hit_ratio_late: ratio(late_f, late_s),
+            ..TierReport::default()
+        }
+    }
+
+    /// Test hook: breaks the fast-LBA ownership bijection by pointing a
+    /// fast slot at a slow-resident page, for negative audit tests.
+    #[cfg(test)]
+    pub(crate) fn corrupt_fast_owner_for_test(&mut self) {
+        let f = self.next_fast;
+        self.next_fast += 1;
+        let key = self.pages.keys().next().copied().unwrap_or(0);
+        self.fast_map.insert(f, key);
+    }
+}
+
+impl std::fmt::Debug for TierEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TierEngine")
+            .field("policy", &self.policy.name())
+            .field("tracked", &self.pages.len())
+            .field("fast_used", &self.fast_map.len())
+            .field("epoch", &self.epoch)
+            .finish()
+    }
+}
+
+impl Sanitizer for TierEngine {
+    fn layer(&self) -> &'static str {
+        "tier"
+    }
+
+    fn sanitize(&self, level: SanitizeLevel, report: &mut AuditReport) {
+        if !level.cheap_checks() {
+            return;
+        }
+        // tier-fast-capacity: the reserved fast-tier population (resident
+        // plus in-flight) never exceeds the configured capacity.
+        report.check(
+            "tier",
+            "tier-fast-capacity",
+            self.fast_map.len() <= self.fast_limit(),
+            || {
+                format!(
+                    "fast tier holds {} pages, capacity {}",
+                    self.fast_map.len(),
+                    self.fast_limit()
+                )
+            },
+        );
+        if !level.full_checks() {
+            return;
+        }
+        // tier-fast-owner-unique: fast_map ↔ residence is a bijection —
+        // every fast LBA is owned by exactly one page whose residence
+        // names that LBA, and vice versa.
+        for (f, key) in &self.fast_map {
+            let ok = matches!(
+                self.residence_of(*key),
+                Some(
+                    TierResidence::Fast(r)
+                        | TierResidence::PromoteInFlight(r)
+                        | TierResidence::DemoteInFlight(r)
+                ) if r == *f
+            );
+            report.check("tier", "tier-fast-owner-unique", ok, || {
+                format!("fast LBA {f} maps to page {key} whose residence does not own it")
+            });
+        }
+        for (key, p) in &self.pages {
+            let (claimed, lba) = match p.residence {
+                TierResidence::Slow => (false, 0),
+                TierResidence::Fast(f)
+                | TierResidence::PromoteInFlight(f)
+                | TierResidence::DemoteInFlight(f) => (true, f),
+            };
+            if claimed {
+                report.check(
+                    "tier",
+                    "tier-fast-owner-unique",
+                    self.fast_map.get(&lba) == Some(key),
+                    || format!("page {key} claims fast LBA {lba} without owning it"),
+                );
+            }
+            // tier-inflight-residence: in-flight pages still hold a
+            // reserved slot — their LBA must be inside the allocator's
+            // issued range and not simultaneously on the free list.
+            if matches!(
+                p.residence,
+                TierResidence::PromoteInFlight(_) | TierResidence::DemoteInFlight(_)
+            ) {
+                report.check(
+                    "tier",
+                    "tier-inflight-residence",
+                    lba < self.next_fast && !self.free_fast.contains(&lba),
+                    || format!("in-flight page {key} holds unissued or freed fast LBA {lba}"),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(policy: PolicyKind) -> TierConfig {
+        TierConfig {
+            fast: DeviceProfile::OPTANE_PMM,
+            slow: DeviceProfile::Z_SSD,
+            cap_pct: 25,
+            policy,
+            period: Duration::from_micros(150),
+            batch: 8,
+        }
+    }
+
+    fn engine_with_pages(policy: PolicyKind, n: u64) -> TierEngine {
+        let mut e = TierEngine::new(cfg(policy));
+        for k in 0..n {
+            e.register(k);
+        }
+        e
+    }
+
+    #[test]
+    fn policy_names_round_trip() {
+        for p in PolicyKind::ALL {
+            assert_eq!(PolicyKind::parse(p.name()), Some(p));
+            assert_eq!(make_policy(p).name(), p.name());
+        }
+        assert_eq!(PolicyKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn static_policy_never_migrates() {
+        let mut e = engine_with_pages(PolicyKind::Static, 16);
+        for _ in 0..4 {
+            for k in 0..16 {
+                e.record_access(false, k);
+            }
+            assert!(e.plan_tick(|_| true).is_empty());
+        }
+        assert_eq!(e.report().promotions, 0);
+    }
+
+    #[test]
+    fn threshold_promotes_hot_and_demotes_cold() {
+        let mut e = engine_with_pages(PolicyKind::Threshold, 16);
+        e.record_access(false, 3);
+        e.record_access(false, 3);
+        let plans = e.plan_tick(|_| true);
+        assert_eq!(plans, vec![MigrationPlan::Promote { key: 3, fast_lba: 0 }]);
+        assert_eq!(e.residence_of(3), Some(TierResidence::PromoteInFlight(0)));
+        assert_eq!(e.commit(3), Some(TierResidence::Fast(0)));
+        // Fast reads now resolve through the fast map and count as hits.
+        e.record_access(true, 0);
+        assert!(e.report().fast_hits >= 1);
+        // Idle ticks decay heat to zero → standalone demotion.
+        e.plan_tick(|_| true);
+        e.plan_tick(|_| true);
+        let plans = e.plan_tick(|_| true);
+        assert_eq!(plans, vec![MigrationPlan::Demote { key: 3, fast_lba: 0 }]);
+        assert_eq!(e.commit(3), Some(TierResidence::Slow));
+        let r = e.report();
+        assert_eq!((r.promotions, r.demotions, r.aborts), (1, 1, 0));
+    }
+
+    #[test]
+    fn lru_epoch_promotes_recent_and_demotes_idle() {
+        let mut e = engine_with_pages(PolicyKind::LruEpoch, 16);
+        e.record_access(false, 7);
+        let plans = e.plan_tick(|_| true);
+        assert_eq!(plans, vec![MigrationPlan::Promote { key: 7, fast_lba: 0 }]);
+        e.commit(7);
+        // Four idle epochs later the page is demoted.
+        let mut demoted = Vec::new();
+        for _ in 0..5 {
+            demoted.extend(e.plan_tick(|_| true));
+        }
+        assert_eq!(demoted, vec![MigrationPlan::Demote { key: 7, fast_lba: 0 }]);
+    }
+
+    #[test]
+    fn capacity_limit_blocks_promotions_and_forces_room_making() {
+        // 8 pages at 25 % → fast limit 2.
+        let mut e = engine_with_pages(PolicyKind::Threshold, 8);
+        assert_eq!(e.fast_limit(), 2);
+        for k in 0..3 {
+            e.record_access(false, k);
+            e.record_access(false, k);
+        }
+        let plans = e.plan_tick(|_| true);
+        // Only two fit; the third creates pressure.
+        assert_eq!(plans.len(), 2);
+        for p in plans {
+            e.commit(p.key());
+        }
+        // Keep page 2 hot while 0/1 cool: pressure forces demotion of a
+        // cold fast resident, freeing a slot for the next tick.
+        e.record_access(false, 2);
+        e.record_access(false, 2);
+        let plans = e.plan_tick(|_| true);
+        assert!(
+            plans.iter().any(|p| matches!(p, MigrationPlan::Demote { .. })),
+            "pressure must force a room-making demotion: {plans:?}"
+        );
+        for p in plans {
+            e.commit(p.key());
+        }
+        e.record_access(false, 2);
+        e.record_access(false, 2);
+        let plans = e.plan_tick(|_| true);
+        assert!(
+            plans.contains(&MigrationPlan::Promote { key: 2, fast_lba: 1 })
+                || plans.contains(&MigrationPlan::Promote { key: 2, fast_lba: 0 }),
+            "freed slot serves the hot page next tick: {plans:?}"
+        );
+    }
+
+    #[test]
+    fn ineligible_pages_are_skipped() {
+        let mut e = engine_with_pages(PolicyKind::Threshold, 8);
+        e.record_access(false, 1);
+        e.record_access(false, 1);
+        assert!(e.plan_tick(|_| false).is_empty());
+        assert_eq!(e.residence_of(1), Some(TierResidence::Slow));
+    }
+
+    #[test]
+    fn abort_restores_residence_and_recycles_the_slot() {
+        let mut e = engine_with_pages(PolicyKind::Threshold, 8);
+        e.record_access(false, 1);
+        e.record_access(false, 1);
+        let plans = e.plan_tick(|_| true);
+        assert_eq!(plans.len(), 1);
+        e.abort(1);
+        assert_eq!(e.residence_of(1), Some(TierResidence::Slow));
+        assert_eq!(e.key_of_fast(0), None);
+        assert_eq!(e.report().aborts, 1);
+        // The freed slot is reused.
+        e.record_access(false, 2);
+        e.record_access(false, 2);
+        let plans = e.plan_tick(|_| true);
+        assert_eq!(plans, vec![MigrationPlan::Promote { key: 2, fast_lba: 0 }]);
+    }
+
+    #[test]
+    fn hit_ratio_splits_early_and_late() {
+        let mut e = engine_with_pages(PolicyKind::Threshold, 8);
+        // Epoch 0: all slow. Epoch 1: all fast.
+        e.record_access(false, 1);
+        e.record_access(false, 1);
+        for p in e.plan_tick(|_| true) {
+            e.commit(p.key());
+        }
+        e.record_access(true, 0);
+        e.record_access(true, 0);
+        e.plan_tick(|_| true);
+        let r = e.report();
+        assert_eq!(r.fast_hit_ratio_early, 0.0);
+        assert_eq!(r.fast_hit_ratio_late, 1.0);
+        assert!(r.fast_hit_ratio > 0.0 && r.fast_hit_ratio < 1.0);
+    }
+
+    #[test]
+    fn clean_engine_audits_clean() {
+        use hwdp_sim::sanitize::AuditReport;
+        let mut e = engine_with_pages(PolicyKind::Threshold, 16);
+        e.record_access(false, 5);
+        e.record_access(false, 5);
+        for p in e.plan_tick(|_| true) {
+            e.commit(p.key());
+        }
+        let mut report = AuditReport::new();
+        e.sanitize(SanitizeLevel::Full, &mut report);
+        assert!(report.is_clean(), "{:?}", report.violations);
+        assert!(report.checks > 0);
+    }
+
+    #[test]
+    fn negative_torn_migration_detected() {
+        // A torn (non-atomic) migration leaves a fast slot owned by a page
+        // that never took ownership — the bijection check must fire.
+        use hwdp_sim::sanitize::AuditReport;
+        let mut e = engine_with_pages(PolicyKind::Threshold, 16);
+        e.corrupt_fast_owner_for_test();
+        let mut report = AuditReport::new();
+        e.sanitize(SanitizeLevel::Full, &mut report);
+        assert!(!report.is_clean());
+        assert!(
+            report.violations.iter().any(|v| v.invariant == "tier-fast-owner-unique"),
+            "expected tier-fast-owner-unique, got {:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn sanitize_off_is_free() {
+        let e = engine_with_pages(PolicyKind::Threshold, 4);
+        let mut report = hwdp_sim::sanitize::AuditReport::new();
+        e.sanitize(SanitizeLevel::Off, &mut report);
+        assert_eq!(report.checks, 0);
+    }
+}

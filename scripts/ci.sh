@@ -143,4 +143,24 @@ grep -q '"threads": \[' "$out/BENCH_fig16.json"
 grep -q '"hw_context": 1' "$out/BENCH_fig16.json"
 echo "fig16: co-run campaign carries pinned per-context metrics"
 
+echo "== tiered storage: migration smoke campaign =="
+# YCSB-C over a Z-SSD capacity tier with an Optane-PMM fast tier, fully
+# sanitized (the tier-* ownership invariants plus the cross-layer
+# residence check run on every tick). The acceptance bar: zero audit
+# violations and a migration daemon that actually moved pages — the
+# tier/* metrics only exist in tiered jobs, so the greps double as a
+# schema assertion.
+./target/release/hwdp sweep \
+  --name tier \
+  --scenarios ycsb-c --modes osdp,hwdp \
+  --threads-list 2 --ratios 4 \
+  --memory 256 --ops 400 --seed 42 \
+  --tiers fast:pmm,slow:zssd,policy:lru \
+  --sanitize full \
+  --workers 4 --out "$out"
+grep -q '"violations_total": 0' "$out/AUDIT_tier.json"
+grep -Eq '"tier/promotions": [1-9]' "$out/BENCH_tier.json"
+grep -Eq '"tier/demotions": [1-9]' "$out/BENCH_tier.json"
+echo "tiered storage: pages migrated under full sanitize (zero violations)"
+
 echo "== ci: ok =="

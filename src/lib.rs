@@ -34,6 +34,7 @@ pub use hwdp_nvme as nvme;
 pub use hwdp_os as os;
 pub use hwdp_sim as sim;
 pub use hwdp_smu as smu;
+pub use hwdp_tier as tier;
 pub use hwdp_workloads as workloads;
 
 pub use hwdp_core::{Mode, SystemBuilder};
