@@ -107,6 +107,15 @@ SWEEP OPTIONS (axes are comma-separated lists; cross product = campaign):
                              (a co-run partner lands after the workload)
   --kpted-us US              kpted sync-scan period in microseconds
                              (default 1000; the Fig. 16 co-run uses 20000)
+  --pmshr N                  PMSHR entries          (default: paper's 32)
+  --free-queue N             free-page queue depth  (default: paper value)
+  --no-kpoold                disable the kpoold refill daemon
+  --kpoold-us US             kpoold wake period in microseconds
+  --per-core-queues          per-core free-page queues instead of shared
+  --long-io-us US            long-latency miss timeout in microseconds
+                             (default: always stall, never context-switch)
+  --readahead N              OS readahead window in pages (default 0)
+  --prefetch N               SMU prefetch window in pages (default 0)
   --repeats K                run each job K times with derived per-repeat
                              seeds; metrics become mean + /stddev + /ci95
                              keys, and compare gates on CI overlap
@@ -126,6 +135,8 @@ LINT OPTIONS:
   --deny                     exit nonzero on any unsuppressed finding (CI)
   --json                     machine-readable report on stdout
   --rules                    print the rule table and exit
+  --metric-keys              print the generated metric-key registry (JSON):
+                             every string key at an export_metrics sink
   --root DIR                 workspace root (default: discovered upward)
   --write-baseline           rewrite baselines/LINT_allow.txt from findings
 ";
@@ -269,6 +280,40 @@ fn sweep_campaign(args: &Args) -> Result<harness::Campaign, ArgError> {
             us.parse().map_err(|_| ArgError(format!("--kpted-us: bad period '{us}'")))?;
         grid = grid.tweak(|j| j.kpted_period_us = us);
     }
+    // Ablation knobs (Fig. 18-style sensitivity sweeps). Each maps onto one
+    // JobSpec field; unset flags leave the paper defaults in place.
+    if let Some(n) = args.get("pmshr") {
+        let n: usize = n.parse().map_err(|_| ArgError(format!("--pmshr: bad entry count '{n}'")))?;
+        grid = grid.tweak(|j| j.pmshr_entries = Some(n));
+    }
+    if let Some(n) = args.get("free-queue") {
+        let n: usize = n.parse().map_err(|_| ArgError(format!("--free-queue: bad depth '{n}'")))?;
+        grid = grid.tweak(|j| j.free_queue_depth = Some(n));
+    }
+    if args.flag("no-kpoold") {
+        grid = grid.tweak(|j| j.kpoold_enabled = false);
+    }
+    if let Some(us) = args.get("kpoold-us") {
+        let us: u64 =
+            us.parse().map_err(|_| ArgError(format!("--kpoold-us: bad period '{us}'")))?;
+        grid = grid.tweak(|j| j.kpoold_period_us = Some(us));
+    }
+    if args.flag("per-core-queues") {
+        grid = grid.tweak(|j| j.per_core_free_queues = true);
+    }
+    if let Some(us) = args.get("long-io-us") {
+        let us: u64 =
+            us.parse().map_err(|_| ArgError(format!("--long-io-us: bad timeout '{us}'")))?;
+        grid = grid.tweak(|j| j.long_io_timeout_us = Some(us));
+    }
+    if let Some(n) = args.get("readahead") {
+        let n: usize = n.parse().map_err(|_| ArgError(format!("--readahead: bad window '{n}'")))?;
+        grid = grid.tweak(|j| j.readahead_pages = n);
+    }
+    if let Some(n) = args.get("prefetch") {
+        let n: usize = n.parse().map_err(|_| ArgError(format!("--prefetch: bad window '{n}'")))?;
+        grid = grid.tweak(|j| j.smu_prefetch_pages = n);
+    }
     let repeats = args.num("repeats", 1)?;
     if repeats > 1 {
         grid = grid.repeats(repeats as u32);
@@ -409,7 +454,8 @@ fn gate(baseline_path: &str, current: &harness::Artifact, args: &Args) -> Result
     Ok(if report.passed() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
 }
 
-/// `hwdp lint [--json] [--deny] [--rules] [--root DIR] [--write-baseline]`.
+/// `hwdp lint [--json] [--deny] [--rules] [--metric-keys] [--root DIR]
+/// [--write-baseline]`.
 fn lint_cmd(args: &Args) -> Result<ExitCode, ArgError> {
     if args.flag("rules") {
         println!("{:<20} {:<34} {}", "RULE", "SCOPE", "GUARDS AGAINST");
@@ -428,6 +474,12 @@ fn lint_cmd(args: &Args) -> Result<ExitCode, ArgError> {
             })?
         }
     };
+    if args.flag("metric-keys") {
+        let keys = hwdp_lint::metric_registry(&root)
+            .map_err(|e| ArgError(format!("lint failed under {}: {e}", root.display())))?;
+        print!("{}", hwdp_lint::registry_to_json(&keys).pretty());
+        return Ok(ExitCode::SUCCESS);
+    }
     let report = hwdp_lint::lint_workspace(&root)
         .map_err(|e| ArgError(format!("lint failed under {}: {e}", root.display())))?;
 

@@ -2369,6 +2369,54 @@ mod tests {
     }
 
     #[test]
+    fn queue_full_fault_window_aborts_migrations_and_stays_clean() {
+        // Queue-full windows park tier copy I/O in the deferral queue;
+        // while a copy waits, demand writebacks dirty its source page and
+        // `tier_commit` must abort instead of committing a stale copy.
+        // End to end: the run completes, data integrity holds, the audit
+        // is clean, and at least one migration was aborted.
+        use hwdp_nvme::fault::FaultConfig;
+        use hwdp_workloads::{MiniDb, Ycsb, YcsbKind};
+        let faults = FaultConfig {
+            // Long windows: each stalls submission for ~256 backoff ticks,
+            // keeping planned copies parked for milliseconds of virtual
+            // time while kpoold keeps evicting and re-dirtying pages.
+            queue_full_rate: 0.1,
+            queue_full_len: 256,
+            reads_only: false,
+            ..FaultConfig::default()
+        };
+        let mut sys = SystemBuilder::new(Mode::Hwdp)
+            .memory_frames(64)
+            .seed(33)
+            .sanitize(SanitizeLevel::Full)
+            .tiers(hwdp_tier::TierConfig {
+                period: Duration::from_micros(50),
+                batch: 16,
+                ..tier_config(hwdp_tier::PolicyKind::LruEpoch)
+            })
+            .faults(faults)
+            .build();
+        let records = 256u64;
+        let capacity = records + records / 4;
+        let file = sys.create_kv_file("tierdb", records, capacity);
+        let region = sys.map_file(file);
+        let db = MiniDb::new(region, records, capacity);
+        let rng = sys.fork_rng();
+        sys.spawn(Box::new(Ycsb::new(YcsbKind::A, db, 5000, rng)), 1.6, None);
+        let r = sys.run(Duration::from_millis(4000));
+        assert!(r.ops > 0, "workload made progress under backpressure");
+        assert_eq!(r.verify_failures(), 0, "data survives aborted migrations");
+        assert!(r.audit.is_clean(), "{:?}", r.audit.violations);
+        let t = r.tier.expect("tier report present");
+        assert!(t.promotions > 0, "hot pages still promoted: {t:?}");
+        assert!(
+            t.aborts > 0,
+            "queue-full windows stall copies long enough for dirtying writes to abort them: {t:?}"
+        );
+    }
+
+    #[test]
     fn negative_cross_namespace_location_corruption_detected() {
         // Injected corruption: the fs claims a page lives on the fast
         // tier while the engine still owns it on the slow tier — reads

@@ -326,6 +326,44 @@ mod tests {
         assert_eq!(parsed, a);
     }
 
+    /// The canonical spec-knob round-trip: every `JobSpec` field is set to a
+    /// non-default value and must survive serialize → parse exactly. Adding
+    /// a knob without extending this test trips `spec-knob-consistency`.
+    #[test]
+    fn every_knob_round_trips_through_json() {
+        let mut spec = JobSpec::new(Scenario::FioRand, Mode::Hwdp, 0x99);
+        spec.device = DeviceKind::OptanePmm;
+        spec.threads = 3;
+        spec.pin = Some(2);
+        spec.repeats = 4;
+        spec.ratio = 8.0;
+        spec.memory_frames = 2048;
+        spec.ops = 555;
+        spec.pmshr_entries = Some(16);
+        spec.free_queue_depth = Some(12);
+        spec.kpoold_enabled = false;
+        spec.kpoold_period_us = Some(750);
+        spec.kpted_period_us = 20_000;
+        spec.readahead_pages = 8;
+        spec.smu_prefetch_pages = 4;
+        spec.per_core_free_queues = true;
+        spec.long_io_timeout_us = Some(50);
+        spec.time_cap_ms = 1234;
+        let a = Artifact {
+            campaign: "knobs".into(),
+            seed: 0x99,
+            jobs: vec![JobRecord {
+                index: 0,
+                spec,
+                status: JobStatus::Ok,
+                metrics: Vec::new(),
+                wall_ms: 0.0,
+            }],
+        };
+        let parsed = Artifact::parse(&a.to_json_string()).unwrap();
+        assert_eq!(parsed, a);
+    }
+
     #[test]
     fn canonical_form_zeroes_wall_time_only() {
         let a = sample();

@@ -13,6 +13,11 @@
 //!   checkers means finding `impl … Sanitizer for …` *items*, not loose
 //!   `Sanitizer` identifiers in doc text or bounds.
 //!
+//! The expression layer ([`crate::expr`]) builds on the same idea one
+//! level down: within each `Fn` item found here it brace/paren-matches
+//! call arguments and operands, feeding the workspace API model
+//! ([`crate::model`]) behind the semantic rule families.
+//!
 //! The parser is forgiving in the same spirit as the lexer: any token
 //! sequence produces *a* tree; unterminated bodies extend to end-of-file.
 //! Indices throughout refer to positions in the **significant** token

@@ -16,7 +16,9 @@
 /// What a token is.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TokKind {
-    /// Identifier or keyword (including raw identifiers, without `r#`).
+    /// Identifier or keyword. Raw identifiers keep their `r#` marker in
+    /// `text` (`r#type` → `"r#type"`): `r#fn` is *not* the `fn` keyword,
+    /// and the expression layer must never mistake one for the other.
     Ident,
     /// String literal of any flavour; `text` holds the *contents* (no
     /// quotes, raw-string hashes stripped, escapes left as written).
@@ -240,8 +242,14 @@ impl<'a> Lexer<'a> {
         let start = self.pos;
         self.bump(); // opening '
         if self.peek() == Some(b'\\') {
-            self.bump();
-            self.bump();
+            self.bump(); // backslash
+            self.bump(); // escape head (`'`, `\`, `n`, `u`, `x`, …)
+            // Multi-byte escapes (`\u{1F600}`, `\x41`) run on to the
+            // closing quote; a raw newline means the literal is malformed
+            // and the lexer stops swallowing input there.
+            while self.peek().is_some_and(|b| b != b'\'' && b != b'\n') {
+                self.bump();
+            }
             self.bump(); // closing '
             return self.token(TokKind::Char, start, line, col);
         }
@@ -292,10 +300,19 @@ impl<'a> Lexer<'a> {
                 return Some(self.raw_string_body(hashes, line, col));
             }
             if b0 == b'r' && hashes > 0 {
-                // Raw identifier `r#ident`: skip the prefix, lex the ident.
+                // Raw identifier `r#ident`: the marker stays in the token
+                // text so `r#fn` can never masquerade as the `fn` keyword
+                // to the item tree or the expression layer.
+                let start = self.pos;
                 self.bump();
                 self.bump();
-                return Some(self.ident(line, col));
+                while self
+                    .peek()
+                    .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80)
+                {
+                    self.bump();
+                }
+                return Some(self.token(TokKind::Ident, start, line, col));
             }
             return None;
         }
@@ -436,9 +453,63 @@ mod tests {
     }
 
     #[test]
+    fn multibyte_escape_char_literals_do_not_leak() {
+        // `\u{…}` and `\x…` escapes span several bytes; a fixed-width
+        // escape consumer would leave `41}'` behind and the stray quote
+        // would swallow the rest of the line as a bogus literal.
+        let toks = kinds(r"let a = '\u{1F600}'; let b = '\x41'; unwrap_target();");
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 2);
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "unwrap_target"));
+        assert!(!toks.iter().any(|(k, _)| *k == TokKind::Lifetime));
+    }
+
+    #[test]
+    fn underscore_char_vs_wildcard_lifetime() {
+        let toks = kinds("let c = '_'; fn f(x: &'_ str) {}");
+        assert_eq!(toks.iter().filter(|(k, t)| *k == TokKind::Char && t == "'_'").count(), 1);
+        assert_eq!(
+            toks.iter().filter(|(k, t)| *k == TokKind::Lifetime && t == "'_").count(),
+            1
+        );
+    }
+
+    #[test]
+    fn deeply_nested_and_unterminated_block_comments() {
+        let toks = kinds("a /* 1 /* 2 /* 3 */ 2 */ 1 */ b");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, vec!["a", "b"]);
+        // Unterminated nesting extends to end-of-file instead of leaking
+        // the tail back into the token stream.
+        let open = kinds("x /* outer /* inner */ still open HashMap");
+        assert!(!open.iter().any(|(k, t)| *k == TokKind::Ident && t == "HashMap"));
+        assert_eq!(open.iter().filter(|(k, _)| *k == TokKind::Comment).count(), 1);
+    }
+
+    #[test]
     fn raw_identifiers() {
         let toks = kinds("let r#type = 1;");
-        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "type"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "r#type"));
+        // The marker must survive so raw identifiers never equal keywords:
+        // `is_ident("type")` is false for `r#type`.
+        assert!(!toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "type"));
+    }
+
+    #[test]
+    fn raw_identifier_cannot_masquerade_as_a_keyword() {
+        // `r#fn` is a variable named "fn", not a function definition; if
+        // the marker were stripped the item tree would parse a phantom
+        // item here and mis-scope everything after it.
+        let toks = lex("let r#fn = 1; let r#mod = 2;");
+        assert!(!toks.iter().any(|t| t.is_ident("fn")));
+        assert!(!toks.iter().any(|t| t.is_ident("mod")));
+        assert!(toks.iter().any(|t| t.is_ident("r#fn")));
+        // Columns still point at the `r` of the marker.
+        let rfn = toks.iter().find(|t| t.is_ident("r#fn")).expect("r#fn lexes");
+        assert_eq!((rfn.line, rfn.col), (1, 5));
     }
 
     #[test]

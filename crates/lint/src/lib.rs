@@ -18,18 +18,26 @@
 //!   rules everywhere. Inline
 //!   `// hwdp-lint: allow(rule-id): justification` comments suppress a
 //!   finding with an attached reason.
+//! * [`expr`] / [`model`] — the expression layer (fn signatures, call
+//!   sites, binary-op operands, sink string literals) and the
+//!   workspace-wide API model built from it, powering the semantic rules
+//!   (`unit-mix`, `result-dropped`, `metric-key-*`,
+//!   `spec-knob-consistency`).
 //! * [`baseline`] — `baselines/LINT_allow.txt` budgets that grandfather
 //!   violations we deliberately keep, per `(rule, file)`.
 //!
-//! The CLI front end is `hwdp lint [--json] [--deny]`; CI runs it with
-//! `--deny` between build and tests (`scripts/ci.sh`).
+//! The CLI front end is `hwdp lint [--json] [--deny] [--metric-keys]`;
+//! CI runs it with `--deny` between build and tests (`scripts/ci.sh`)
+//! and archives the `--metric-keys` registry as a build artifact.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod expr;
 pub mod item_tree;
 pub mod lexer;
+pub mod model;
 pub mod rules;
 
 use std::path::{Path, PathBuf};
@@ -161,16 +169,72 @@ fn relative(root: &Path, path: &Path) -> String {
         .join("/")
 }
 
+/// Reads the workspace's documentation files the metric-key rules
+/// cross-reference. Missing files read as empty (the rules then flag
+/// every key as undocumented, which is the right failure mode).
+fn read_docs(root: &Path) -> Vec<(&'static str, String)> {
+    ["README.md", "DESIGN.md"]
+        .into_iter()
+        .map(|name| (name, std::fs::read_to_string(root.join(name)).unwrap_or_default()))
+        .collect()
+}
+
+/// The workspace's metric-key registry: every key literal at an
+/// `export_metrics` sink. This is what `hwdp lint --metric-keys`
+/// serializes and CI archives.
+pub fn metric_registry(root: &Path) -> std::io::Result<Vec<model::MetricKey>> {
+    let mut files = Vec::new();
+    for path in collect_sources(root)? {
+        let rel = relative(root, &path);
+        files.push((context_for(&rel), std::fs::read_to_string(&path)?));
+    }
+    let model = model::ApiModel::build(files.iter().map(|(c, s)| (c, s.as_str())));
+    Ok(model.metric_keys)
+}
+
+/// Serializes the metric-key registry (see [`metric_registry`]) through
+/// the dependency-free JSON writer: byte-stable, insertion-ordered.
+pub fn registry_to_json(keys: &[model::MetricKey]) -> Json {
+    Json::obj([
+        ("schema", Json::Num(1.0)),
+        ("keys", Json::Num(keys.len() as f64)),
+        (
+            "registry",
+            Json::Arr(
+                keys.iter()
+                    .map(|k| {
+                        Json::obj([
+                            ("key", Json::str(k.key.clone())),
+                            ("file", Json::str(k.file.clone())),
+                            ("sink", Json::Num(k.owner as f64)),
+                            ("line", Json::Num(k.line as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 /// Lints every in-scope source file under `root`. Inline allows are
 /// applied; the grandfather baseline is not (see [`baseline::apply`]).
+///
+/// Two passes: the first builds the workspace [`model::ApiModel`] (fn
+/// signatures for cross-crate call boundaries, the metric-key registry),
+/// the second scans each file against it, and the workspace-level
+/// contract rules (`audit-coverage`, `metric-key-*`,
+/// `spec-knob-consistency`) run over the aggregate.
 pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
     let mut report = Report::default();
     let mut audited_crates = std::collections::BTreeSet::new();
+    let mut files = Vec::new();
     for path in collect_sources(root)? {
         let rel = relative(root, &path);
-        let source = std::fs::read_to_string(&path)?;
-        let ctx = context_for(&rel);
-        let outcome = rules::scan(&ctx, &source);
+        files.push((context_for(&rel), std::fs::read_to_string(&path)?));
+    }
+    let model = model::ApiModel::build(files.iter().map(|(c, s)| (c, s.as_str())));
+    for (ctx, source) in &files {
+        let outcome = rules::scan_with(ctx, source, &model);
         if outcome.has_sanitizer_impl {
             audited_crates.insert(ctx.crate_name.clone());
         }
@@ -178,6 +242,13 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
         report.inline_suppressed += outcome.suppressed;
         report.files_scanned += 1;
     }
+    let docs = read_docs(root);
+    let doc_refs: Vec<(&str, &str)> = docs.iter().map(|(n, s)| (*n, s.as_str())).collect();
+    report.findings.extend(model::metric_key_findings(&model, &doc_refs));
+    let readme = doc_refs.first().map(|(_, s)| *s).unwrap_or("");
+    report
+        .findings
+        .extend(model::spec_knob_findings(files.iter().map(|(c, s)| (c, s.as_str())), readme));
     // Workspace-level audit-coverage pass: every crate on the hwdp-audit
     // roster must register at least one sanitizer checker somewhere in
     // its src/ tree. Anchored at the crate root so the finding (and any

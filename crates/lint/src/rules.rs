@@ -12,8 +12,10 @@
 //! `impl … Sanitizer for …` registrations. Inline suppressions of the
 //! form `// hwdp-lint: allow(rule-id): justification` are honoured.
 
+use crate::expr;
 use crate::item_tree::ItemTree;
 use crate::lexer::{lex, TokKind, Token};
+use crate::model::ApiModel;
 
 /// Crates on the simulation path: their container iteration order, clock
 /// sources, and threading discipline decide whether a campaign replays
@@ -72,7 +74,7 @@ pub struct RuleInfo {
 }
 
 /// Every rule this pass knows, for documentation and `--rules` output.
-pub const RULES: [RuleInfo; 10] = [
+pub const RULES: [RuleInfo; 16] = [
     RuleInfo {
         id: "det-hash-container",
         summary: "HashMap/HashSet iteration order is randomized per process; use BTreeMap/BTreeSet or Vec",
@@ -123,6 +125,36 @@ pub const RULES: [RuleInfo; 10] = [
         summary: "audited sim-path crates must register an `impl ... Sanitizer for ...` checker",
         scope: "core, mem, nvme, os, smu, tier",
     },
+    RuleInfo {
+        id: "unit-mix",
+        summary: "_ns/_us/_ms-suffixed values may not meet in arithmetic or cross a call boundary into a differently-suffixed parameter without a conversion",
+        scope: "sim-path crates",
+    },
+    RuleInfo {
+        id: "result-dropped",
+        summary: "`let _ =` / bare-statement discard of a Result-returning call swallows the error path",
+        scope: "sim-path library code",
+    },
+    RuleInfo {
+        id: "metric-key-duplicate",
+        summary: "the same key exported twice by one export_metrics sink shadows itself in keyed readers",
+        scope: "export_metrics sinks (workspace pass)",
+    },
+    RuleInfo {
+        id: "metric-key-undocumented",
+        summary: "every exported metric key must appear in README/DESIGN metric documentation",
+        scope: "export_metrics sinks (workspace pass)",
+    },
+    RuleInfo {
+        id: "metric-key-unexported",
+        summary: "metric-table rows documenting keys no sink exports are doc drift",
+        scope: "README/DESIGN metric tables (workspace pass)",
+    },
+    RuleInfo {
+        id: "spec-knob-consistency",
+        summary: "every JobSpec field needs an identity decision, a to_json key, a CLI exposure, a README mention, and a test",
+        scope: "crates/harness JobSpec (workspace pass)",
+    },
 ];
 
 fn is_sim_path(crate_name: &str) -> bool {
@@ -141,6 +173,15 @@ pub fn applies(rule: &str, ctx: &FileContext) -> bool {
             !ctx.is_bin && ctx.crate_name != "cli" && ctx.crate_name != "bench"
         }
         "audit-coverage" => AUDIT_REQUIRED_CRATES.contains(&ctx.crate_name.as_str()),
+        "unit-mix" => is_sim_path(&ctx.crate_name),
+        "result-dropped" => is_sim_path(&ctx.crate_name) && !ctx.is_bin,
+        // Workspace passes: emitted by `lint_workspace`, not the per-file
+        // scanner. Scoped here so the rule table test covers them and the
+        // baseline machinery treats them like any other rule.
+        "metric-key-duplicate" | "metric-key-undocumented" | "metric-key-unexported" => {
+            ctx.crate_name == "core" || ctx.crate_name == "harness"
+        }
+        "spec-knob-consistency" => ctx.crate_name == "harness",
         _ => false,
     }
 }
@@ -178,9 +219,16 @@ fn parse_allow(tok: &Token) -> Option<AllowDirective> {
     Some(AllowDirective { line: tok.line, col: tok.col, rules, justified })
 }
 
+/// Scans one source file against a model built from that file alone —
+/// call boundaries within the file still resolve. The workspace driver
+/// uses [`scan_with`] so boundaries resolve across crates.
+pub fn scan(ctx: &FileContext, source: &str) -> ScanOutcome {
+    scan_with(ctx, source, &ApiModel::of_file(ctx, source))
+}
+
 /// Scans one source file and returns its findings, inline suppressions
 /// already applied. Findings are ordered by source position.
-pub fn scan(ctx: &FileContext, source: &str) -> ScanOutcome {
+pub fn scan_with(ctx: &FileContext, source: &str, model: &ApiModel) -> ScanOutcome {
     let tokens = lex(source);
     let mut allows = Vec::new();
     let mut findings = Vec::new();
@@ -213,6 +261,8 @@ pub fn scan(ctx: &FileContext, source: &str) -> ScanOutcome {
         }
         check_at(ctx, &sig, i, &mut raw);
     }
+    check_unit_mix(ctx, &sig, &test_mask, model, &mut raw);
+    check_result_dropped(ctx, &sig, &test_mask, model, &mut raw);
     let has_sanitizer_impl = tree.has_trait_impl(&sig, "Sanitizer");
 
     let mut suppressed = 0usize;
@@ -367,6 +417,173 @@ fn check_at(ctx: &FileContext, sig: &[&Token], i: usize, out: &mut Vec<Finding>)
             "{:p} formats an ASLR-dependent pointer address into output".into(),
             out,
         );
+    }
+}
+
+/// The `unit-mix` rule: `_ns`/`_us`/`_ms`-suffixed identifiers may not
+/// meet in additive/comparison arithmetic, and a suffixed identifier
+/// passed bare across a call boundary must land in a parameter of the
+/// same unit. Composite arguments and `*`/`/`-scaled operands are exempt
+/// by construction — scaling *is* the recognized conversion, as are the
+/// `hwdp_sim::time` constructors (whose `ns`/`us`/`ms` parameter names
+/// make them checkable call boundaries themselves).
+fn check_unit_mix(
+    ctx: &FileContext,
+    sig: &[&Token],
+    mask: &[bool],
+    model: &ApiModel,
+    out: &mut Vec<Finding>,
+) {
+    if !applies("unit-mix", ctx) {
+        return;
+    }
+    for b in expr::bin_ops(sig) {
+        if mask.get(b.at).copied().unwrap_or(false) {
+            continue;
+        }
+        let (Some(l), Some(r)) =
+            (ApiModel::time_suffix(&b.lhs), ApiModel::time_suffix(&b.rhs))
+        else {
+            continue;
+        };
+        if l != r {
+            out.push(Finding {
+                file: ctx.path.clone(),
+                line: b.line,
+                col: b.col,
+                rule: "unit-mix",
+                message: format!(
+                    "`{}` ({l}) and `{}` ({r}) meet in `{}` without a unit conversion",
+                    b.lhs, b.rhs, b.op
+                ),
+            });
+        }
+    }
+    for c in expr::call_sites(sig) {
+        if mask.get(c.at).copied().unwrap_or(false) {
+            continue;
+        }
+        for (k, arg) in c.args.iter().enumerate() {
+            let Some(name) = arg.sole_ident.as_deref() else { continue };
+            let Some(s_arg) = ApiModel::time_suffix(name) else { continue };
+            let Some(s_param) = model.agreed_param_suffix(&c.callee, k) else { continue };
+            if s_arg != s_param {
+                out.push(Finding {
+                    file: ctx.path.clone(),
+                    line: c.line,
+                    col: c.col,
+                    rule: "unit-mix",
+                    message: format!(
+                        "`{name}` ({s_arg}) is passed to `{}` whose parameter {} takes {s_param}",
+                        c.callee,
+                        k + 1
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Index of the `(` opening the group that closes at `close_idx`.
+fn matching_open(sig: &[&Token], close_idx: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    for k in (0..=close_idx).rev() {
+        if sig[k].is_punct(')') {
+            depth += 1;
+        } else if sig[k].is_punct('(') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// The `result-dropped` rule: a statement that discards the value of a
+/// call whose every known signature returns `Result` — either a bare
+/// `f(…);` expression statement or an explicit `let _ = f(…);`.
+fn check_result_dropped(
+    ctx: &FileContext,
+    sig: &[&Token],
+    mask: &[bool],
+    model: &ApiModel,
+    out: &mut Vec<Finding>,
+) {
+    if !applies("result-dropped", ctx) {
+        return;
+    }
+    for i in 2..sig.len() {
+        if !sig[i].is_punct(';') || !sig[i - 1].is_punct(')') {
+            continue;
+        }
+        let Some(open) = matching_open(sig, i - 1) else { continue };
+        if open == 0 {
+            continue;
+        }
+        let callee_idx = open - 1;
+        let callee = sig[callee_idx];
+        if callee.kind != TokKind::Ident || mask.get(callee_idx).copied().unwrap_or(false) {
+            continue;
+        }
+        if callee_idx > 0 && sig[callee_idx - 1].is_punct('!') {
+            continue; // macro invocation
+        }
+        if !model.always_returns_result(&callee.text) {
+            continue;
+        }
+        // Walk back over the receiver/path chain to the statement start.
+        let mut k = callee_idx;
+        while k > 0 {
+            let p = sig[k - 1];
+            if p.kind == TokKind::Ident || p.is_punct('.') || p.is_punct(':') || p.is_punct('?') {
+                k -= 1;
+            } else if p.is_punct(')') || p.is_punct(']') {
+                let (o, c) = if p.is_punct(')') { ('(', ')') } else { ('[', ']') };
+                // Jump over the matched group.
+                let mut depth = 0i64;
+                let mut j = k - 1;
+                loop {
+                    if sig[j].is_punct(c) {
+                        depth += 1;
+                    } else if sig[j].is_punct(o) {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    if j == 0 {
+                        break;
+                    }
+                    j -= 1;
+                }
+                k = j;
+            } else {
+                break;
+            }
+        }
+        let boundary = k.checked_sub(1).map(|p| sig[p]);
+        let discarded_stmt = match boundary {
+            None => true,
+            Some(b) if b.is_punct(';') || b.is_punct('{') || b.is_punct('}') => true,
+            // `let _ = f(…);` — the wildcard, not a named `_x` binding.
+            Some(b) if b.is_punct('=') => {
+                k >= 3 && sig[k - 2].is_ident("_") && sig[k - 3].is_ident("let")
+            }
+            _ => false,
+        };
+        if discarded_stmt {
+            out.push(Finding {
+                file: ctx.path.clone(),
+                line: callee.line,
+                col: callee.col,
+                rule: "result-dropped",
+                message: format!(
+                    "the Result of `{}(…)` is discarded; handle it, `?` it, or match on it",
+                    callee.text
+                ),
+            });
+        }
     }
 }
 
@@ -550,12 +767,121 @@ mod tests {
             // Each rule applies somewhere and is absent somewhere else
             // (except hygiene-dbg which is global).
             let lib = ctx_for("core");
+            let harness = ctx_for("harness");
             let bin = FileContext { crate_name: "cli".into(), is_bin: true, path: "x".into() };
             assert!(
-                applies(r.id, &lib) || applies(r.id, &bin),
+                applies(r.id, &lib) || applies(r.id, &harness) || applies(r.id, &bin),
                 "{} applies nowhere",
                 r.id
             );
         }
+    }
+
+    // ----- unit-mix -----------------------------------------------------------
+
+    #[test]
+    fn unit_mix_arithmetic_positive() {
+        let src = "fn f(a_ns: u64, b_us: u64) -> u64 { a_ns + b_us }";
+        assert_eq!(rules_found("sim", src), vec!["unit-mix"]);
+        let cmp = "fn g(wall_ms: u64, warm_us: u64) -> bool { wall_ms < warm_us }";
+        assert_eq!(rules_found("tier", cmp), vec!["unit-mix"]);
+    }
+
+    #[test]
+    fn unit_mix_call_boundary_positive() {
+        let src = "fn sink(t_us: u64) {}\nfn f(t_ns: u64) { sink(t_ns); }";
+        let out = scan(&ctx_for("smu"), src);
+        assert_eq!(out.findings.len(), 1, "{:?}", out.findings);
+        assert_eq!(out.findings[0].rule, "unit-mix");
+        assert!(out.findings[0].message.contains("sink"));
+    }
+
+    #[test]
+    fn unit_mix_negative_conversions_and_scoping() {
+        // Same unit: fine. Scaled operand: the conversion. Composite
+        // argument: opaque by design. Method-converted: opaque.
+        let src = "fn sink(t_us: u64) {}\nfn f(a_ns: u64, b_ns: u64, c_us: u64) {\n\
+                   let x = a_ns + b_ns;\n\
+                   let y = a_ns + c_us * 1000;\n\
+                   sink(a_ns / 1000);\n\
+                   sink(c_us);\n\
+                   }";
+        assert!(rules_found("sim", src).is_empty());
+        // Out of scope: harness/cli aggregate wall-clock and virtual
+        // numbers deliberately.
+        let bad = "fn f(a_ns: u64, b_us: u64) -> u64 { a_ns + b_us }";
+        assert!(rules_found("harness", bad).is_empty());
+    }
+
+    #[test]
+    fn unit_mix_ignores_strings_comments_and_tests() {
+        let src = r#"
+            // prose: elapsed_ns + wall_ms is fine in a comment
+            fn doc() -> &'static str { "a_ns + b_us" }
+            #[cfg(test)]
+            mod t { fn x(a_ns: u64, b_us: u64) -> u64 { a_ns + b_us } }
+        "#;
+        assert!(rules_found("sim", src).is_empty());
+    }
+
+    #[test]
+    fn unit_mix_ambiguous_callee_is_skipped() {
+        // Two `sink` fns disagree on the parameter's unit: no finding.
+        let src = "fn sink(t_us: u64) {}\nfn sink(t_ns: u64) {}\nfn f(t_ns: u64) { sink(t_ns); }";
+        assert!(rules_found("sim", src).is_empty());
+    }
+
+    // ----- result-dropped -----------------------------------------------------
+
+    #[test]
+    fn result_dropped_positive_statement_and_let_underscore() {
+        let src = "fn fallible() -> Result<(), E> { Ok(()) }\n\
+                   fn f() { fallible(); let _ = fallible(); }";
+        assert_eq!(rules_found("os", src), vec!["result-dropped"; 2]);
+    }
+
+    #[test]
+    fn result_dropped_positive_method_chain() {
+        let src = "impl S { fn submit(&mut self, x: u32) -> Result<u32, E> { Ok(x) } }\n\
+                   fn f(s: &mut S) { s.submit(1); }";
+        assert_eq!(rules_found("nvme", src), vec!["result-dropped"]);
+    }
+
+    #[test]
+    fn result_dropped_negative_handled_results() {
+        let src = "fn fallible() -> Result<(), E> { Ok(()) }\n\
+                   fn infallible() -> u32 { 1 }\n\
+                   fn f() -> Result<(), E> {\n\
+                   fallible()?;\n\
+                   let r = fallible();\n\
+                   let _named = fallible();\n\
+                   if fallible().is_ok() { infallible(); }\n\
+                   match fallible() { _ => {} }\n\
+                   fallible()\n\
+                   }";
+        assert!(rules_found("os", src).is_empty());
+    }
+
+    #[test]
+    fn result_dropped_negative_tests_and_macros() {
+        let src = r#"
+            fn fallible() -> Result<(), E> { Ok(()) }
+            fn f() { assert!(fallible().is_ok()); }
+            #[cfg(test)]
+            mod t { use super::*; fn g() { fallible(); } }
+        "#;
+        assert!(rules_found("os", src).is_empty());
+    }
+
+    #[test]
+    fn result_dropped_inline_allow() {
+        let src = "fn fallible() -> Result<(), E> { Ok(()) }\n\
+                   fn f() {\n\
+                   // hwdp-lint: allow(result-dropped): best-effort cleanup\n\
+                   fallible();\n\
+                   }";
+        let out = scan(&ctx_for("os"), src);
+        assert!(out.findings.is_empty());
+        assert_eq!(out.suppressed, 1);
     }
 }

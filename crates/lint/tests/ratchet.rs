@@ -70,6 +70,64 @@ fn committed_baseline_absorbs_every_finding() {
 }
 
 #[test]
+fn semantic_rule_families_carry_zero_grandfather_budget() {
+    // The expression-layer rule families (PR 7) shipped with every real
+    // finding fixed rather than baselined. Unlike the generic ratchet
+    // above (which lets a budget shrink), these start at zero and must
+    // stay there: a `LINT_allow.txt` line for any of them means new
+    // drift was grandfathered instead of fixed.
+    const SEMANTIC: [&str; 6] = [
+        "unit-mix",
+        "result-dropped",
+        "metric-key-duplicate",
+        "metric-key-undocumented",
+        "metric-key-unexported",
+        "spec-knob-consistency",
+    ];
+    let root = workspace_root();
+    let text = std::fs::read_to_string(hwdp_lint::baseline_path(&root))
+        .expect("baseline file exists");
+    let offending: Vec<String> = hwdp_lint::baseline::parse(&text)
+        .expect("baseline parses")
+        .into_iter()
+        .filter(|e| SEMANTIC.contains(&e.rule.as_str()))
+        .map(|e| format!("{} {} {}", e.count, e.rule, e.path))
+        .collect();
+    assert!(
+        offending.is_empty(),
+        "semantic rules must never grow a grandfather budget; fix the code instead:\n  {}",
+        offending.join("\n  ")
+    );
+}
+
+#[test]
+fn metric_registry_is_nonempty_and_sorted_by_location() {
+    // The registry the CI artifact is built from: every export_metrics
+    // sink key, in deterministic (file, sink, occurrence) order.
+    let root = workspace_root();
+    let keys = hwdp_lint::metric_registry(&root).expect("registry builds");
+    assert!(
+        keys.iter().any(|k| k.key == "elapsed_ns"),
+        "run-level sink keys present"
+    );
+    assert!(
+        keys.iter().any(|k| k.key == "hw_context"),
+        "per-thread sink keys present"
+    );
+    let json = hwdp_lint::registry_to_json(&keys).pretty();
+    assert!(json.contains("\"registry\""));
+    let mut locs: Vec<(&str, usize, u32)> =
+        keys.iter().map(|k| (k.file.as_str(), k.owner, k.line)).collect();
+    let sorted = {
+        let mut s = locs.clone();
+        s.sort();
+        s
+    };
+    assert_eq!(locs, sorted, "registry order is deterministic");
+    locs.clear();
+}
+
+#[test]
 fn every_audit_required_crate_registers_a_sanitizer() {
     // The audit-coverage rule must stay green on the live tree: each
     // layer on the hwdp-audit roster keeps its `impl Sanitizer` checker.

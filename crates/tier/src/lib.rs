@@ -774,6 +774,73 @@ mod tests {
     }
 
     #[test]
+    fn cap_zero_still_keeps_one_fast_slot() {
+        // `cap:0` is a degenerate but legal config: the limit floors at
+        // one page, so the engine never divides by zero or plans an
+        // unplaceable promotion.
+        let mut c = cfg(PolicyKind::Threshold);
+        c.cap_pct = 0;
+        let mut e = TierEngine::new(c);
+        for k in 0..64 {
+            e.register(k);
+        }
+        assert_eq!(e.fast_limit(), 1);
+        for k in 0..4 {
+            e.record_access(false, k);
+            e.record_access(false, k);
+        }
+        let plans = e.plan_tick(|_| true);
+        let promotes =
+            plans.iter().filter(|p| matches!(p, MigrationPlan::Promote { .. })).count();
+        assert_eq!(promotes, 1, "only the single slot is planned: {plans:?}");
+        for p in plans {
+            e.commit(p.key());
+        }
+        let mut report = hwdp_sim::sanitize::AuditReport::new();
+        e.sanitize(SanitizeLevel::Full, &mut report);
+        assert!(report.is_clean(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn exactly_full_fast_tier_demotes_coldest_under_pressure() {
+        // Fill the fast tier to exactly its limit with pages the policy
+        // would keep (nonzero heat), then heat a third page past the
+        // promotion threshold: the tick must plan no promotion, and must
+        // force-demote exactly one (the coldest) resident to make room.
+        let mut e = engine_with_pages(PolicyKind::Threshold, 8);
+        assert_eq!(e.fast_limit(), 2);
+        for k in 0..2 {
+            e.record_access(false, k);
+            e.record_access(false, k);
+        }
+        for p in e.plan_tick(|_| true) {
+            e.commit(p.key());
+        }
+        // Both residents warm (policy demote says keep), candidate hotter.
+        e.record_access(true, 0);
+        e.record_access(true, 1);
+        e.record_access(false, 2);
+        e.record_access(false, 2);
+        let plans = e.plan_tick(|_| true);
+        assert!(
+            plans.iter().all(|p| matches!(p, MigrationPlan::Demote { .. })),
+            "an exactly-full fast tier admits no promotion this tick: {plans:?}"
+        );
+        assert_eq!(plans.len(), 1, "one room-making demotion per overflow: {plans:?}");
+        for p in plans {
+            e.commit(p.key());
+        }
+        // The freed slot serves the hot candidate on the following tick.
+        e.record_access(false, 2);
+        e.record_access(false, 2);
+        let plans = e.plan_tick(|_| true);
+        assert!(
+            plans.iter().any(|p| matches!(p, MigrationPlan::Promote { key: 2, .. })),
+            "freed slot admits the overflowing candidate: {plans:?}"
+        );
+    }
+
+    #[test]
     fn ineligible_pages_are_skipped() {
         let mut e = engine_with_pages(PolicyKind::Threshold, 8);
         e.record_access(false, 1);

@@ -42,9 +42,11 @@ echo "== tier-1: build =="
 cargo build --release --workspace --offline
 
 echo "== static analysis: hwdp lint =="
-# Determinism & panic-policy gate (crates/lint). Fails on any finding not
-# grandfathered in baselines/LINT_allow.txt or suppressed inline with a
-# justified `hwdp-lint: allow(...)` comment.
+# Determinism, panic-policy, and semantic-contract gate (crates/lint):
+# token rules, unit-mix time dataflow, metric-key registry sync, and
+# spec-knob consistency. Fails on any finding not grandfathered in
+# baselines/LINT_allow.txt or suppressed inline with a justified
+# `hwdp-lint: allow(...)` comment.
 ./target/release/hwdp lint --deny
 
 echo "== tier-1: tests =="
@@ -58,6 +60,9 @@ else
   out="$(mktemp -d)"
   trap 'rm -rf "$out"' EXIT
 fi
+# Generated metric-key registry (every export_metrics sink key); archived
+# next to the campaign artifacts when HWDP_CI_OUT is set.
+./target/release/hwdp lint --metric-keys > "$out/metric-keys.json"
 ./target/release/hwdp sweep \
   --name seed \
   --scenarios fio,ycsb-c --modes osdp,hwdp \
