@@ -137,6 +137,9 @@ LINT OPTIONS:
   --rules                    print the rule table and exit
   --metric-keys              print the generated metric-key registry (JSON):
                              every string key at an export_metrics sink
+  --call-graph               print the workspace call graph (JSON): fn nodes,
+                             resolved edges, event-loop/completion/public root
+                             sets, and per-rule reachable counts
   --root DIR                 workspace root (default: discovered upward)
   --write-baseline           rewrite baselines/LINT_allow.txt from findings
 ";
@@ -454,8 +457,8 @@ fn gate(baseline_path: &str, current: &harness::Artifact, args: &Args) -> Result
     Ok(if report.passed() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
 }
 
-/// `hwdp lint [--json] [--deny] [--rules] [--metric-keys] [--root DIR]
-/// [--write-baseline]`.
+/// `hwdp lint [--json] [--deny] [--rules] [--metric-keys] [--call-graph]
+/// [--root DIR] [--write-baseline]`.
 fn lint_cmd(args: &Args) -> Result<ExitCode, ArgError> {
     if args.flag("rules") {
         println!("{:<20} {:<34} {}", "RULE", "SCOPE", "GUARDS AGAINST");
@@ -478,6 +481,12 @@ fn lint_cmd(args: &Args) -> Result<ExitCode, ArgError> {
         let keys = hwdp_lint::metric_registry(&root)
             .map_err(|e| ArgError(format!("lint failed under {}: {e}", root.display())))?;
         print!("{}", hwdp_lint::registry_to_json(&keys).pretty());
+        return Ok(ExitCode::SUCCESS);
+    }
+    if args.flag("call-graph") {
+        let graph = hwdp_lint::call_graph(&root)
+            .map_err(|e| ArgError(format!("lint failed under {}: {e}", root.display())))?;
+        print!("{}", hwdp_lint::graph_to_json(&graph).pretty());
         return Ok(ExitCode::SUCCESS);
     }
     let report = hwdp_lint::lint_workspace(&root)

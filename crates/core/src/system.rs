@@ -497,7 +497,7 @@ impl System {
             let dev = self.device_index[&(socket.0, device.0)];
             for p in 0..vma.pages {
                 let lba = self.os.fs.lba_of(file, p);
-                let (pfn, evictions) = self.os.alloc_frame();
+                let Some((pfn, evictions)) = self.os.alloc_frame() else { break };
                 assert!(evictions.is_empty(), "populate does not fit in memory");
                 let data = self.devices[dev].namespace(nsid).read_block(lba);
                 self.os.frames.dma_fill(pfn, data);
@@ -606,7 +606,7 @@ impl System {
             }
             if ev.dirty {
                 self.tier_note_writeback(&ev.block);
-                let dev = self.device_of(ev.block);
+                let Some(dev) = self.device_of(ev.block) else { continue };
                 self.devices[dev].namespace_mut(1).write_block(ev.block.lba, ev.data.clone());
             }
         }
@@ -713,7 +713,7 @@ impl System {
             .iter()
             .position(|&t| self.threads[t.0].pin.is_none_or(|p| p == hw))
         {
-            let tid = self.runqueue.remove(pos).expect("position valid");
+            let Some(tid) = self.runqueue.remove(pos) else { return };
             self.install(tid, hw, now);
             self.queue.schedule(now, Event::Step(tid));
         }
@@ -784,12 +784,14 @@ impl System {
         }
     }
 
-    fn region_vpn(&self, region: RegionId, offset: u64) -> Vpn {
-        let vma_id = *self.region_map.get(&region).expect("unmapped region");
-        let vma = self.os.aspace.get(vma_id).expect("region unmapped");
+    /// The VPN backing `offset` within a mapped region, or `None` when the
+    /// region has been unmapped (a late completion racing `munmap`).
+    fn region_vpn(&self, region: RegionId, offset: u64) -> Option<Vpn> {
+        let vma_id = *self.region_map.get(&region)?;
+        let vma = self.os.aspace.get(vma_id)?;
         let page = offset / 4096;
         assert!(page < vma.pages, "access beyond the mapped region");
-        vma.base.add(page)
+        Some(vma.base.add(page))
     }
 
     fn execute_access(&mut self, tid: ThreadId, hw: HwId, step: Step, now: Time) {
@@ -798,7 +800,13 @@ impl System {
             Step::Write { region, offset, .. } => (*region, *offset),
             _ => unreachable!("execute_access only handles accesses"),
         };
-        let vpn = self.region_vpn(region, offset);
+        let Some(vpn) = self.region_vpn(region, offset) else {
+            // The region vanished under the thread (access/unmap race in
+            // the workload script): retire the access as a no-op rather
+            // than aborting the campaign.
+            self.queue.schedule(now, Event::Step(tid));
+            return;
+        };
         self.hw[hw.0].state = HwThreadState::Active;
 
         let mut t = now;
@@ -872,7 +880,12 @@ impl System {
 
     fn start_osdp_fault(&mut self, tid: ThreadId, hw: HwId, vpn: Vpn, now: Time) {
         let costs = self.os.osdp_costs;
-        let (_, vma) = self.os.aspace.resolve(vpn).expect("fault outside any VMA");
+        let Some((_, vma)) = self.os.aspace.resolve(vpn) else {
+            // Fault outside any VMA: a real kernel would segfault the
+            // process. Retire the access instead of aborting the run.
+            self.queue.schedule(now, Event::Step(tid));
+            return;
+        };
         let key = (vma.file.0, vma.file_page(vpn));
 
         // If the OS takes over an LBA-augmented miss (free-queue-empty
@@ -896,7 +909,13 @@ impl System {
             return;
         }
 
-        match self.os.osdp_fault(vpn) {
+        let Some(plan) = self.os.osdp_fault(vpn) else {
+            // Segfault (no VMA) or frame exhaustion: retire the access so
+            // the campaign completes and surfaces the anomaly in stats.
+            self.queue.schedule(now, Event::Step(tid));
+            return;
+        };
+        match plan {
             FaultPlan::Minor { pfn } => {
                 // Exception + handler + metadata, no I/O, no switch.
                 let lat = entry_lat + costs.metadata_update.latency;
@@ -968,7 +987,8 @@ impl System {
             {
                 continue;
             }
-            let (pfn, evictions) = self.os.alloc_frame();
+            // Readahead is best-effort: stop when frames run out.
+            let Some((pfn, evictions)) = self.os.alloc_frame() else { break };
             self.handle_evictions(evictions, at);
             let block = self.os.block_for(vma.file, file_page);
             self.submit_read(block, pfn, at, Purpose::OsdpRead { key }, 0);
@@ -997,12 +1017,16 @@ impl System {
             if walk.pte.class() != PteClass::LbaAugmented {
                 continue;
             }
-            let block = walk.pte.block().expect("LBA-augmented PTE carries a block");
+            let Some(block) = walk.pte.block() else { continue };
             let req = MissRequest { walk, block, waiter: 0, core: hw.0 };
             let Some((entry, qid, cmd, _pfn, before)) = self.smu.begin_prefetch(req) else {
                 continue;
             };
-            let dev = self.device_of(block);
+            let Some(dev) = self.device_of(block) else {
+                // Unknown device: abandon the prefetch (best-effort).
+                self.smu.abandon_io(entry, 0);
+                continue;
+            };
             self.submit_or_defer(
                 dev,
                 qid,
@@ -1054,8 +1078,17 @@ impl System {
     // ----- the HWDP / SW-only path -------------------------------------------
 
     fn start_lba_miss(&mut self, tid: ThreadId, hw: HwId, vpn: Vpn, now: Time) {
-        let walk = self.os.page_table.walk(vpn).expect("fast-mmap tables are populated");
-        let block = walk.pte.block().expect("LBA-augmented PTE carries a block");
+        // Fast-mmap tables are always populated and the PTE carries a
+        // block; if either invariant slips, the OSDP path handles any PTE
+        // state, so degrade there instead of panicking.
+        let Some(walk) = self.os.page_table.walk(vpn) else {
+            self.start_osdp_fault(tid, hw, vpn, now);
+            return;
+        };
+        let Some(block) = walk.pte.block() else {
+            self.start_osdp_fault(tid, hw, vpn, now);
+            return;
+        };
         let req = MissRequest { walk, block, waiter: tid.0 as u64, core: hw.0 };
         let sw = self.cfg.mode == Mode::SwOnly;
         match self.smu.begin_miss(req) {
@@ -1073,7 +1106,12 @@ impl System {
                 } else {
                     before_device
                 };
-                let dev = self.device_of(block);
+                let Some(dev) = self.device_of(block) else {
+                    // Unknown device: abandon the hardware miss and route
+                    // every waiter through the OS fault path.
+                    self.escalate_hwdp(entry, now);
+                    return;
+                };
                 let submit_at = now + before;
                 let _ = pfn; // frame is delivered via finish_io
                 let done_at = self.submit_or_defer(
@@ -1252,15 +1290,16 @@ impl System {
 
     // ----- I/O plumbing -------------------------------------------------------
 
-    fn device_of(&self, block: BlockRef) -> usize {
-        *self
-            .device_index
-            .get(&(block.socket.0, block.device.0))
-            .expect("unknown device in block reference")
+    /// The device table index for a block reference, or `None` for a block
+    /// naming a device this system was not built with.
+    fn device_of(&self, block: BlockRef) -> Option<usize> {
+        self.device_index.get(&(block.socket.0, block.device.0)).copied()
     }
 
     fn submit_read(&mut self, block: BlockRef, pfn: Pfn, at: Time, purpose: Purpose, attempt: u32) {
-        let dev = self.device_of(block);
+        // An unknown device cannot be read from; drop the request (the
+        // fault recovery watchdog surfaces any waiter this strands).
+        let Some(dev) = self.device_of(block) else { return };
         self.wb_cid = self.wb_cid.wrapping_add(1);
         let cmd = NvmeCommand::read4k(self.wb_cid, 1, block.lba.0, pfn.base());
         let qid = self.os_queues[dev];
@@ -1380,7 +1419,11 @@ impl System {
     /// recovery machinery (injected media error, stale watchdog-recovered
     /// token, swallowed completion).
     fn handle_io_done(&mut self, dev: usize, token: CompletionToken, purpose: Purpose, now: Time) {
-        let done = self.devices[dev].complete(token, now);
+        let Some(done) = self.devices[dev].complete(token, now) else {
+            // Unknown or already-retired token (watchdog recovery raced
+            // the completion): nothing left to deliver.
+            return;
+        };
         if !done.dropped {
             // Drain the CQ like real host software (keeps queue protocol
             // state honest; entries checked in tests). Dropped completions
@@ -1569,7 +1612,11 @@ impl System {
         if attempt < self.cfg.retry.max_retries {
             if let Some((qid, cmd)) = self.smu.reissue_read(entry) {
                 self.io_retries += 1;
-                let dev = self.device_of(block);
+                let Some(dev) = self.device_of(block) else {
+                    // Device vanished from the table: no retry possible.
+                    self.escalate_hwdp(entry, now);
+                    return;
+                };
                 let backoff = self.cfg.retry.backoff_base * (1u64 << attempt.min(16));
                 self.submit_or_defer(
                     dev,
@@ -1598,8 +1645,9 @@ impl System {
             if let Some(step) = &self.threads[tid.0].current {
                 if let Step::Read { region, offset, .. } | Step::Write { region, offset, .. } = step
                 {
-                    let vpn = self.region_vpn(*region, *offset);
-                    self.force_osdp.insert(vpn.0);
+                    if let Some(vpn) = self.region_vpn(*region, *offset) {
+                        self.force_osdp.insert(vpn.0);
+                    }
                 }
             }
             match self.threads[tid.0].state {
@@ -1671,7 +1719,7 @@ impl System {
                 // the device's write drain rate instead of dumping the
                 // whole burst at once — the kernel's writeback throttling.
                 self.tier_note_writeback(&ev.block);
-                let dev = self.device_of(ev.block);
+                let Some(dev) = self.device_of(ev.block) else { continue };
                 let pace = self.devices[dev].profile().write_4k
                     / self.devices[dev].profile().channels as u64;
                 let at = now + pace * submitted;

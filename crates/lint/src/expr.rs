@@ -66,10 +66,20 @@ pub struct Arg {
 #[derive(Clone, Debug)]
 pub struct CallSite {
     /// The identifier directly before the argument list (for method and
-    /// path calls this is the final segment).
+    /// path calls this is the final segment). Turbofish call sites
+    /// (`f::<T>(…)`) report the identifier before the `::<…>`.
     pub callee: String,
     /// `true` when invoked as `receiver.callee(…)`.
     pub is_method: bool,
+    /// `true` when invoked as exactly `self.callee(…)` (the receiver is
+    /// the bare `self`, not a field or a chained expression).
+    pub receiver_self: bool,
+    /// The path segment qualifying the call, when there is one:
+    /// `Foo::bar(…)` → `Foo`, `<T as Trait>::f(…)` → `T`,
+    /// `Self::helper(…)` → `Self`. `None` for unqualified and method
+    /// calls. Call-graph resolution uses this to narrow candidates to an
+    /// impl owner; a qualifier matching nothing narrows nothing.
+    pub qualifier: Option<String>,
     /// Arguments in order.
     pub args: Vec<Arg>,
     /// Significant-token index of the callee identifier.
@@ -139,7 +149,7 @@ pub fn fn_sigs(sig: &[&Token], tree: &ItemTree, mask: &[bool]) -> Vec<FnSig> {
         let header_end = item.body.map_or(item.span.1, |(s, _)| s).min(sig.len());
         let Some(open) = paren_after_generics(sig, kw + 2, header_end) else { return };
         let Some(close) = matching_close(sig, open, '(', ')') else { return };
-        let params = split_params(sig, open + 1, close);
+        let (params, _has_self) = split_params(sig, open + 1, close);
         let ret = &sig[(close + 1).min(header_end)..header_end];
         let returns_result = ret.iter().any(|t| t.is_ident("Result"));
         out.push(FnSig {
@@ -155,7 +165,7 @@ pub fn fn_sigs(sig: &[&Token], tree: &ItemTree, mask: &[bool]) -> Vec<FnSig> {
 
 /// First `(` at angle-depth 0 in `sig[from..end]` — skips a generic
 /// parameter list (which may itself contain `Fn(…) -> T` bounds).
-fn paren_after_generics(sig: &[&Token], from: usize, end: usize) -> Option<usize> {
+pub(crate) fn paren_after_generics(sig: &[&Token], from: usize, end: usize) -> Option<usize> {
     let mut angle = 0i64;
     let mut k = from;
     while k < end {
@@ -177,14 +187,19 @@ fn paren_after_generics(sig: &[&Token], from: usize, end: usize) -> Option<usize
 }
 
 /// Splits `sig[start..end]` (the inside of a parameter list) at top-level
-/// commas and extracts each parameter. The `self` receiver is dropped.
-fn split_params(sig: &[&Token], start: usize, end: usize) -> Vec<Param> {
+/// commas and extracts each parameter. The `self` receiver is dropped
+/// from the list; whether one was present is returned alongside.
+pub(crate) fn split_params(sig: &[&Token], start: usize, end: usize) -> (Vec<Param>, bool) {
     let mut params = Vec::new();
+    let mut has_self = false;
     for (lo, hi) in split_top_level(sig, start, end) {
         let group = &sig[lo..hi];
-        if group.iter().all(|t| {
-            t.is_ident("self") || t.is_ident("mut") || t.is_punct('&') || t.kind == TokKind::Lifetime
-        }) {
+        if !group.is_empty()
+            && group.iter().all(|t| {
+                t.is_ident("self") || t.is_ident("mut") || t.is_punct('&') || t.kind == TokKind::Lifetime
+            })
+        {
+            has_self = true;
             continue; // receiver (`self`, `&mut self`, `&'a self`)
         }
         // Binding name: the identifier immediately before the first
@@ -216,12 +231,12 @@ fn split_params(sig: &[&Token], start: usize, end: usize) -> Vec<Param> {
         }
         params.push(Param { name, ty });
     }
-    params
+    (params, has_self)
 }
 
 /// Comma-separated top-level groups of `sig[start..end]` as half-open
 /// index ranges; empty groups are dropped.
-fn split_top_level(sig: &[&Token], start: usize, end: usize) -> Vec<(usize, usize)> {
+pub(crate) fn split_top_level(sig: &[&Token], start: usize, end: usize) -> Vec<(usize, usize)> {
     let mut groups = Vec::new();
     let mut depth = 0i64;
     let mut lo = start;
@@ -246,9 +261,81 @@ fn split_top_level(sig: &[&Token], start: usize, end: usize) -> Vec<(usize, usiz
     groups
 }
 
+/// Index of the `>` closing the angle group opened at `open_idx`. `->`
+/// arrows inside the group (e.g. `::<fn(u64) -> bool>`) do not close it.
+fn matching_angle(sig: &[&Token], open_idx: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    for (k, t) in sig.iter().enumerate().skip(open_idx) {
+        if t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct('>') && !(k > 0 && sig[k - 1].is_punct('-')) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        } else if t.is_punct(';') || t.is_punct('{') {
+            return None; // ran off the expression: not a turbofish
+        }
+    }
+    None
+}
+
+/// The path segment qualifying the call at `callee_idx`, when the two
+/// tokens before it are `::`. `Foo::bar` → `Foo`; `<T as Trait>::f` and
+/// `<T>::f` → `T`; `Foo<A>::f` → `Foo`.
+fn call_qualifier(sig: &[&Token], callee_idx: usize) -> Option<String> {
+    if callee_idx < 3 || !sig[callee_idx - 1].is_punct(':') || !sig[callee_idx - 2].is_punct(':') {
+        return None;
+    }
+    let q = sig[callee_idx - 3];
+    if q.kind == TokKind::Ident {
+        return Some(q.text.clone());
+    }
+    if q.is_punct('>') {
+        // Scan back to the matching `<`, then name the qualified type:
+        // the ident before the `<` when the angles are generic arguments
+        // (`Foo<A>::f`), else the first ident inside (`<T as Trait>::f`).
+        let mut depth = 0i64;
+        let mut m = callee_idx - 3;
+        loop {
+            if sig[m].is_punct('>') && !(m > 0 && sig[m - 1].is_punct('-')) {
+                depth += 1;
+            } else if sig[m].is_punct('<') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            if m == 0 {
+                return None;
+            }
+            m -= 1;
+        }
+        if m > 0 && sig[m - 1].kind == TokKind::Ident {
+            return Some(sig[m - 1].text.clone());
+        }
+        // `Type::<args>::method`: the `<` is preceded by `::` preceded by
+        // the owning type.
+        if m >= 3
+            && sig[m - 1].is_punct(':')
+            && sig[m - 2].is_punct(':')
+            && sig[m - 3].kind == TokKind::Ident
+        {
+            return Some(sig[m - 3].text.clone());
+        }
+        return sig[m + 1..callee_idx - 3]
+            .iter()
+            .find(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone());
+    }
+    None
+}
+
 /// Harvests every call site in the stream. Macro invocations
 /// (`name!(…)`), definitions (`fn name(…)`), and keyword-parenthesis
-/// pairs are excluded.
+/// pairs are excluded. Turbofish call sites (`f::<T>(…)`, method or
+/// free) are recognized: the generic-argument list is skipped and the
+/// arguments are read from the parenthesis that follows it.
 pub fn call_sites(sig: &[&Token]) -> Vec<CallSite> {
     let mut out = Vec::new();
     for i in 0..sig.len() {
@@ -256,21 +343,42 @@ pub fn call_sites(sig: &[&Token]) -> Vec<CallSite> {
         if t.kind != TokKind::Ident || NON_CALL_KEYWORDS.contains(&t.text.as_str()) {
             continue;
         }
-        if !sig.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+        // The argument list opens either directly after the callee or
+        // after a turbofish `::<…>`.
+        let open = if sig.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            i + 1
+        } else if sig.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && sig.get(i + 2).is_some_and(|n| n.is_punct(':'))
+            && sig.get(i + 3).is_some_and(|n| n.is_punct('<'))
+        {
+            match matching_angle(sig, i + 3) {
+                Some(close_angle) if sig.get(close_angle + 1).is_some_and(|n| n.is_punct('(')) => {
+                    close_angle + 1
+                }
+                _ => continue,
+            }
+        } else {
             continue;
-        }
+        };
         let prev = i.checked_sub(1).map(|p| sig[p]);
         if prev.is_some_and(|p| p.is_punct('!') || p.is_ident("fn")) {
             continue; // macro or definition
         }
-        let Some(close) = matching_close(sig, i + 1, '(', ')') else { continue };
-        let args = split_top_level(sig, i + 2, close)
+        let Some(close) = matching_close(sig, open, '(', ')') else { continue };
+        let args = split_top_level(sig, open + 1, close)
             .into_iter()
             .map(|(lo, hi)| Arg { sole_ident: sole_ident_of(&sig[lo..hi]) })
             .collect();
+        let is_method = prev.is_some_and(|p| p.is_punct('.'));
+        let receiver_self = is_method
+            && i >= 2
+            && sig[i - 2].is_ident("self")
+            && (i < 3 || !sig[i - 3].is_punct('.'));
         out.push(CallSite {
             callee: t.text.clone(),
-            is_method: prev.is_some_and(|p| p.is_punct('.')),
+            is_method,
+            receiver_self,
+            qualifier: if is_method { None } else { call_qualifier(sig, i) },
             args,
             at: i,
             line: t.line,
@@ -555,6 +663,46 @@ mod tests {
         assert!(calls[1].is_method);
         assert_eq!(calls[1].args[0].sole_ident.as_deref(), Some("b_us"));
         assert_eq!(calls[1].args[1].sole_ident, None, "composite args are opaque");
+    }
+
+    #[test]
+    fn turbofish_call_sites() {
+        let src = "fn f() { parse::<u64>(s); let v = iter.collect::<Vec<_>>(); g::<fn(u64) -> bool>(p); }";
+        let (toks, _) = prep(src);
+        let sig: Vec<&Token> = toks.iter().filter(|t| t.kind != TokKind::Comment).collect();
+        let calls = call_sites(&sig);
+        let names: Vec<&str> = calls.iter().map(|c| c.callee.as_str()).collect();
+        assert_eq!(names, vec!["parse", "collect", "g"]);
+        assert_eq!(calls[0].args[0].sole_ident.as_deref(), Some("s"));
+        assert!(calls[1].is_method);
+        assert!(calls[1].args.is_empty());
+        assert_eq!(calls[2].args[0].sole_ident.as_deref(), Some("p"), "fn-ptr arrow inside turbofish");
+    }
+
+    #[test]
+    fn qualified_call_sites() {
+        let src = "fn f() { Foo::bar(x); <T as Trait>::go(a); Self::helper(); self.submit(io); q.r.send(m); }";
+        let (toks, _) = prep(src);
+        let sig: Vec<&Token> = toks.iter().filter(|t| t.kind != TokKind::Comment).collect();
+        let calls = call_sites(&sig);
+        assert_eq!(calls.len(), 5, "{calls:?}");
+        assert_eq!(calls[0].qualifier.as_deref(), Some("Foo"));
+        assert_eq!((calls[1].callee.as_str(), calls[1].qualifier.as_deref()), ("go", Some("T")));
+        assert_eq!(calls[2].qualifier.as_deref(), Some("Self"));
+        assert!(calls[3].receiver_self, "bare self receiver");
+        assert!(calls[3].qualifier.is_none());
+        assert!(calls[4].is_method && !calls[4].receiver_self, "chained receiver is not self");
+    }
+
+    #[test]
+    fn generic_owner_qualifier() {
+        let src = "fn f() { Vec::<u8>::with_capacity(n); Wrapper<T>::make(y); }";
+        let (toks, _) = prep(src);
+        let sig: Vec<&Token> = toks.iter().filter(|t| t.kind != TokKind::Comment).collect();
+        let calls = call_sites(&sig);
+        let qv: Vec<(&str, Option<&str>)> =
+            calls.iter().map(|c| (c.callee.as_str(), c.qualifier.as_deref())).collect();
+        assert_eq!(qv, vec![("with_capacity", Some("Vec")), ("make", Some("Wrapper"))]);
     }
 
     #[test]

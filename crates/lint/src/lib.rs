@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod callgraph;
 pub mod expr;
 pub mod item_tree;
 pub mod lexer;
@@ -216,6 +217,112 @@ pub fn registry_to_json(keys: &[model::MetricKey]) -> Json {
     ])
 }
 
+/// Builds the workspace call graph (see [`callgraph`]) over every
+/// in-scope source file under `root`. This is what `hwdp lint
+/// --call-graph` serializes and CI archives.
+pub fn call_graph(root: &Path) -> std::io::Result<callgraph::CallGraph> {
+    let mut files = Vec::new();
+    for path in collect_sources(root)? {
+        let rel = relative(root, &path);
+        files.push((context_for(&rel), std::fs::read_to_string(&path)?));
+    }
+    Ok(callgraph::build(files.iter().map(|(c, s)| (c, s.as_str()))))
+}
+
+/// Serializes the call graph through the dependency-free JSON writer:
+/// nodes, edges, root sets, and per-rule reachable counts, byte-stable
+/// across runs (node order follows sorted file paths and source order).
+pub fn graph_to_json(g: &callgraph::CallGraph) -> Json {
+    let rule_counts = {
+        let mut counts = std::collections::BTreeMap::new();
+        for f in callgraph::findings(g) {
+            *counts.entry(f.rule).or_insert(0usize) += 1;
+        }
+        counts
+    };
+    let roots = |ids: &[usize]| Json::Arr(ids.iter().map(|&i| Json::Num(i as f64)).collect());
+    Json::obj([
+        ("schema", Json::Num(1.0)),
+        ("nodes", Json::Num(g.nodes.len() as f64)),
+        (
+            "edges",
+            Json::Num(g.edges.iter().map(Vec::len).sum::<usize>() as f64),
+        ),
+        ("sccs", Json::Num(g.scc_count as f64)),
+        (
+            "roots",
+            Json::obj([
+                ("event_loop", roots(&g.event_roots)),
+                ("completion_path", roots(&g.completion_roots)),
+                ("public_api", roots(&g.public_roots)),
+            ]),
+        ),
+        (
+            "reachable",
+            Json::obj([
+                (
+                    "event_loop",
+                    Json::Num(g.reach_event.iter().filter(|&&r| r).count() as f64),
+                ),
+                (
+                    "completion_path",
+                    Json::Num(g.reach_completion.iter().filter(|&&r| r).count() as f64),
+                ),
+            ]),
+        ),
+        (
+            "rule_counts",
+            Json::obj(
+                ["det-reachability", "panic-reachability", "hot-path-alloc", "cast-truncation"]
+                    .map(|r| (r, Json::Num(rule_counts.get(r).copied().unwrap_or(0) as f64))),
+            ),
+        ),
+        (
+            "fns",
+            Json::Arr(
+                g.nodes
+                    .iter()
+                    .enumerate()
+                    .map(|(i, n)| {
+                        Json::obj([
+                            ("fn", Json::str(n.qualified())),
+                            ("crate", Json::str(n.crate_name.clone())),
+                            ("file", Json::str(n.file.clone())),
+                            ("line", Json::Num(n.line as f64)),
+                            ("pub", Json::Bool(n.is_pub)),
+                            ("arity", Json::Num(n.arity as f64)),
+                            ("scc", Json::Num(g.scc_of[i] as f64)),
+                            (
+                                "calls",
+                                Json::Arr(
+                                    g.edges[i].iter().map(|&w| Json::Num(w as f64)).collect(),
+                                ),
+                            ),
+                            (
+                                "sinks",
+                                Json::Arr(
+                                    n.sinks
+                                        .iter()
+                                        .map(|s| {
+                                            Json::obj([
+                                                ("kind", Json::str(s.kind.label())),
+                                                ("what", Json::str(s.what.clone())),
+                                                ("line", Json::Num(s.line as f64)),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                            ("reach_event", Json::Bool(g.reach_event[i])),
+                            ("reach_completion", Json::Bool(g.reach_completion[i])),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 /// Lints every in-scope source file under `root`. Inline allows are
 /// applied; the grandfather baseline is not (see [`baseline::apply`]).
 ///
@@ -233,10 +340,17 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
         files.push((context_for(&rel), std::fs::read_to_string(&path)?));
     }
     let model = model::ApiModel::build(files.iter().map(|(c, s)| (c, s.as_str())));
+    // Per-file justified allow directives, honoured by the workspace
+    // passes below exactly as the per-file scanner honours them.
+    let mut allow_map: std::collections::BTreeMap<String, Vec<(u32, Vec<String>)>> =
+        std::collections::BTreeMap::new();
     for (ctx, source) in &files {
         let outcome = rules::scan_with(ctx, source, &model);
         if outcome.has_sanitizer_impl {
             audited_crates.insert(ctx.crate_name.clone());
+        }
+        if !outcome.allows.is_empty() {
+            allow_map.insert(ctx.path.clone(), outcome.allows);
         }
         report.findings.extend(outcome.findings);
         report.inline_suppressed += outcome.suppressed;
@@ -244,11 +358,25 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
     }
     let docs = read_docs(root);
     let doc_refs: Vec<(&str, &str)> = docs.iter().map(|(n, s)| (*n, s.as_str())).collect();
-    report.findings.extend(model::metric_key_findings(&model, &doc_refs));
+    let mut workspace_findings = model::metric_key_findings(&model, &doc_refs);
     let readme = doc_refs.first().map(|(_, s)| *s).unwrap_or("");
-    report
-        .findings
+    workspace_findings
         .extend(model::spec_knob_findings(files.iter().map(|(c, s)| (c, s.as_str())), readme));
+    let graph = callgraph::build(files.iter().map(|(c, s)| (c, s.as_str())));
+    workspace_findings.extend(callgraph::findings(&graph));
+    for f in workspace_findings {
+        let allowed = allow_map.get(&f.file).is_some_and(|directives| {
+            directives.iter().any(|(line, allowed_rules)| {
+                (*line == f.line || *line + 1 == f.line)
+                    && allowed_rules.iter().any(|r| r == f.rule)
+            })
+        });
+        if allowed {
+            report.inline_suppressed += 1;
+        } else {
+            report.findings.push(f);
+        }
+    }
     // Workspace-level audit-coverage pass: every crate on the hwdp-audit
     // roster must register at least one sanitizer checker somewhere in
     // its src/ tree. Anchored at the crate root so the finding (and any

@@ -74,7 +74,7 @@ pub struct RuleInfo {
 }
 
 /// Every rule this pass knows, for documentation and `--rules` output.
-pub const RULES: [RuleInfo; 16] = [
+pub const RULES: [RuleInfo; 20] = [
     RuleInfo {
         id: "det-hash-container",
         summary: "HashMap/HashSet iteration order is randomized per process; use BTreeMap/BTreeSet or Vec",
@@ -155,6 +155,26 @@ pub const RULES: [RuleInfo; 16] = [
         summary: "every JobSpec field needs an identity decision, a to_json key, a CLI exposure, a README mention, and a test",
         scope: "crates/harness JobSpec (workspace pass)",
     },
+    RuleInfo {
+        id: "det-reachability",
+        summary: "nondeterministic sinks (wall clock, thread spawn, hash-order iteration, pointer formatting) in any fn the event loop transitively reaches, regardless of crate",
+        scope: "event-loop call-graph closure (workspace pass)",
+    },
+    RuleInfo {
+        id: "panic-reachability",
+        summary: "unwrap/expect/panic!/unreachable! reachable from the completion-path roots; completion must degrade to typed errors, not abort a campaign",
+        scope: "completion-path call-graph closure (workspace pass)",
+    },
+    RuleInfo {
+        id: "hot-path-alloc",
+        summary: "heap-allocation and .clone() sinks reachable from the event loop: the ratcheted census feeding the raw-speed work-list",
+        scope: "event-loop call-graph closure (workspace pass)",
+    },
+    RuleInfo {
+        id: "cast-truncation",
+        summary: "narrowing `as` casts on _ns/_us/_ms/cycle/LBA-suffixed operands in event-loop-reachable code can silently truncate",
+        scope: "event-loop call-graph closure (workspace pass)",
+    },
 ];
 
 fn is_sim_path(crate_name: &str) -> bool {
@@ -182,6 +202,9 @@ pub fn applies(rule: &str, ctx: &FileContext) -> bool {
             ctx.crate_name == "core" || ctx.crate_name == "harness"
         }
         "spec-knob-consistency" => ctx.crate_name == "harness",
+        // Call-graph reachability rules: scope is decided by graph
+        // closure, not file location, so every crate is eligible.
+        "det-reachability" | "panic-reachability" | "hot-path-alloc" | "cast-truncation" => true,
         _ => false,
     }
 }
@@ -278,7 +301,12 @@ pub fn scan_with(ctx: &FileContext, source: &str, model: &ApiModel) -> ScanOutco
         !allowed
     }));
     findings.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
-    ScanOutcome { findings, suppressed, has_sanitizer_impl }
+    let allows = allows
+        .iter()
+        .filter(|d| d.justified)
+        .map(|d| (d.line, d.rules.clone()))
+        .collect();
+    ScanOutcome { findings, suppressed, has_sanitizer_impl, allows }
 }
 
 /// What [`scan`] produced for one file.
@@ -291,6 +319,10 @@ pub struct ScanOutcome {
     /// (a non-test `impl … Sanitizer for …` item). Aggregated per crate by
     /// the workspace pass for the `audit-coverage` rule.
     pub has_sanitizer_impl: bool,
+    /// Justified inline allow directives as `(line, rule ids)`, so the
+    /// workspace passes (call-graph reachability, metric keys, spec
+    /// knobs) honour the same suppression syntax as the per-file rules.
+    pub allows: Vec<(u32, Vec<String>)>,
 }
 
 fn emit(ctx: &FileContext, tok: &Token, rule: &'static str, message: String, out: &mut Vec<Finding>) {

@@ -180,7 +180,7 @@ impl PageTable {
     pub fn set_pte(&mut self, vpn: Vpn, pte: Pte) {
         let (_, _, _, pt_i) = vpn.indices();
         self.ensure_populated(vpn);
-        let (_, _, pt_t, _) = self.leaf_of(vpn).expect("just populated");
+        let Some((_, _, pt_t, _)) = self.leaf_of(vpn) else { return };
         self.tables[pt_t as usize].entries[pt_i] = pte;
     }
 
@@ -189,7 +189,7 @@ impl PageTable {
     pub fn update_pte(&mut self, vpn: Vpn, f: impl FnOnce(Pte) -> Pte) -> Pte {
         let (_, _, _, pt_i) = vpn.indices();
         self.ensure_populated(vpn);
-        let (_, _, pt_t, _) = self.leaf_of(vpn).expect("just populated");
+        let Some((_, _, pt_t, _)) = self.leaf_of(vpn) else { return Pte::EMPTY };
         let e = &mut self.tables[pt_t as usize].entries[pt_i];
         *e = f(*e);
         *e
@@ -200,14 +200,23 @@ impl PageTable {
     /// miss time: flip the PTE to `present` (keeping its LBA bit) and set
     /// the LBA bits of the PMD and PUD entries.
     ///
+    /// Addresses outside the page-table region degrade to a no-op (the
+    /// update is dropped and `Pte::EMPTY` returned) — a captured walk can
+    /// only go stale through state corruption, and completion paths must
+    /// not panic.
+    ///
     /// # Panics
     ///
-    /// Panics if any address does not name a live entry of the right level,
+    /// Panics if an in-region address names an entry of the wrong level,
     /// or the PTE is not in the `LbaAugmented` state.
     pub fn smu_complete(&mut self, walk: &WalkResult, pfn: crate::addr::Pfn) -> Pte {
-        let (pt_t, pt_i) = split_addr(walk.pte_addr);
-        let (pmd_t, pmd_i) = split_addr(walk.pmd_addr);
-        let (pud_t, pud_i) = split_addr(walk.pud_addr);
+        let (Some((pt_t, pt_i)), Some((pmd_t, pmd_i)), Some((pud_t, pud_i))) = (
+            split_addr(walk.pte_addr),
+            split_addr(walk.pmd_addr),
+            split_addr(walk.pud_addr),
+        ) else {
+            return Pte::EMPTY;
+        };
         assert_eq!(self.tables[pt_t].level, Level::Pt, "pte_addr must name a leaf entry");
         assert_eq!(self.tables[pmd_t].level, Level::Pmd, "pmd_addr must name a PMD entry");
         assert_eq!(self.tables[pud_t].level, Level::Pud, "pud_addr must name a PUD entry");
@@ -220,9 +229,10 @@ impl PageTable {
         new
     }
 
-    /// Reads an entry by its physical address (hardware view).
+    /// Reads an entry by its physical address (hardware view). Addresses
+    /// outside the page-table region read as `Pte::EMPTY`.
     pub fn read_entry(&self, addr: PhysAddr) -> Pte {
-        let (t, i) = split_addr(addr);
+        let Some((t, i)) = split_addr(addr) else { return Pte::EMPTY };
         self.tables[t].entries[i]
     }
 
@@ -318,9 +328,9 @@ fn entry_addr(table: u32, idx: usize) -> PhysAddr {
     PhysAddr(PT_REGION_BASE + (table as u64) * 4096 + (idx as u64) * 8)
 }
 
-fn split_addr(addr: PhysAddr) -> (usize, usize) {
-    let off = addr.0.checked_sub(PT_REGION_BASE).expect("address not in page-table region");
-    ((off / 4096) as usize, ((off % 4096) / 8) as usize)
+fn split_addr(addr: PhysAddr) -> Option<(usize, usize)> {
+    let off = addr.0.checked_sub(PT_REGION_BASE)?;
+    Some(((off / 4096) as usize, ((off % 4096) / 8) as usize))
 }
 
 #[cfg(test)]
@@ -469,9 +479,8 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "page-table region")]
-    fn read_entry_rejects_foreign_address() {
+    fn read_entry_outside_region_reads_empty() {
         let pt = PageTable::new();
-        pt.read_entry(PhysAddr(12345));
+        assert_eq!(pt.read_entry(PhysAddr(12345)), Pte::EMPTY);
     }
 }

@@ -111,11 +111,11 @@ impl Tlb {
             way.stamp = tick;
             return;
         }
-        let victim = self.sets[set]
-            .iter_mut()
-            .min_by_key(|w| if w.valid { w.stamp } else { 0 })
-            .expect("ways > 0");
-        *victim = Way { vpn, pfn, stamp: tick, valid: true };
+        if let Some(victim) =
+            self.sets[set].iter_mut().min_by_key(|w| if w.valid { w.stamp } else { 0 })
+        {
+            *victim = Way { vpn, pfn, stamp: tick, valid: true };
+        }
     }
 
     /// Invalidates one page (single-page shootdown). Returns `true` if an

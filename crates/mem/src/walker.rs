@@ -48,15 +48,12 @@ impl LevelCache {
             self.tags.push(tag);
             self.stamps.push(self.tick);
         } else {
-            let lru = self
-                .stamps
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, &s)| s)
-                .map(|(i, _)| i)
-                .expect("capacity > 0");
-            self.tags[lru] = tag;
-            self.stamps[lru] = self.tick;
+            if let Some(lru) =
+                self.stamps.iter().enumerate().min_by_key(|(_, &s)| s).map(|(i, _)| i)
+            {
+                self.tags[lru] = tag;
+                self.stamps[lru] = self.tick;
+            }
         }
         false
     }

@@ -231,7 +231,11 @@ impl NvmeController {
         q.ring_sq_doorbell();
         // Device fetches immediately (command fetch time is folded into the
         // base service latency, which is host-observed).
-        let fetched = q.device_fetch().expect("just submitted");
+        let Some(fetched) = q.device_fetch() else {
+            // The just-submitted slot is empty (queue state corruption);
+            // report backpressure rather than panicking mid-submit.
+            return Err(SubmitError::QueueFull);
+        };
         debug_assert_eq!(fetched.cid, cmd.cid);
 
         let is_write = fetched.opcode == Opcode::Write;
@@ -274,20 +278,12 @@ impl NvmeController {
         // reads, paper §V): reads take the earliest-free channel; writes
         // pile onto the most-backlogged one, keeping channels free for
         // latency-critical demand reads.
+        // Profiles always configure at least one channel; fall back to
+        // channel 0 rather than panicking if one ever does not.
         let ch = if is_write {
-            self.channel_free
-                .iter()
-                .enumerate()
-                .max_by_key(|(_, &t)| t)
-                .map(|(i, _)| i)
-                .expect("profiles have at least one channel")
+            self.channel_free.iter().enumerate().max_by_key(|(_, &t)| t).map_or(0, |(i, _)| i)
         } else {
-            self.channel_free
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, &t)| t)
-                .map(|(i, _)| i)
-                .expect("profiles have at least one channel")
+            self.channel_free.iter().enumerate().min_by_key(|(_, &t)| t).map_or(0, |(i, _)| i)
         };
         let start = self.channel_free[ch].max(now);
         let finish = start + service;
@@ -324,11 +320,10 @@ impl NvmeController {
     /// read/write against the namespace, posts the CQ entry (with phase
     /// tag), and returns the DMA payload.
     ///
-    /// # Panics
-    ///
-    /// Panics if the token is unknown or completed twice.
-    pub fn complete(&mut self, token: CompletionToken, now: Time) -> Completed {
-        let inflight = self.inflight.remove(&token.0).expect("unknown or reused completion token");
+    /// Returns `None` for an unknown or already-completed token (a late
+    /// completion racing watchdog recovery).
+    pub fn complete(&mut self, token: CompletionToken, now: Time) -> Option<Completed> {
+        let inflight = self.inflight.remove(&token.0)?;
         let Inflight { qid, cmd, write_data: _, submitted, finish, inject } = inflight;
         debug_assert!(now >= finish, "completed before device finished");
         let latency = now - submitted;
@@ -359,7 +354,7 @@ impl NvmeController {
             // The device consumed the command but never posts a CQ entry:
             // no stats, no phase-tagged completion, nothing for the host
             // to poll. The host's watchdog is the only way out.
-            return Completed { qid, cmd, read_data: None, status, latency, dropped: true };
+            return Some(Completed { qid, cmd, read_data: None, status, latency, dropped: true });
         }
 
         match cmd.opcode {
@@ -375,7 +370,7 @@ impl NvmeController {
         }
 
         self.queues[qid.0 as usize].device_post_completion(cmd.cid, status);
-        Completed { qid, cmd, read_data, status, latency, dropped: false }
+        Some(Completed { qid, cmd, read_data, status, latency, dropped: false })
     }
 }
 
@@ -468,7 +463,7 @@ mod tests {
         let cmd = NvmeCommand::read4k(0, 1, 5, PhysAddr(0x1000));
         let (tok, t) = c.submit(q, cmd, None, Time::ZERO).unwrap();
         assert_eq!(t - Time::ZERO, DeviceProfile::Z_SSD.read_4k);
-        let done = c.complete(tok, t);
+        let done = c.complete(tok, t).unwrap();
         assert_eq!(done.status, Status::Success);
         assert_eq!(done.latency, DeviceProfile::Z_SSD.read_4k);
         assert_eq!(
@@ -545,7 +540,7 @@ mod tests {
         c.complete(tok, t);
         let r = NvmeCommand::read4k(2, 1, 33, PhysAddr(0));
         let (tok, t2) = c.submit(q, r, None, t).unwrap();
-        let done = c.complete(tok, t2);
+        let done = c.complete(tok, t2).unwrap();
         assert_eq!(done.read_data.unwrap(), data);
     }
 
@@ -555,7 +550,7 @@ mod tests {
         let q = c.create_queue_pair(8);
         let cmd = NvmeCommand::read4k(1, 1, 5000, PhysAddr(0));
         let (tok, t) = c.submit(q, cmd, None, Time::ZERO).unwrap();
-        let done = c.complete(tok, t);
+        let done = c.complete(tok, t).unwrap();
         assert_eq!(done.status, Status::LbaOutOfRange);
         assert!(done.read_data.is_none());
     }
@@ -566,7 +561,7 @@ mod tests {
         let q = c.create_queue_pair(8);
         let cmd = NvmeCommand::read4k(1, 9, 0, PhysAddr(0));
         let (tok, t) = c.submit(q, cmd, None, Time::ZERO).unwrap();
-        assert_eq!(c.complete(tok, t).status, Status::InvalidNamespace);
+        assert_eq!(c.complete(tok, t).unwrap().status, Status::InvalidNamespace);
     }
 
     #[test]
@@ -621,13 +616,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "completion token")]
-    fn double_complete_panics() {
+    fn double_complete_returns_none() {
         let mut c = controller();
         let q = c.create_queue_pair(8);
         let cmd = NvmeCommand::read4k(1, 1, 0, PhysAddr(0));
         let (tok, t) = c.submit(q, cmd, None, Time::ZERO).unwrap();
-        c.complete(tok, t);
-        c.complete(tok, t);
+        assert!(c.complete(tok, t).is_some());
+        assert!(c.complete(tok, t).is_none());
     }
 }

@@ -96,7 +96,7 @@ impl QueuePair {
         if self.sq_head == self.sq_tail {
             return None;
         }
-        let cmd = self.sq[self.sq_head as usize].take().expect("submitted slot holds a command");
+        let cmd = self.sq[self.sq_head as usize].take()?;
         self.sq_head = (self.sq_head + 1) % self.depth;
         Some(cmd)
     }

@@ -78,7 +78,7 @@ proptest! {
         }
         pending.sort_by_key(|&(_, at, _)| at);
         for (tok, at, lba) in pending {
-            let done = c.complete(tok, at);
+            let done = c.complete(tok, at).unwrap();
             prop_assert_eq!(done.status, Status::Success);
             let data = done.read_data.expect("read data");
             prop_assert_eq!(data.checksum(), PageData::Pattern(seed ^ lba).checksum());
@@ -110,7 +110,7 @@ proptest! {
         for (&lba, &byte) in &last_value {
             cid += 1;
             let (tok, at) = c.submit(q, NvmeCommand::read4k(cid, 1, lba, PhysAddr(0)), None, now).unwrap();
-            let done = c.complete(tok, at);
+            let done = c.complete(tok, at).unwrap();
             let mut b = [0u8; 1];
             done.read_data.expect("data").read(0, &mut b);
             prop_assert_eq!(b[0], byte, "read must observe the last submitted write");

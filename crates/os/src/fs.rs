@@ -125,16 +125,11 @@ impl MiniFs {
     }
 
     /// Marks an anonymous page's swap block as holding real data (first
-    /// writeback).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the file is not anonymous.
+    /// writeback). A no-op on non-anonymous files (file-backed pages have
+    /// real backing data from the start).
     pub fn mark_swap_initialized(&mut self, file: FileId, page: u64) {
-        self.files[file.0 as usize]
-            .anon
-            .as_mut()
-            .expect("not an anonymous file")[page as usize] = true;
+        let Some(anon) = self.files[file.0 as usize].anon.as_mut() else { return };
+        anon[page as usize] = true;
     }
 
     /// File length in pages.

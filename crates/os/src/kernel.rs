@@ -230,7 +230,7 @@ impl Os {
     /// writes the PTE, inserts the page into the cache/LRU/rmap, and tags
     /// the frame.
     pub fn map_resident(&mut self, vma: Vma, file_page: u64, pfn: Pfn) {
-        let vpn = vma.vpn_of_file_page(file_page).expect("page belongs to the VMA");
+        let Some(vpn) = vma.vpn_of_file_page(file_page) else { return };
         let prot = Self::prot_of(vma.flags);
         self.page_table.set_pte(vpn, Pte::present(pfn, prot).with_accessed());
         self.cache.insert(vma.file, file_page, pfn, Some(vpn));
@@ -238,13 +238,10 @@ impl Os {
     }
 
     /// Allocates one frame, reclaiming if the pool is below reserve.
-    /// Returns the frame and any evictions performed.
-    ///
-    /// # Panics
-    ///
-    /// Panics if reclaim cannot produce a frame (memory leak in the
+    /// Returns the frame and any evictions performed, or `None` when even
+    /// direct reclaim cannot produce a frame (a memory leak in the
     /// simulation — everything reclaimable is accounted for).
-    pub fn alloc_frame(&mut self) -> (Pfn, Vec<Eviction>) {
+    pub fn alloc_frame(&mut self) -> Option<(Pfn, Vec<Eviction>)> {
         let mut evictions = Vec::new();
         if self.frames.free_count() <= self.reserve {
             let want = self.reserve.max(16);
@@ -266,7 +263,7 @@ impl Os {
             }
             pfn
         });
-        (pfn.expect("reclaim must produce frames"), evictions)
+        pfn.map(|pfn| (pfn, evictions))
     }
 
     /// Runs the clock over OS-known pages, evicting up to `n`. Fast-VMA
@@ -377,31 +374,30 @@ impl Os {
     /// Classifies and prepares an OSDP fault at `vpn` (also used for the
     /// HWDP fallback when the free-page queue is empty).
     ///
-    /// # Panics
-    ///
-    /// Panics if `vpn` is not covered by any VMA (a real segfault — the
-    /// workloads never do this).
-    pub fn osdp_fault(&mut self, vpn: Vpn) -> FaultPlan {
-        let (_, vma) = self.aspace.resolve(vpn).expect("fault outside any VMA: segfault");
+    /// Returns `None` if `vpn` is not covered by any VMA (a real segfault
+    /// — the workloads never do this) or frame allocation fails; the
+    /// caller surfaces the anomaly instead of the process aborting.
+    pub fn osdp_fault(&mut self, vpn: Vpn) -> Option<FaultPlan> {
+        let (_, vma) = self.aspace.resolve(vpn)?;
         let file_page = vma.file_page(vpn);
         self.acct.app_kernel_instr += self.osdp_costs.instructions_per_fault();
         if let Some(pfn) = self.cache.lookup(vma.file, file_page) {
             self.stats.minor_faults += 1;
             let prot = Self::prot_of(vma.flags);
             self.page_table.set_pte(vpn, Pte::present(pfn, prot).with_accessed());
-            return FaultPlan::Minor { pfn };
+            return Some(FaultPlan::Minor { pfn });
         }
         // Anonymous first touch: no backing data exists yet — zero-fill
         // without any device I/O (a minor fault in Linux terms, §V).
         if self.fs.is_anon(vma.file) && !self.fs.is_swap_initialized(vma.file, file_page) {
             self.stats.minor_faults += 1;
-            let (pfn, evictions) = self.alloc_frame();
-            return FaultPlan::ZeroFill { pfn, evictions };
+            let (pfn, evictions) = self.alloc_frame()?;
+            return Some(FaultPlan::ZeroFill { pfn, evictions });
         }
         self.stats.major_faults += 1;
-        let (pfn, evictions) = self.alloc_frame();
+        let (pfn, evictions) = self.alloc_frame()?;
         let block = self.block_for(vma.file, file_page);
-        FaultPlan::Major { pfn, block, evictions }
+        Some(FaultPlan::Major { pfn, block, evictions })
     }
 
     /// Completes an OSDP major fault after the device read: maps the page
@@ -444,7 +440,9 @@ impl Os {
         let Os { cache, page_table, aspace, frames, .. } = self;
         let mut synced = 0u64;
         let stats = page_table.scan_needs_sync(|vpn, pte| {
-            let pfn = pte.pfn().expect("needs-sync PTE is present");
+            // A needs-sync PTE is present by construction; skip (leave the
+            // entry untouched) if the invariant ever slips.
+            let Some(pfn) = pte.pfn() else { return pte };
             if let Some((_, vma)) = aspace.resolve(vpn) {
                 let file_page = vma.file_page(vpn);
                 // The SMU mapped this page; only now does the OS learn of
@@ -497,7 +495,7 @@ impl Os {
     pub fn munmap(&mut self, id: VmaId) -> Vec<Eviction> {
         // Metadata must be consistent before unmapping (§IV-C).
         self.kpted_scan();
-        let vma = self.aspace.remove(id);
+        let Some(vma) = self.aspace.remove(id) else { return Vec::new() };
         let mut evictions = Vec::new();
         for p in 0..vma.pages {
             let vpn = vma.base.add(p);
@@ -655,7 +653,7 @@ mod tests {
     fn fast_mmap_links_cached_pages() {
         let (mut os, f) = os_with_file(64, 4);
         // Pre-cache page 2 (as if previously read via the OS path).
-        let (pfn, _) = os.alloc_frame();
+        let (pfn, _) = os.alloc_frame().unwrap();
         os.cache.insert(f, 2, pfn, None);
         let (_, vma) = os.mmap(f, MmapFlags::fast());
         assert_eq!(os.page_table.pte(vma.base.add(2)).pfn(), Some(pfn));
@@ -675,7 +673,7 @@ mod tests {
         let (mut os, f) = os_with_file(64, 8);
         let (_, vma) = os.mmap(f, MmapFlags::normal());
         let vpn = vma.base.add(3);
-        let FaultPlan::Major { pfn, block, evictions } = os.osdp_fault(vpn) else {
+        let FaultPlan::Major { pfn, block, evictions } = os.osdp_fault(vpn).unwrap() else {
             panic!("first touch is a major fault")
         };
         assert_eq!(block.lba, Lba(3));
@@ -684,7 +682,7 @@ mod tests {
         assert_eq!(os.page_table.pte(vpn).pfn(), Some(pfn));
         // A second thread faulting the same page now takes the minor path.
         os.page_table.set_pte(vpn, Pte::EMPTY); // simulate another mapping's view
-        let FaultPlan::Minor { pfn: again } = os.osdp_fault(vpn) else {
+        let FaultPlan::Minor { pfn: again } = os.osdp_fault(vpn).unwrap() else {
             panic!("cached page gives a minor fault")
         };
         assert_eq!(again, pfn);
@@ -698,7 +696,7 @@ mod tests {
         let (_, vma) = os.mmap(f, MmapFlags::fast());
         // Resident pages 0..8.
         for p in 0..8 {
-            let (pfn, _) = os.alloc_frame();
+            let (pfn, _) = os.alloc_frame().unwrap();
             os.map_resident(vma, p, pfn);
         }
         // Clear accessed bits so the clock can take them.
@@ -722,13 +720,13 @@ mod tests {
         // Exhaust memory with resident pages.
         let mut mapped = 0;
         while os.frames.free_count() > os.reserve {
-            let (pfn, _) = os.alloc_frame();
+            let (pfn, _) = os.alloc_frame().unwrap();
             os.map_resident(vma, mapped, pfn);
             os.page_table.update_pte(vma.base.add(mapped), Pte::clear_accessed);
             mapped += 1;
         }
         // Next allocation must trigger reclaim but still succeed.
-        let (pfn, evictions) = os.alloc_frame();
+        let (pfn, evictions) = os.alloc_frame().unwrap();
         assert!(!evictions.is_empty(), "reclaim ran");
         let _ = pfn;
     }
@@ -741,7 +739,7 @@ mod tests {
         for p in [1u64, 5] {
             let vpn = vma.base.add(p);
             let walk = os.page_table.walk(vpn).unwrap();
-            let (pfn, _) = os.alloc_frame();
+            let (pfn, _) = os.alloc_frame().unwrap();
             os.page_table.smu_complete(&walk, pfn);
         }
         assert_eq!(os.resident_pages(), 0, "OS metadata not yet updated");
@@ -772,7 +770,7 @@ mod tests {
     fn munmap_tears_down_and_reports_dirty() {
         let (mut os, f) = os_with_file(64, 4);
         let (id, vma) = os.mmap(f, MmapFlags::fast());
-        let (pfn, _) = os.alloc_frame();
+        let (pfn, _) = os.alloc_frame().unwrap();
         os.map_resident(vma, 0, pfn);
         os.frames.write(pfn, 0, b"dirty!");
         let evs = os.munmap(id);
@@ -790,7 +788,7 @@ mod tests {
         // Hardware-handled page never synced by kpted.
         let vpn = vma.base.add(2);
         let walk = os.page_table.walk(vpn).unwrap();
-        let (pfn, _) = os.alloc_frame();
+        let (pfn, _) = os.alloc_frame().unwrap();
         os.page_table.smu_complete(&walk, pfn);
         os.frames.write(pfn, 0, b"x");
         let evs = os.munmap(id);
@@ -802,7 +800,7 @@ mod tests {
     fn msync_flushes_dirty_but_keeps_mapping() {
         let (mut os, f) = os_with_file(64, 4);
         let (id, vma) = os.mmap(f, MmapFlags::fast());
-        let (pfn, _) = os.alloc_frame();
+        let (pfn, _) = os.alloc_frame().unwrap();
         os.map_resident(vma, 1, pfn);
         os.frames.write(pfn, 8, b"payload");
         let evs = os.msync(id);
@@ -822,7 +820,7 @@ mod tests {
         let (mut os, f) = os_with_file(40, 16);
         let (_, vma) = os.mmap(f, MmapFlags::fast());
         for p in 0..8 {
-            let (pfn, _) = os.alloc_frame();
+            let (pfn, _) = os.alloc_frame().unwrap();
             os.map_resident(vma, p, pfn);
             os.page_table.update_pte(vma.base.add(p), Pte::clear_accessed);
         }
@@ -840,7 +838,7 @@ mod tests {
         // Injected corruption: a page-cache entry points at a frame that
         // was freed underneath it (the cache and pool disagree).
         let (mut os, f) = os_with_file(32, 4);
-        let (pfn, _) = os.alloc_frame();
+        let (pfn, _) = os.alloc_frame().unwrap();
         os.cache.insert(f, 0, pfn, None);
         os.frames.free(pfn);
         let mut report = AuditReport::new();
@@ -855,7 +853,7 @@ mod tests {
         // Injected corruption: two logical pages cache the same frame —
         // the aliasing the PMSHR exists to prevent (§V).
         let (mut os, f) = os_with_file(32, 4);
-        let (pfn, _) = os.alloc_frame();
+        let (pfn, _) = os.alloc_frame().unwrap();
         os.cache.insert(f, 0, pfn, None);
         os.cache.insert(f, 1, pfn, None);
         let mut report = AuditReport::new();

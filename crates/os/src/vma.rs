@@ -112,13 +112,10 @@ impl AddressSpace {
         (VmaId(self.vmas.len() as u32 - 1), vma)
     }
 
-    /// Removes a VMA (munmap). Returns the removed area.
-    ///
-    /// # Panics
-    ///
-    /// Panics if already unmapped.
-    pub fn remove(&mut self, id: VmaId) -> Vma {
-        self.vmas[id.0 as usize].take().expect("VMA already unmapped")
+    /// Removes a VMA (munmap). Returns the removed area, or `None` if it
+    /// was already unmapped (a double-unmap is a no-op).
+    pub fn remove(&mut self, id: VmaId) -> Option<Vma> {
+        self.vmas[id.0 as usize].take()
     }
 
     /// The VMA covering `vpn`, if any.
@@ -205,19 +202,18 @@ mod tests {
     fn remove_unmaps() {
         let mut asp = AddressSpace::new();
         let (id, vma) = asp.insert(FileId(0), 0, 4, MmapFlags::fast());
-        let removed = asp.remove(id);
+        let removed = asp.remove(id).unwrap();
         assert_eq!(removed.base, vma.base);
         assert!(asp.resolve(vma.base).is_none());
         assert!(asp.get(id).is_none());
     }
 
     #[test]
-    #[should_panic(expected = "already unmapped")]
-    fn double_unmap_panics() {
+    fn double_unmap_is_a_noop() {
         let mut asp = AddressSpace::new();
         let (id, _) = asp.insert(FileId(0), 0, 4, MmapFlags::fast());
-        asp.remove(id);
-        asp.remove(id);
+        assert!(asp.remove(id).is_some());
+        assert!(asp.remove(id).is_none());
     }
 
     #[test]

@@ -74,7 +74,7 @@ proptest! {
             match pte.class() {
                 PteClass::LbaAugmented => {
                     // Simulate a hardware miss completing.
-                    let (pfn, _evictions) = os.alloc_frame();
+                    let (pfn, _evictions) = os.alloc_frame().unwrap();
                     let walk = os.page_table.walk(vpn).unwrap();
                     os.page_table.smu_complete(&walk, pfn);
                 }

@@ -170,12 +170,8 @@ impl Pmshr {
         waiter: Option<u64>,
     ) -> Result<Presented, PmshrError> {
         if let Some(idx) = self.lookup(walk.pte_addr) {
-            if let Some(w) = waiter {
-                self.slots[idx.0 as usize]
-                    .as_mut()
-                    .expect("looked-up entry is live")
-                    .waiters
-                    .push(w);
+            if let (Some(w), Some(e)) = (waiter, self.slots[idx.0 as usize].as_mut()) {
+                e.waiters.push(w);
             }
             self.stats.coalesced += 1;
             return Ok(Presented::Coalesced(idx));
@@ -199,13 +195,10 @@ impl Pmshr {
     }
 
     /// Completes entry initialization with the allocated frame
-    /// (§III-C step 4).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the entry is not live.
+    /// (§III-C step 4). A no-op on a dead entry (the caller's allocation
+    /// was invalidated under it).
     pub fn set_frame(&mut self, idx: EntryIdx, pfn: Pfn, dma: PhysAddr) {
-        let e = self.slots[idx.0 as usize].as_mut().expect("entry not live");
+        let Some(e) = self.slots[idx.0 as usize].as_mut() else { return };
         e.pfn = Some(pfn);
         e.dma = Some(dma);
     }
@@ -226,25 +219,14 @@ impl Pmshr {
         self.slots.get(idx.0 as usize).and_then(|s| s.as_ref())
     }
 
-    /// Invalidates the entry if it is live, returning it; `None` when the
-    /// slot is already free (e.g. a late completion racing fault
-    /// recovery).
-    pub fn try_invalidate(&mut self, idx: EntryIdx) -> Option<Entry> {
+    /// Invalidates the entry after broadcast (§III-C step 8), returning it
+    /// (waiter list included); `None` when the slot is already free (an
+    /// already-abandoned entry, or a late completion racing fault
+    /// recovery — double invalidation is a no-op).
+    pub fn invalidate(&mut self, idx: EntryIdx) -> Option<Entry> {
         let e = self.slots.get_mut(idx.0 as usize)?.take()?;
         self.live -= 1;
         Some(e)
-    }
-
-    /// Invalidates the entry after broadcast (§III-C step 8), returning it
-    /// (waiter list included).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the entry is not live.
-    pub fn invalidate(&mut self, idx: EntryIdx) -> Entry {
-        let e = self.slots[idx.0 as usize].take().expect("entry not live");
-        self.live -= 1;
-        e
     }
 
     /// hwdp-audit checker: the CAM's occupancy counter matches the live
@@ -374,7 +356,7 @@ mod tests {
             panic!("expected allocation")
         };
         p.set_frame(idx, Pfn(9), PhysAddr(9 << 12));
-        let e = p.invalidate(idx);
+        let e = p.invalidate(idx).unwrap();
         assert_eq!(e.waiters, vec![42]);
         assert_eq!(e.pfn, Some(Pfn(9)));
         assert_eq!(p.occupancy(), 0);

@@ -375,7 +375,7 @@ impl Smu {
         // address; LBA bit stays set for kpted.
         let pte = page_table.smu_complete(&walk, pfn);
         // Step 8: broadcast + invalidate.
-        let e = self.pmshr.invalidate(entry);
+        let e = self.pmshr.invalidate(entry)?;
         self.stats.completed += 1;
         Some(FinishResult { waiters: e.waiters, pte, pfn, after_device: self.timing.after_device() })
     }
@@ -394,7 +394,7 @@ impl Smu {
         let e = self.pmshr.try_entry(entry)?;
         let (walk, pfn) = (e.walk, e.pfn?);
         let pte = page_table.smu_complete(&walk, pfn);
-        let e = self.pmshr.invalidate(entry);
+        let e = self.pmshr.invalidate(entry)?;
         self.stats.completed += 1;
         let after = self
             .timing
@@ -422,7 +422,7 @@ impl Smu {
     /// the caller can re-execute the access through the OSDP software
     /// path. Returns `None` when the entry is already gone.
     pub fn abandon_io(&mut self, entry: EntryIdx, core: usize) -> Option<crate::pmshr::Entry> {
-        let e = self.pmshr.try_invalidate(entry)?;
+        let e = self.pmshr.invalidate(entry)?;
         if let (Some(pfn), Some(dma)) = (e.pfn, e.dma) {
             let n = self.queues.len();
             self.queues[core % n].push(crate::free_queue::FreePage { pfn, dma });

@@ -60,9 +60,14 @@ else
   out="$(mktemp -d)"
   trap 'rm -rf "$out"' EXIT
 fi
-# Generated metric-key registry (every export_metrics sink key); archived
-# next to the campaign artifacts when HWDP_CI_OUT is set.
+# Generated metric-key registry (every export_metrics sink key) and the
+# workspace call graph (function-precise reachability: roots, SCCs, and
+# per-fn det/panic/alloc sink classification); archived next to the
+# campaign artifacts when HWDP_CI_OUT is set. The call graph is
+# deterministic — byte-identical across runs on the same tree (pinned by
+# crates/lint/tests/ratchet.rs).
 ./target/release/hwdp lint --metric-keys > "$out/metric-keys.json"
+./target/release/hwdp lint --call-graph > "$out/call-graph.json"
 ./target/release/hwdp sweep \
   --name seed \
   --scenarios fio,ycsb-c --modes osdp,hwdp \
