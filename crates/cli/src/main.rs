@@ -9,6 +9,7 @@
 //! hwdp anon [--mode ...] [--ratio R] [--ops N]
 //! hwdp anatomy [--device ...]
 //! hwdp sweep [--name S] [--scenarios a,b] [--modes ...] [--workers N] ...
+//! hwdp chaos [--name S] [--seed N] [--jobs N] [--no-crashes] [--out DIR]
 //! hwdp compare --baseline FILE --current FILE [--threshold PCT]
 //! hwdp config
 //! hwdp help
@@ -44,6 +45,8 @@ COMMANDS:
   anon      anonymous-memory churn (zero-fill + swap, value-verified)
   anatomy   closed-form single-miss latency breakdowns (Figs. 3/11/17)
   sweep     run a scenario x config campaign and write BENCH_<name>.json
+  chaos     seeded random fault campaign with a differential recovery
+            oracle; writes CHAOS_<name>.json with shrunk reproducers
   compare   gate a result artifact against a stored baseline
   lint      determinism & panic-policy static analysis over the workspace
   config    print the Table II system configuration
@@ -66,6 +69,9 @@ COMMON OPTIONS:
                                delay=RxF      delay rate R, inflation factor F
                                drop=R         dropped-completion rate
                                qfull=RxL      queue-full window rate R, length L
+                               crash=TxN      controller crash at T us (virtual),
+                                              repeated N times T us apart
+                               reset=US       controller reset latency in us
                                lba=LO-HI      restrict to an LBA range
                                writes         also target write commands
                              e.g. --faults media=0.05,delay=0.02x20
@@ -122,9 +128,26 @@ SWEEP OPTIONS (axes are comma-separated lists; cross product = campaign):
   --fixed-seed               every job uses the campaign seed itself
   --resume                   reuse completed jobs from an existing artifact
   --baseline FILE            also gate the fresh artifact against FILE
+  --job-timeout-ms MS        per-job wall-clock watchdog: a job exceeding
+                             MS real milliseconds is abandoned and recorded
+                             as a typed failure (default: no watchdog)
   (multi-thread jobs export per-thread reports into a `threads` array;
   with --sanitize, sweep also writes AUDIT_<name>.json and exits
   nonzero when any invariant violation was detected)
+
+CHAOS OPTIONS:
+  --name S                   campaign name, writes CHAOS_<S>.json (default chaos)
+  --seed N                   master seed; plans derive from it  (default 42)
+  --jobs N                   fault plans to run through the oracle (default 8)
+  --no-crashes               transient faults only, no controller crashes
+  --sanitize off|cheap|full  faulted-run sanitize level (default full; the
+                             fault-free twin always runs full)
+  --out DIR                  artifact directory     (default .)
+  (each job runs next to a fault-free twin with the same seed; the oracle
+  requires a clean audit, matching content digests, monotonically degraded
+  counters, and every verification failure accounted for by a surfaced
+  typed IoError. Failing plans are shrunk to a minimal reproducer and the
+  command exits nonzero.)
 
 COMPARE OPTIONS:
   --baseline FILE            stored BENCH_*.json to gate against (required)
@@ -170,6 +193,7 @@ fn run(raw: Vec<String>) -> Result<ExitCode, ArgError> {
         "ycsb" | "dbbench" => kv(&args)?,
         "anon" => anon(&args)?,
         "sweep" => return sweep(&args),
+        "chaos" => return chaos_cmd(&args),
         "compare" => return compare_cmd(&args),
         "lint" => return lint_cmd(&args),
         other => return Err(ArgError(format!("unknown command '{other}'"))),
@@ -358,9 +382,20 @@ fn sweep(args: &Args) -> Result<ExitCode, ArgError> {
     } else {
         None
     };
+    // --job-timeout-ms arms the per-job wall-clock watchdog: a hung job
+    // becomes a typed failure instead of wedging the whole campaign.
+    let timeout_ms = match args.get("job-timeout-ms") {
+        None => None,
+        Some(_) => Some(args.num("job-timeout-ms", 0)?),
+    };
     let mut progress = harness::progress::Stderr::new(campaign.jobs.len());
-    let artifact =
-        harness::execute_campaign_resume(&campaign, prior.as_ref(), workers, &mut progress);
+    let artifact = harness::execute_campaign_resume(
+        &campaign,
+        prior.as_ref(),
+        workers,
+        timeout_ms,
+        &mut progress,
+    );
     std::fs::create_dir_all(dir)
         .map_err(|e| ArgError(format!("cannot create {}: {e}", dir.display())))?;
     let path = dir.join(artifact.file_name());
@@ -385,6 +420,48 @@ fn sweep(args: &Args) -> Result<ExitCode, ArgError> {
     }
     if let Some(baseline_path) = args.get("baseline") {
         return gate(baseline_path, &artifact, args);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `hwdp chaos`: seeded random fault campaign through the differential
+/// recovery oracle. Writes `CHAOS_<name>.json` and exits nonzero when any
+/// plan broke the recovery contract.
+fn chaos_cmd(args: &Args) -> Result<ExitCode, ArgError> {
+    let mut cfg =
+        harness::ChaosConfig::new(args.get("name").unwrap_or("chaos"), args.num("seed", 42)?);
+    cfg.jobs = args.num("jobs", 8)? as usize;
+    cfg.crashes = !args.flag("no-crashes");
+    if args.get("sanitize").is_some() {
+        cfg.sanitize = sanitize_level(args)?;
+    }
+    eprintln!(
+        "chaos campaign '{}': {} plan(s), crashes {}",
+        cfg.name,
+        cfg.jobs,
+        if cfg.crashes { "on" } else { "off" },
+    );
+    let mut progress = harness::progress::Stderr::new(cfg.jobs);
+    let report = harness::run_chaos(&cfg, &mut progress);
+    let dir = std::path::Path::new(args.get("out").unwrap_or("."));
+    std::fs::create_dir_all(dir)
+        .map_err(|e| ArgError(format!("cannot create {}: {e}", dir.display())))?;
+    let path = dir.join(report.file_name());
+    std::fs::write(&path, report.to_json().pretty())
+        .map_err(|e| ArgError(format!("cannot write {}: {e}", path.display())))?;
+    println!("wrote {}", path.display());
+    println!(
+        "{} controller reset(s), {} in-flight command(s) lost, {} oracle mismatch(es)",
+        report.controller_resets, report.crash_ios_lost, report.oracle_mismatches,
+    );
+    if !report.is_clean() {
+        for f in &report.failures {
+            eprintln!(
+                "plan {} ({}): {} — minimal reproducer: --faults {} --seed {}",
+                f.index, f.label, f.reason, f.minimal_faults, f.seed,
+            );
+        }
+        return Ok(ExitCode::FAILURE);
     }
     Ok(ExitCode::SUCCESS)
 }

@@ -138,6 +138,12 @@ pub struct RunResult {
     pub readahead_reads: u64,
     /// Detached prefetch misses issued by the SMU (§V future work).
     pub smu_prefetches: u64,
+    /// Controller resets completed by the host recovery ladder (0 unless
+    /// crash injection is configured).
+    pub controller_resets: u64,
+    /// In-flight commands lost to controller crashes (every one is retired
+    /// and requeued or degraded by the recovery ladder).
+    pub crash_ios_lost: u64,
     /// hwdp-audit sanitizer report (empty when sanitizing was `Off` or
     /// every invariant held).
     pub audit: AuditReport,
@@ -240,6 +246,13 @@ impl RunResult {
             kv.push(("smu_fallbacks_fault", p.smu_fallbacks_fault as f64));
             kv.push(("io_errors_surfaced", p.io_errors_surfaced as f64));
         }
+        // Controller-reset counters: exported only when a crash actually
+        // happened, so crash-free artifacts (including every fault plan
+        // with `crash=0`) stay byte-identical to prior baselines.
+        if self.controller_resets > 0 {
+            kv.push(("fault/controller_resets", self.controller_resets as f64));
+            kv.push(("fault/crash_ios_lost", self.crash_ios_lost as f64));
+        }
         // Tiering metrics: present only when the run had a tier
         // configuration, so single-device artifacts stay byte-identical
         // to the seed baselines.
@@ -284,6 +297,8 @@ mod tests {
             long_io_switches: 0,
             readahead_reads: 0,
             smu_prefetches: 0,
+            controller_resets: 0,
+            crash_ios_lost: 0,
             audit: AuditReport::new(),
             tier: None,
         };
@@ -307,6 +322,18 @@ mod tests {
         assert_eq!(get("tier/promotions"), Some(4.0));
         assert_eq!(get("tier/fast_hit_ratio"), Some(0.0));
         assert_eq!(get("tier/slow_writes"), Some(0.0));
+
+        // Crash-free runs export no fault/* reset counters (baseline
+        // parity)…
+        assert!(r.export_metrics().iter().all(|(n, _)| !n.starts_with("fault/")));
+        // …while a run that took a controller reset exports both.
+        let mut crashed = r.clone();
+        crashed.controller_resets = 2;
+        crashed.crash_ios_lost = 5;
+        let kv = crashed.export_metrics();
+        let get = |n: &str| kv.iter().find(|(k, _)| *k == n).map(|(_, v)| *v);
+        assert_eq!(get("fault/controller_resets"), Some(2.0));
+        assert_eq!(get("fault/crash_ios_lost"), Some(5.0));
     }
 
     #[test]

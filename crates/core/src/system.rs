@@ -20,7 +20,7 @@ use hwdp_mem::pte::{Pte, PteClass};
 use hwdp_mem::tlb::Tlb;
 use hwdp_mem::walker::Walker;
 use hwdp_nvme::command::{NvmeCommand, Status};
-use hwdp_nvme::device::{Completed, CompletionToken, NvmeController, QueueId, SubmitError};
+use hwdp_nvme::device::{Completed, CompletionToken, ControllerState, NvmeController, QueueId, SubmitError};
 use hwdp_nvme::namespace::BlockStore;
 use hwdp_nvme::profile::DeviceProfile;
 use hwdp_os::fs::FileId;
@@ -130,6 +130,13 @@ enum Event {
     IoTimeout { dev: usize, token: CompletionToken },
     /// Backstop retry of submissions parked by a queue-full window.
     SqDrain { dev: usize },
+    /// Injected controller crash (scheduled from the fault config's
+    /// `crash=` knob): the device loses every in-flight command and
+    /// ignores doorbells until the host drives a reset.
+    ControllerCrash { dev: usize },
+    /// The host-issued controller reset completes (deterministic latency
+    /// after [`System::handle_controller_failure`] begins it).
+    ControllerReset { dev: usize },
     /// `kpoold` wakeup.
     KpoolTick,
     /// `kpted` wakeup.
@@ -238,6 +245,10 @@ pub struct System {
     io_timeouts: u64,
     smu_fallbacks_fault: u64,
     io_errors_surfaced: u64,
+    /// Controller resets the host recovery ladder drove to completion.
+    controller_resets: u64,
+    /// In-flight commands lost to injected controller crashes.
+    crash_ios_lost: u64,
     /// hwdp-audit violations accumulated over the run (empty when
     /// `cfg.sanitize` is `Off`).
     audit: AuditReport,
@@ -341,6 +352,8 @@ impl System {
             io_timeouts: 0,
             smu_fallbacks_fault: 0,
             io_errors_surfaced: 0,
+            controller_resets: 0,
+            crash_ios_lost: 0,
             audit: AuditReport::new(),
             audit_doorbells: vec![0],
             tier: None,
@@ -1373,6 +1386,16 @@ impl System {
                 self.queue.schedule(retry_at, Event::SqDrain { dev });
                 None
             }
+            Err(SubmitError::ControllerDown) => {
+                // An ignored doorbell is how the host discovers a crashed
+                // controller on the submission side: park the command and
+                // drive the recovery ladder. No `SqDrain` backstop — the
+                // reset completion drains the parked queue, and while the
+                // controller is down every drain attempt would just spin.
+                self.deferred_io[dev].push_back(DeferredIo { qid, cmd, data, purpose, attempt });
+                self.handle_controller_failure(dev, at);
+                None
+            }
             Err(SubmitError::UnknownQueue) => {
                 // Unreachable for queues the system itself created; treated
                 // as an instantly failed attempt so nothing leaks.
@@ -1392,6 +1415,13 @@ impl System {
                     self.queue
                         .schedule(done_at, Event::IoDone { dev, token, purpose: d.purpose });
                     self.track_io(dev, token, d.purpose, d.attempt, now);
+                }
+                Err(SubmitError::ControllerDown) => {
+                    // Dead controller: re-park and let the reset ladder
+                    // re-drain this queue when the controller is back.
+                    self.deferred_io[dev].push_front(d);
+                    self.handle_controller_failure(dev, now);
+                    break;
                 }
                 Err(_) => {
                     self.deferred_io[dev].push_front(d);
@@ -1421,7 +1451,13 @@ impl System {
     fn handle_io_done(&mut self, dev: usize, token: CompletionToken, purpose: Purpose, now: Time) {
         let Some(done) = self.devices[dev].complete(token, now) else {
             // Unknown or already-retired token (watchdog recovery raced
-            // the completion): nothing left to deliver.
+            // the completion) — or the first signal of a controller crash:
+            // the command was lost with the controller, and this event
+            // firing at exactly the virtual time the completion was due is
+            // the host's earliest possible detection point.
+            if !self.devices[dev].is_ready() {
+                self.handle_controller_failure(dev, now);
+            }
             return;
         };
         if !done.dropped {
@@ -1488,6 +1524,13 @@ impl System {
     /// as demand misses, so it contends for the OS driver queues and
     /// device bandwidth.
     fn tier_tick(&mut self, now: Time) {
+        // Quiesce while any controller is down: migration copies span both
+        // tiers, so starting one under a dead (or resetting) controller
+        // could only park I/O that the crash recovery would have to abort
+        // again. The daemon simply skips the tick and retries next period.
+        if self.devices.iter().any(|d| !d.is_ready()) {
+            return;
+        }
         let (plans, fast_dev) = {
             let Some(tr) = self.tier.as_mut() else { return };
             let fast_dev = tr.fast_dev;
@@ -1599,6 +1642,124 @@ impl System {
         if tr.engine.in_flight(key) {
             tr.dirty_guard.insert(key);
         }
+    }
+
+    // ----- controller crash recovery ---------------------------------------------
+
+    /// The host recovery ladder for a dead controller. Idempotent: only a
+    /// `Failed` controller is acted on, so the many detection sites (lost
+    /// completions, ignored doorbells, drain backstops) can all call this
+    /// without coordinating. The ladder: quiesce (begin the reset, which
+    /// keeps refusing doorbells), schedule the reset completion at the
+    /// fault plan's deterministic latency, retire every stale watchdog
+    /// token for the device while requeuing or degrading its lost I/O
+    /// (HWDP retries then falls back to OSDP; OSDP retries then surfaces a
+    /// typed [`IoError`]), and abort every in-flight tier migration via
+    /// the existing commit/abort machinery (their copy I/O died with the
+    /// controller).
+    fn handle_controller_failure(&mut self, dev: usize, now: Time) {
+        if self.devices[dev].state() != ControllerState::Failed {
+            return;
+        }
+        self.devices[dev].begin_reset();
+        self.controller_resets += 1;
+        let latency =
+            Duration::from_micros(self.cfg.faults.map_or(100, |f| f.reset_latency_us));
+        self.queue.schedule(now + latency, Event::ControllerReset { dev });
+        // Tokens lost with the controller will never complete; any stale
+        // marks for them would leak (their late completions are gone too).
+        self.stale_tokens.retain(|&(d, _)| d != dev);
+        // Sweep the watchdogs: cancel each timeout (the recovery below is
+        // the timeout's job, done early) and recover per purpose. The map
+        // is taken whole so recovery actions can re-arm watchdogs for
+        // other devices while we iterate.
+        let meta = std::mem::take(&mut self.io_meta);
+        for ((d, token), m) in meta {
+            if d != dev {
+                self.io_meta.insert((d, token), m);
+                continue;
+            }
+            self.queue.cancel(m.timeout);
+            match m.purpose {
+                Purpose::HwdpMiss { entry } => self.recover_hwdp(entry, m.attempt, now),
+                Purpose::OsdpRead { key } => self.recover_osdp(key, now),
+                // Write data applied at submission; nothing to recover.
+                Purpose::Writeback => {}
+                Purpose::TierRead { key } | Purpose::TierWrite { key } => self.tier_abort(key),
+            }
+        }
+        // Migration copy I/O is not watchdog-tracked; abort every in-flight
+        // migration outright (tier_tick stays quiesced until the reset
+        // completes, so no new ones start under the dead controller).
+        if let Some(tr) = self.tier.as_mut() {
+            let TierRuntime { engine, pages, dirty_guard, .. } = tr;
+            for &key in pages.keys() {
+                if engine.in_flight(key) {
+                    dirty_guard.remove(&key);
+                    engine.abort(key);
+                }
+            }
+        }
+    }
+
+    /// The controller reset completes: rings reinitialize, phases reset,
+    /// channels idle. Runs the post-reset audit invariants, then re-drives
+    /// the submissions parked while the controller was down.
+    fn finish_controller_reset(&mut self, dev: usize, now: Time) {
+        self.devices[dev].finish_reset(now);
+        self.post_reset_audit(dev);
+        self.drain_deferred(dev, now);
+    }
+
+    /// Post-reset audit point: the recovery ladder's exit invariants.
+    /// Observation-only, gated on `cfg.sanitize` like every audit pass.
+    fn post_reset_audit(&mut self, dev: usize) {
+        let level = self.cfg.sanitize;
+        if !level.cheap_checks() {
+            return;
+        }
+        let mut report = AuditReport::new();
+        report.check_args(
+            "core",
+            "reset-rings-empty",
+            self.devices[dev].queue_pairs().all(|q| q.rings_empty()),
+            format_args!("device {dev}: ring not empty after controller reset"),
+        );
+        report.check_args(
+            "core",
+            "reset-phase-consistent",
+            self.devices[dev].queue_pairs().all(|q| q.phases_consistent()),
+            format_args!("device {dev}: CQ phase tags inconsistent after controller reset"),
+        );
+        report.check_args(
+            "core",
+            "reset-watchdogs-cancelled",
+            self.io_meta.keys().all(|&(d, _)| d != dev),
+            format_args!("device {dev}: watchdog tokens survived the controller reset"),
+        );
+        // Every SMU token lost in the crash was retired: submissions still
+        // parked for the device may only reference live PMSHR entries
+        // (anything stale could never be woken by its completion).
+        report.check_args(
+            "core",
+            "reset-pmshr-drained",
+            self.deferred_io[dev].iter().all(|d| match d.purpose {
+                Purpose::HwdpMiss { entry } => self.smu.pmshr.try_entry(entry).is_some(),
+                _ => true,
+            }),
+            format_args!("device {dev}: parked submission references a retired PMSHR entry"),
+        );
+        if let Some(tr) = &self.tier {
+            report.check_args(
+                "core",
+                "reset-tier-quiesced",
+                tr.pages.keys().all(|&key| !tr.engine.in_flight(key)),
+                format_args!(
+                    "device {dev}: tier migration still in flight after controller reset"
+                ),
+            );
+        }
+        self.audit.merge(report);
     }
 
     /// A hardware-path read failed or timed out: retry with deterministic
@@ -1777,6 +1938,20 @@ impl System {
         if let Some(tr) = &self.tier {
             self.queue.schedule(Time::ZERO + tr.period, Event::TierTick);
         }
+        // Controller crashes are scheduled from pure config (no RNG draw):
+        // every attached controller dies at the configured virtual times,
+        // the severest multi-device failure mode. Times beyond the run's
+        // end simply never fire.
+        if let Some(f) = self.cfg.faults.filter(|f| f.crash_at_us > 0) {
+            for dev in 0..self.devices.len() {
+                for t_us in f.crash_times() {
+                    self.queue.schedule(
+                        Time::ZERO + Duration::from_micros(t_us),
+                        Event::ControllerCrash { dev },
+                    );
+                }
+            }
+        }
 
         let mut end = Time::ZERO;
         while let Some(at) = self.queue.peek_time() {
@@ -1816,6 +1991,14 @@ impl System {
                 }
                 Event::SqDrain { dev } => {
                     self.drain_deferred(dev, now);
+                }
+                Event::ControllerCrash { dev } => {
+                    // The device dies silently: the host only notices via
+                    // lost completions or ignored doorbells.
+                    self.crash_ios_lost += self.devices[dev].crash() as u64;
+                }
+                Event::ControllerReset { dev } => {
+                    self.finish_controller_reset(dev, now);
                 }
                 Event::KpoolTick => {
                     if self.active_threads > 0 {
@@ -1909,6 +2092,8 @@ impl System {
             long_io_switches: self.long_io_switches,
             readahead_reads: self.readahead_reads,
             smu_prefetches: self.smu.stats().prefetches,
+            controller_resets: self.controller_resets,
+            crash_ios_lost: self.crash_ios_lost,
             audit: self.audit.clone(),
             tier,
         }
@@ -1942,6 +2127,48 @@ impl System {
         self.devices.get(dev).and_then(|d| d.fault_stats())
     }
 
+    /// Controller resets driven to completion by the recovery ladder.
+    pub fn controller_resets(&self) -> u64 {
+        self.controller_resets
+    }
+
+    /// FNV-1a digest of the user-visible storage state: for every file
+    /// page, the page-cache copy when resident (it is authoritative for
+    /// dirty pages), else the backing block at the page's current
+    /// location. The chaos harness's differential recovery oracle compares
+    /// this between a faulted run and its fault-free twin — for read-only
+    /// workloads the two must agree exactly, whatever was crashed,
+    /// dropped, or reset along the way.
+    pub fn content_digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut h = OFFSET;
+        let mix = |h: &mut u64, x: u64| {
+            for b in x.to_le_bytes() {
+                *h ^= u64::from(b);
+                *h = h.wrapping_mul(PRIME);
+            }
+        };
+        for file in self.os.fs.file_ids() {
+            for page in 0..self.os.fs.pages(file) {
+                let checksum = match self.os.cache.lookup(file, page) {
+                    Some(pfn) => self.os.frames.checksum(pfn),
+                    None => {
+                        let (socket, devid, nsid, lba) = self.os.fs.location(file, page);
+                        match self.device_index.get(&(socket.0, devid.0)) {
+                            Some(&d) => self.devices[d].namespace(nsid).read_block(lba).checksum(),
+                            None => 0,
+                        }
+                    }
+                };
+                mix(&mut h, u64::from(file.0));
+                mix(&mut h, page);
+                mix(&mut h, checksum);
+            }
+        }
+        h
+    }
+
     /// Runs one hwdp-audit pass at the configured [`SanitizeLevel`] and
     /// accumulates any violations. Observation-only: schedules no events,
     /// draws no randomness, touches no LRU or statistics state — a run at
@@ -1959,9 +2186,12 @@ impl System {
         for (i, dev) in self.devices.iter().enumerate() {
             let total = dev.doorbell_writes_total();
             let last = self.audit_doorbells[i];
-            report.check("core", "doorbell-monotonic", total >= last, || {
-                format!("device {i}: doorbell-write total went backwards ({last} -> {total})")
-            });
+            report.check_args(
+                "core",
+                "doorbell-monotonic",
+                total >= last,
+                format_args!("device {i}: doorbell-write total went backwards ({last} -> {total})"),
+            );
             self.audit_doorbells[i] = total;
         }
         self.audit.merge(report);
@@ -2004,6 +2234,83 @@ impl System {
         let fast_dev = tr.fast_dev;
         self.os.fs.set_location(file, page, SocketId(0), fast_dev, 1, Lba(key));
     }
+
+    /// Test-only entry point: runs the post-reset audit for device `dev`
+    /// so the negative tests can assert each reset invariant actually
+    /// detects its corruption.
+    #[cfg(test)]
+    pub(crate) fn post_reset_audit_for_test(&mut self, dev: usize) {
+        self.post_reset_audit(dev);
+    }
+
+    /// Test-only corruption hook for `reset-rings-empty`: leaves a
+    /// submitted-but-unfetched command in device 0's OS ring, the state a
+    /// botched reset would fail to clear.
+    #[cfg(test)]
+    pub(crate) fn corrupt_ring_for_test(&mut self) {
+        let qid = self.os_queues[0];
+        let cmd = NvmeCommand::read4k(1, 1, 0, Pfn(0).base());
+        let _ = self.devices[0].queue(qid).host_submit(cmd);
+    }
+
+    /// Test-only corruption hook for `reset-phase-consistent`: walks the
+    /// device-side CQ through a full lap so its posting phase flips while
+    /// the host's expectation does not — the desync a reset must erase.
+    #[cfg(test)]
+    pub(crate) fn corrupt_phase_for_test(&mut self) {
+        let qid = self.os_queues[0];
+        let q = self.devices[0].queue(qid);
+        for _ in 0..q.depth() {
+            q.device_post_completion(0, Status::Success);
+        }
+    }
+
+    /// Test-only corruption hook for `reset-watchdogs-cancelled`: arms a
+    /// watchdog for a live device-0 command as if the failure sweep had
+    /// missed it.
+    #[cfg(test)]
+    pub(crate) fn corrupt_watchdog_for_test(&mut self) {
+        let qid = self.os_queues[0];
+        let cmd = NvmeCommand::read4k(2, 1, 0, Pfn(0).base());
+        if let Ok((token, _)) = self.devices[0].submit(qid, cmd, None, Time::ZERO) {
+            let timeout = self
+                .queue
+                .schedule(Time::ZERO + self.cfg.retry.command_timeout, Event::IoTimeout {
+                    dev: 0,
+                    token,
+                });
+            self.io_meta.insert((0, token), IoMeta { purpose: Purpose::Writeback, attempt: 0, timeout });
+        }
+    }
+
+    /// Test-only corruption hook for `reset-pmshr-drained`: parks a
+    /// deferred HWDP submission referencing a PMSHR entry that was never
+    /// allocated (the dangling token a crash sweep must never leave).
+    #[cfg(test)]
+    pub(crate) fn corrupt_deferred_pmshr_for_test(&mut self) {
+        let qid = self.os_queues[0];
+        let cmd = NvmeCommand::read4k(3, 1, 0, Pfn(0).base());
+        self.deferred_io[0].push_back(DeferredIo {
+            qid,
+            cmd,
+            data: None,
+            purpose: Purpose::HwdpMiss { entry: EntryIdx(u16::MAX) },
+            attempt: 0,
+        });
+    }
+
+    /// Test-only corruption hook for `reset-tier-quiesced`: heats a
+    /// tracked page and runs a planning tick directly on the engine, so a
+    /// migration is in flight with no driver I/O backing it.
+    #[cfg(test)]
+    pub(crate) fn corrupt_tier_inflight_for_test(&mut self) {
+        let Some(tr) = self.tier.as_mut() else { return };
+        let Some(&key) = tr.pages.keys().next() else { return };
+        for _ in 0..64 {
+            tr.engine.record_access(false, key);
+        }
+        let _ = tr.engine.plan_tick(|_| true);
+    }
 }
 
 impl Sanitizer for System {
@@ -2031,29 +2338,25 @@ impl Sanitizer for System {
             dev.sanitize(level, report);
         }
         for (&(file, page), pending) in &self.osdp_inflight {
-            report.check(
+            report.check_args(
                 "core",
                 "osdp-inflight-frame",
                 (pending.pfn.0 as usize) < self.os.frames.total()
                     && self.os.frames.state(pending.pfn) == hwdp_mem::phys::FrameState::Allocated,
-                || {
-                    format!(
-                        "in-flight OS fault on file {file} page {page} targets {:?}, which is not an allocated frame",
-                        pending.pfn
-                    )
-                },
+                format_args!(
+                    "in-flight OS fault on file {file} page {page} targets {:?}, which is not an allocated frame",
+                    pending.pfn
+                ),
             );
             for &tid in &pending.waiters {
-                report.check(
+                report.check_args(
                     "core",
                     "osdp-inflight-waiter",
                     matches!(self.threads[tid.0].state, ThreadState::Blocked),
-                    || {
-                        format!(
-                            "in-flight OS fault on file {file} page {page} holds waiter {tid:?} in state {:?}, expected Blocked",
-                            self.threads[tid.0].state
-                        )
-                    },
+                    format_args!(
+                        "in-flight OS fault on file {file} page {page} holds waiter {tid:?} in state {:?}, expected Blocked",
+                        self.threads[tid.0].state
+                    ),
                 );
             }
         }
@@ -2063,27 +2366,23 @@ impl Sanitizer for System {
         for (&(dev, token), meta) in &self.io_meta {
             match meta.purpose {
                 Purpose::HwdpMiss { entry } => {
-                    report.check(
+                    report.check_args(
                         "core",
                         "fault-watchdog-entry",
                         self.smu.pmshr.try_entry(entry).is_some(),
-                        || {
-                            format!(
-                                "watchdog for device {dev} token {token:?} references retired PMSHR entry {entry:?}"
-                            )
-                        },
+                        format_args!(
+                            "watchdog for device {dev} token {token:?} references retired PMSHR entry {entry:?}"
+                        ),
                     );
                 }
                 Purpose::OsdpRead { key } => {
-                    report.check(
+                    report.check_args(
                         "core",
                         "fault-watchdog-osdp",
                         self.osdp_inflight.contains_key(&key),
-                        || {
-                            format!(
-                                "watchdog for device {dev} token {token:?} references resolved OS fault {key:?}"
-                            )
-                        },
+                        format_args!(
+                            "watchdog for device {dev} token {token:?} references resolved OS fault {key:?}"
+                        ),
                     );
                 }
                 Purpose::Writeback | Purpose::TierRead { .. } | Purpose::TierWrite { .. } => {}
@@ -2108,13 +2407,16 @@ impl Sanitizer for System {
                             over == Some((SocketId(0), tr.fast_dev, 1, Lba(f)))
                         }
                     };
-                    report.check("core", "tier-residence-consistent", ok, || {
-                        format!(
+                    report.check_args(
+                        "core",
+                        "tier-residence-consistent",
+                        ok,
+                        format_args!(
                             "page key {key} (file {} page {page}): engine residence {res:?} \
                              disagrees with fs location override {over:?}",
                             file.0
-                        )
-                    });
+                        ),
+                    );
                 }
             }
         }
@@ -2123,12 +2425,15 @@ impl Sanitizer for System {
         // thread blocked forever).
         if self.active_threads == 0 {
             for (&(file, page), pending) in &self.osdp_inflight {
-                report.check("core", "fault-waiters-drained", pending.waiters.is_empty(), || {
-                    format!(
+                report.check_args(
+                    "core",
+                    "fault-waiters-drained",
+                    pending.waiters.is_empty(),
+                    format_args!(
                         "run ended with OS fault on file {file} page {page} still holding waiters {:?}",
                         pending.waiters
-                    )
-                });
+                    ),
+                );
             }
         }
     }
@@ -2481,5 +2786,164 @@ mod tests {
             .expect("cross-namespace corruption detected");
         assert_eq!(v.layer, "core");
         assert!(v.message.contains("disagrees with fs location override"));
+    }
+
+    /// Same shape as [`small_system`] plus a controller-crash fault plan:
+    /// crashes at 500 µs and 1 ms of virtual time, 150 µs reset latency.
+    fn crash_system(level: SanitizeLevel) -> System {
+        use hwdp_nvme::fault::FaultConfig;
+        let mut sys = SystemBuilder::new(Mode::Hwdp)
+            .memory_frames(256)
+            .seed(11)
+            .sanitize(level)
+            .faults(FaultConfig {
+                crash_at_us: 500,
+                crash_count: 2,
+                reset_latency_us: 150,
+                ..FaultConfig::default()
+            })
+            .build();
+        let file = sys.create_pattern_file("audit.dat", 512);
+        let region = sys.map_file(file);
+        let rng = sys.fork_rng();
+        sys.spawn(Box::new(FioRandRead::new(region, 512, 200, rng)), 1.5, None);
+        sys
+    }
+
+    #[test]
+    fn controller_crash_recovers_and_audits_clean_end_to_end() {
+        let mut sys = crash_system(SanitizeLevel::Full);
+        let r = sys.run(Duration::from_millis(400));
+        assert!(r.ops > 0, "workload made progress across the crashes");
+        assert_eq!(r.verify_failures(), 0, "data integrity held through recovery");
+        assert!(r.audit.is_clean(), "{:?}", r.audit.violations);
+        assert!(
+            (1..=2).contains(&r.controller_resets),
+            "every detected crash was driven through a reset: {r:?}",
+        );
+        let kv = r.export_metrics();
+        assert!(kv.iter().any(|(n, v)| *n == "fault/controller_resets" && *v >= 1.0));
+        assert!(kv.iter().any(|(n, _)| *n == "fault/crash_ios_lost"));
+
+        // Differential oracle at the unit level: a fault-free twin with
+        // the same seed, file, and workload ends with identical
+        // memory/page-cache/file contents — recovery lost no data.
+        let mut twin = small_system(SanitizeLevel::Full);
+        let t = twin.run(Duration::from_millis(400));
+        assert_eq!(
+            sys.content_digest(),
+            twin.content_digest(),
+            "post-recovery contents match the fault-free twin"
+        );
+        assert!(r.ops <= t.ops, "crashed run never outruns its fault-free twin");
+    }
+
+    #[test]
+    fn crash_free_plans_schedule_no_resets() {
+        // A fault plan without crash knobs must never touch the recovery
+        // ladder: no resets, no lost I/O, no fault/* reset metrics.
+        let mut sys = small_system(SanitizeLevel::Full);
+        let r = sys.run(Duration::from_millis(400));
+        assert_eq!(r.controller_resets, 0);
+        assert_eq!(r.crash_ios_lost, 0);
+        assert!(r.export_metrics().iter().all(|(n, _)| !n.starts_with("fault/")));
+    }
+
+    #[test]
+    fn content_digest_is_deterministic() {
+        let mut a = small_system(SanitizeLevel::Off);
+        let mut b = small_system(SanitizeLevel::Off);
+        a.run(Duration::from_millis(100));
+        b.run(Duration::from_millis(100));
+        assert_ne!(a.content_digest(), 0, "digest covers real content");
+        assert_eq!(a.content_digest(), b.content_digest(), "same seed, same digest");
+    }
+
+    #[test]
+    fn clean_post_reset_audit_reports_no_violations() {
+        let mut sys = small_system(SanitizeLevel::Full);
+        sys.post_reset_audit_for_test(0);
+        assert!(sys.audit_report().is_clean(), "{:?}", sys.audit_report().violations);
+    }
+
+    #[test]
+    fn negative_post_reset_ring_residue_detected() {
+        // Injected corruption: a command still sits in the SQ after the
+        // reset supposedly reinitialized the rings.
+        let mut sys = small_system(SanitizeLevel::Full);
+        sys.corrupt_ring_for_test();
+        sys.post_reset_audit_for_test(0);
+        let report = sys.audit_report();
+        let v = report
+            .violations
+            .iter()
+            .find(|v| v.invariant == "reset-rings-empty")
+            .expect("ring residue detected");
+        assert_eq!(v.layer, "core");
+        assert!(v.message.contains("ring not empty"));
+    }
+
+    #[test]
+    fn negative_post_reset_phase_desync_detected() {
+        // Injected corruption: the device-side CQ phase flipped a lap
+        // while the host expectation did not.
+        let mut sys = small_system(SanitizeLevel::Full);
+        sys.corrupt_phase_for_test();
+        sys.post_reset_audit_for_test(0);
+        let v = sys
+            .audit_report()
+            .violations
+            .iter()
+            .find(|v| v.invariant == "reset-phase-consistent")
+            .expect("phase desync detected");
+        assert!(v.message.contains("phase tags inconsistent"));
+    }
+
+    #[test]
+    fn negative_post_reset_stale_watchdog_detected() {
+        // Injected corruption: an armed watchdog survives the failure
+        // sweep — its timeout would fire against a token the reset wiped.
+        let mut sys = small_system(SanitizeLevel::Full);
+        sys.corrupt_watchdog_for_test();
+        sys.post_reset_audit_for_test(0);
+        let v = sys
+            .audit_report()
+            .violations
+            .iter()
+            .find(|v| v.invariant == "reset-watchdogs-cancelled")
+            .expect("stale watchdog detected");
+        assert!(v.message.contains("watchdog tokens survived"));
+    }
+
+    #[test]
+    fn negative_post_reset_stale_pmshr_reference_detected() {
+        // Injected corruption: a parked submission references a PMSHR
+        // entry that was already retired — it could never be woken.
+        let mut sys = small_system(SanitizeLevel::Full);
+        sys.corrupt_deferred_pmshr_for_test();
+        sys.post_reset_audit_for_test(0);
+        let v = sys
+            .audit_report()
+            .violations
+            .iter()
+            .find(|v| v.invariant == "reset-pmshr-drained")
+            .expect("stale PMSHR reference detected");
+        assert!(v.message.contains("retired PMSHR entry"));
+    }
+
+    #[test]
+    fn negative_post_reset_tier_inflight_detected() {
+        // Injected corruption: a tier migration is still marked in flight
+        // after the reset aborted every copy I/O.
+        let mut sys = tiered_system(SanitizeLevel::Full);
+        sys.corrupt_tier_inflight_for_test();
+        sys.post_reset_audit_for_test(0);
+        let v = sys
+            .audit_report()
+            .violations
+            .iter()
+            .find(|v| v.invariant == "reset-tier-quiesced")
+            .expect("in-flight tier migration detected");
+        assert!(v.message.contains("migration still in flight"));
     }
 }

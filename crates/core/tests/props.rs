@@ -30,6 +30,9 @@ proptest! {
         qlen in 1u32..8,
         (range_on, lba_a, lba_b) in (prop::bool::ANY, 0u64..512, 0u64..512),
         reads_only: bool,
+        crash_at in 0u64..3_000, // 0 disables the crash schedule
+        crash_count in 1u32..4,
+        reset_latency in 10u64..500,
         seed in 0u64..1024,
         mode_hwdp: bool,
     ) {
@@ -43,6 +46,9 @@ proptest! {
             queue_full_len: qlen,
             lba_range: range_on.then(|| (lba_a.min(lba_b), lba_a.max(lba_b))),
             reads_only,
+            crash_at_us: crash_at,
+            crash_count,
+            reset_latency_us: reset_latency,
         };
         let mode = if mode_hwdp { Mode::Hwdp } else { Mode::Osdp };
         let mut sys = SystemBuilder::new(mode)

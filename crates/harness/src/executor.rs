@@ -24,6 +24,10 @@ pub enum JobOutcome {
     Ok(Vec<(String, f64)>),
     /// The job panicked; the payload is the panic message.
     Panicked(String),
+    /// The job exceeded the per-job wall-clock watchdog; the payload is
+    /// the timeout description. Its thread cannot be killed and is
+    /// abandoned — the campaign moves on instead of hanging.
+    TimedOut(String),
 }
 
 /// Runs every job of `campaign` on `workers` threads via the default
@@ -50,13 +54,23 @@ pub fn execute(
 /// everything else (missing, failed, or spec-mismatched jobs) reruns.
 /// Because job metrics are pure functions of the spec, the merged
 /// artifact is canonically identical to a from-scratch run.
+///
+/// `timeout_ms` arms the per-job wall-clock watchdog: a job exceeding it
+/// is recorded as failed (see [`execute_watchdog_with`]) instead of
+/// hanging the campaign. `None` keeps the plain in-worker execution path.
 pub fn execute_campaign_resume(
     campaign: &Campaign,
     prior: Option<&Artifact>,
     workers: usize,
+    timeout_ms: Option<u64>,
     progress: &mut dyn Progress,
 ) -> Artifact {
-    execute_resume_with(campaign, prior, workers, progress, run_job)
+    match timeout_ms {
+        None => execute_resume_with(campaign, prior, workers, progress, run_job),
+        Some(ms) => resume_with_exec(campaign, prior, progress, |pending, progress| {
+            execute_watchdog_with(pending, workers, ms, progress, run_job)
+        }),
+    }
 }
 
 /// [`execute_campaign_resume`] with a custom job function (test hook).
@@ -66,6 +80,20 @@ pub fn execute_resume_with(
     workers: usize,
     progress: &mut dyn Progress,
     job_fn: impl Fn(&JobSpec) -> Vec<(String, f64)> + Sync,
+) -> Artifact {
+    resume_with_exec(campaign, prior, progress, |pending, progress| {
+        execute_with(pending, workers, progress, job_fn)
+    })
+}
+
+/// The resume/merge machinery shared by the plain and watchdog paths:
+/// reuses prior records, hands the pending jobs to `exec`, and stitches
+/// the results back in campaign order.
+fn resume_with_exec(
+    campaign: &Campaign,
+    prior: Option<&Artifact>,
+    progress: &mut dyn Progress,
+    exec: impl FnOnce(&Campaign, &mut dyn Progress) -> Vec<(JobOutcome, f64)>,
 ) -> Artifact {
     let prior = prior.filter(|a| a.campaign == campaign.name && a.seed == campaign.seed);
     let reused: Vec<Option<JobRecord>> = campaign
@@ -93,7 +121,7 @@ pub fn execute_resume_with(
             .map(|(spec, _)| *spec)
             .collect(),
     };
-    let mut fresh = execute_with(&pending, workers, progress, job_fn).into_iter();
+    let mut fresh = exec(&pending, progress).into_iter();
 
     let jobs = campaign
         .jobs
@@ -105,15 +133,23 @@ pub fn execute_resume_with(
             None => {
                 // hwdp-lint: allow(panic-expect): pending holds exactly the jobs with no reused record
                 let (outcome, wall_ms) = fresh.next().expect("one fresh result per pending job");
-                let (status, metrics) = match outcome {
-                    JobOutcome::Ok(m) => (JobStatus::Ok, m),
-                    JobOutcome::Panicked(msg) => (JobStatus::Failed(msg), Vec::new()),
-                };
+                let (status, metrics) = outcome_status(outcome);
                 JobRecord { index, spec: *spec, status, metrics, wall_ms }
             }
         })
         .collect();
     Artifact { campaign: campaign.name.clone(), seed: campaign.seed, jobs }
+}
+
+/// Maps an executor outcome onto the artifact's job status. Timed-out
+/// jobs surface as failed records carrying the watchdog message, keeping
+/// the artifact schema unchanged.
+fn outcome_status(outcome: JobOutcome) -> (JobStatus, Vec<(String, f64)>) {
+    match outcome {
+        JobOutcome::Ok(m) => (JobStatus::Ok, m),
+        JobOutcome::Panicked(msg) => (JobStatus::Failed(msg), Vec::new()),
+        JobOutcome::TimedOut(msg) => (JobStatus::Failed(msg), Vec::new()),
+    }
 }
 
 /// [`execute`] with a custom job function — the panic-isolation and
@@ -159,6 +195,76 @@ pub fn execute_with(
     slots.into_iter().map(|s| s.expect("every job index was claimed")).collect()
 }
 
+/// [`execute_with`] plus a per-job wall-clock watchdog: every job runs on
+/// a detached thread and the worker waits at most `timeout_ms` for its
+/// result. A job that overruns is recorded as [`JobOutcome::TimedOut`]
+/// and its thread abandoned (Rust threads cannot be killed), so one hung
+/// simulation becomes a typed job error instead of a stuck campaign.
+///
+/// The watchdog observes wall-clock time, so which jobs trip it is not
+/// deterministic — arm it as a liveness net, not as part of a
+/// byte-stable artifact pipeline. `job_fn` must be `Copy + 'static`
+/// (a fn pointer or capture-free closure) because it crosses into
+/// detached threads.
+pub fn execute_watchdog_with(
+    campaign: &Campaign,
+    workers: usize,
+    timeout_ms: u64,
+    progress: &mut dyn Progress,
+    job_fn: impl Fn(&JobSpec) -> Vec<(String, f64)> + Copy + Send + Sync + 'static,
+) -> Vec<(JobOutcome, f64)> {
+    let jobs = &campaign.jobs;
+    let workers = workers.max(1).min(jobs.len().max(1));
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<(JobOutcome, f64)>> = Vec::new();
+    slots.resize_with(jobs.len(), || None);
+    let shared = Mutex::new((slots, progress));
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                let Some(spec) = jobs.get(index) else { break };
+                shared.lock().unwrap_or_else(|p| p.into_inner()).1.job_started(index, spec);
+                let start = Instant::now();
+                let outcome = run_with_watchdog(timeout_ms, *spec, job_fn);
+                let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+                let ok = matches!(outcome, JobOutcome::Ok(_));
+                let mut guard = shared.lock().unwrap_or_else(|p| p.into_inner());
+                guard.0[index] = Some((outcome, wall_ms));
+                guard.1.job_finished(index, spec, ok, wall_ms);
+            });
+        }
+    });
+
+    let (slots, _) = shared.into_inner().unwrap_or_else(|p| p.into_inner());
+    // hwdp-lint: allow(panic-expect): the atomic counter hands every index to exactly one worker
+    slots.into_iter().map(|s| s.expect("every job index was claimed")).collect()
+}
+
+/// Runs one job on a detached thread, bounded by `timeout_ms` of wall
+/// clock. Panic isolation matches the in-worker path.
+pub fn run_with_watchdog(
+    timeout_ms: u64,
+    spec: JobSpec,
+    job_fn: impl FnOnce(&JobSpec) -> Vec<(String, f64)> + Send + 'static,
+) -> JobOutcome {
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let outcome = match catch_unwind(AssertUnwindSafe(|| job_fn(&spec))) {
+            Ok(metrics) => JobOutcome::Ok(metrics),
+            Err(payload) => JobOutcome::Panicked(panic_message(&payload)),
+        };
+        let _ = tx.send(outcome);
+    });
+    match rx.recv_timeout(std::time::Duration::from_millis(timeout_ms)) {
+        Ok(outcome) => outcome,
+        Err(_) => JobOutcome::TimedOut(format!(
+            "wall-clock watchdog: job exceeded {timeout_ms} ms and was abandoned"
+        )),
+    }
+}
+
 fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
@@ -178,10 +284,7 @@ impl Artifact {
             .zip(outcomes)
             .enumerate()
             .map(|(index, (spec, (outcome, wall_ms)))| {
-                let (status, metrics) = match outcome {
-                    JobOutcome::Ok(m) => (JobStatus::Ok, m.clone()),
-                    JobOutcome::Panicked(msg) => (JobStatus::Failed(msg.clone()), Vec::new()),
-                };
+                let (status, metrics) = outcome_status(outcome.clone());
                 JobRecord { index, spec: *spec, status, metrics, wall_ms: *wall_ms }
             })
             .collect();
@@ -318,6 +421,63 @@ mod tests {
             assert_eq!(progress.skipped, 0, "foreign artifacts are never reused");
             assert_eq!(progress.started, 3);
         }
+    }
+
+    fn spec_metric_static(spec: &JobSpec) -> Vec<(String, f64)> {
+        vec![("ratio".into(), spec.ratio), ("seed_low".into(), (spec.seed & 0xFFFF) as f64)]
+    }
+
+    #[test]
+    fn watchdog_turns_hung_job_into_typed_error() {
+        let campaign = fake_campaign(3);
+        let mut progress = Counting::default();
+        let results = execute_watchdog_with(&campaign, 2, 100, &mut progress, |spec| {
+            if spec.ratio == 3.0 {
+                // Simulated hang: far longer than the watchdog. The thread
+                // is abandoned and dies with the test process.
+                std::thread::sleep(std::time::Duration::from_millis(10_000));
+            }
+            spec_metric_static(spec)
+        });
+        assert!(matches!(results[0].0, JobOutcome::Ok(_)));
+        assert!(matches!(results[2].0, JobOutcome::Ok(_)));
+        let JobOutcome::TimedOut(msg) = &results[1].0 else {
+            panic!("hung job not timed out: {:?}", results[1].0)
+        };
+        assert!(msg.contains("watchdog"), "typed timeout message: {msg}");
+        assert_eq!(progress.finished, 3, "campaign completed despite the hang");
+        assert_eq!(progress.failed, 1);
+        // Timed-out outcomes land in the artifact as failed records.
+        let artifact = Artifact::from_outcomes(&campaign, &results);
+        assert!(!artifact.jobs[1].is_ok());
+        assert!(artifact.jobs[0].is_ok() && artifact.jobs[2].is_ok());
+    }
+
+    #[test]
+    fn watchdog_leaves_fast_jobs_and_panics_untouched() {
+        let campaign = fake_campaign(5);
+        let plain = execute_with(&campaign, 2, &mut Counting::default(), spec_metric_static);
+        let watched = execute_watchdog_with(
+            &campaign,
+            2,
+            60_000,
+            &mut Counting::default(),
+            spec_metric_static,
+        );
+        let outcomes =
+            |r: &[(JobOutcome, f64)]| r.iter().map(|(o, _)| o.clone()).collect::<Vec<_>>();
+        assert_eq!(outcomes(&plain), outcomes(&watched), "generous watchdog changes nothing");
+
+        // Panic isolation survives the detached-thread path.
+        let results =
+            execute_watchdog_with(&campaign, 2, 60_000, &mut Counting::default(), |spec| {
+                assert!(spec.ratio != 4.0, "boom at ratio 4");
+                spec_metric_static(spec)
+            });
+        let JobOutcome::Panicked(msg) = &results[2].0 else {
+            panic!("panicking job not isolated: {:?}", results[2].0)
+        };
+        assert!(msg.contains("boom"));
     }
 
     #[test]

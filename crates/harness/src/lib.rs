@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod artifact;
+pub mod chaos;
 pub mod compare;
 pub mod executor;
 pub mod json;
@@ -59,6 +60,7 @@ pub mod spec;
 pub mod stats;
 
 pub use artifact::{Artifact, JobRecord, JobStatus};
+pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
 pub use compare::{CompareReport, Thresholds};
 pub use executor::{execute, execute_campaign, execute_campaign_resume, JobOutcome};
 pub use json::Json;

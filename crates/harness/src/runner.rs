@@ -104,6 +104,13 @@ fn aggregate_repeats(runs: &[Vec<(String, f64)>]) -> Vec<(String, f64)> {
 
 /// Builds the system described by `spec` and runs its workload.
 pub fn simulate(spec: &JobSpec) -> RunResult {
+    simulate_with_digest(spec).0
+}
+
+/// Like [`simulate`], but also returns the end-of-run content digest
+/// (`System::content_digest`) — the user-visible storage state the chaos
+/// oracle compares between a faulted run and its fault-free twin.
+pub fn simulate_with_digest(spec: &JobSpec) -> (RunResult, u64) {
     let mut builder = SystemBuilder::new(spec.mode)
         .memory_frames(spec.memory_frames)
         .device(spec.device.profile())
@@ -215,7 +222,9 @@ pub fn simulate(spec: &JobSpec) -> RunResult {
         }
         Scenario::Anatomy => unreachable!("anatomy jobs are closed-form"),
     }
-    sys.run(time_cap)
+    let result = sys.run(time_cap);
+    let digest = sys.content_digest();
+    (result, digest)
 }
 
 /// Closed-form Fig. 10/17 anatomy metrics (no event simulation).

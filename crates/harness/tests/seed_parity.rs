@@ -106,6 +106,40 @@ fn zero_rate_fault_plan_reproduces_committed_baseline_byte_for_byte() {
 }
 
 #[test]
+fn zero_crash_plan_reproduces_committed_baseline_byte_for_byte() {
+    // The crash-recovery parity contract: a disabled crash schedule
+    // (`crash_at_us == 0`) schedules no crash events and exports no
+    // `fault/` metrics, whatever the other crash knobs say — the seed
+    // campaign stays byte-identical to the baseline captured before the
+    // controller reset ladder existed.
+    let baseline_path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../../baselines/BENCH_seed.json");
+    let text = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", baseline_path.display()));
+    let baseline = Artifact::parse(&text).expect("committed baseline parses");
+
+    let mut campaign = seed_campaign();
+    for job in &mut campaign.jobs {
+        job.faults = Some(hwdp_nvme::fault::FaultConfig {
+            crash_at_us: 0,
+            crash_count: 3,
+            reset_latency_us: 777,
+            ..hwdp_nvme::fault::FaultConfig::default()
+        });
+        job.sanitize = hwdp_sim::SanitizeLevel::Full;
+    }
+    let fresh = execute_campaign(&campaign, 4, &mut Counting::default());
+
+    assert_eq!(
+        fresh.canonical_string(),
+        baseline.canonical_string(),
+        "a zero-crash fault plan perturbed the seed campaign artifact; \
+         crash injection must be pay-as-you-go (no crash events, no reset \
+         bookkeeping, no metric changes while crash_at_us is zero)"
+    );
+}
+
+#[test]
 fn explicit_repeats_one_reproduces_committed_baseline_byte_for_byte() {
     // The statistics parity contract: `repeats = 1` (and the normalized
     // `repeats = 0`) is a plain single run — repeat 0 is anchored to the

@@ -28,7 +28,7 @@ fn workspace_root() -> std::path::PathBuf {
 /// completion-path closure; a missing name means a rename broke root
 /// coverage and this roster (plus `COMPLETION_ROOT_NAMES` if the rename
 /// touched a root) must track it.
-const ROSTER: [&str; 18] = [
+const ROSTER: [&str; 23] = [
     "System::handle_io_done",
     "System::dispatch_completion",
     "System::recover_hwdp",
@@ -47,6 +47,11 @@ const ROSTER: [&str; 18] = [
     "HostController::handle_completion",
     "Os::osdp_fault_complete",
     "Os::osdp_fault_abort",
+    "System::handle_controller_failure",
+    "System::finish_controller_reset",
+    "NvmeController::begin_reset",
+    "NvmeController::finish_reset",
+    "QueuePair::reset",
 ];
 
 #[test]

@@ -52,6 +52,16 @@ pub struct FaultConfig {
     /// Inject only into read commands (queue-full windows, which act
     /// before the opcode matters, ignore this).
     pub reads_only: bool,
+    /// Virtual time (µs) of the first controller crash; `0` disables
+    /// crashes. With [`FaultConfig::crash_count`] > 1 the controller
+    /// crashes again every `crash_at_us` µs of virtual time.
+    pub crash_at_us: u64,
+    /// How many crashes to inject over the run (ignored while
+    /// `crash_at_us` is zero).
+    pub crash_count: u32,
+    /// Deterministic latency (µs) between the host issuing a controller
+    /// reset and the controller returning to `Ready`.
+    pub reset_latency_us: u64,
 }
 
 impl Default for FaultConfig {
@@ -66,6 +76,9 @@ impl Default for FaultConfig {
             queue_full_len: 4,
             lba_range: None,
             reads_only: true,
+            crash_at_us: 0,
+            crash_count: 1,
+            reset_latency_us: 100,
         }
     }
 }
@@ -78,6 +91,18 @@ impl FaultConfig {
             && self.delay_rate == 0.0
             && self.drop_rate == 0.0
             && self.queue_full_rate == 0.0
+            && self.crash_at_us == 0
+    }
+
+    /// Virtual times (µs) at which the controller crashes: the first at
+    /// `crash_at_us`, then one more every `crash_at_us` µs until
+    /// `crash_count` crashes are scheduled. Empty when crashes are off.
+    /// Pure config — crash timing never touches the fault RNG stream, so
+    /// enabling crashes cannot perturb per-command fault draws.
+    pub fn crash_times(&self) -> impl Iterator<Item = u64> {
+        let at = self.crash_at_us;
+        let n = if at > 0 { u64::from(self.crash_count) } else { 0 };
+        (1..=n).map(move |i| at.saturating_mul(i))
     }
 
     /// Whether a command is eligible for injection under the LBA-range
@@ -99,15 +124,26 @@ impl FaultConfig {
     /// ```
     ///
     /// `delay` takes `rate` or `ratexfactor`; `qfull` takes `rate` or
-    /// `ratexlen`; `lba` takes `lo-hi`; the bare word `writes` lifts the
-    /// reads-only restriction. Returns `None` on any unknown key or
-    /// malformed value.
+    /// `ratexlen`; `lba` takes `lo-hi`; `crash` takes `t_us` or
+    /// `t_usxcount`; `reset` takes a latency in µs (and requires `crash`);
+    /// the bare word `writes` lifts the reads-only restriction. Returns
+    /// `None` on any unknown or repeated key or malformed value.
     pub fn parse(s: &str) -> Option<FaultConfig> {
         let mut cfg = FaultConfig::default();
+        let mut seen = BTreeSet::new();
         for part in s.split(',').filter(|p| !p.is_empty()) {
-            match part.split_once('=') {
-                None if part == "writes" => cfg.reads_only = false,
+            let key = match part.split_once('=') {
+                None if part == "writes" => "writes",
                 None => return None,
+                Some((k, _)) => k,
+            };
+            if !seen.insert(key) {
+                // Duplicate keys are always a caller mistake; silently
+                // letting the last one win hides typos in fault plans.
+                return None;
+            }
+            match part.split_once('=') {
+                None => cfg.reads_only = false,
                 Some((k, v)) => match k {
                     "media" => cfg.media_error_rate = v.parse().ok()?,
                     "persistent" => cfg.persistent_media_rate = v.parse().ok()?,
@@ -130,6 +166,14 @@ impl FaultConfig {
                         let (lo, hi) = v.split_once('-')?;
                         cfg.lba_range = Some((lo.parse().ok()?, hi.parse().ok()?));
                     }
+                    "crash" => match v.split_once('x') {
+                        Some((t, n)) => {
+                            cfg.crash_at_us = t.parse().ok()?;
+                            cfg.crash_count = n.parse().ok()?;
+                        }
+                        None => cfg.crash_at_us = v.parse().ok()?,
+                    },
+                    "reset" => cfg.reset_latency_us = v.parse().ok()?,
                     _ => return None,
                 },
             }
@@ -142,6 +186,15 @@ impl FaultConfig {
             cfg.queue_full_rate,
         ];
         if rates.iter().any(|r| !(0.0..=1.0).contains(r)) || cfg.delay_factor < 1.0 {
+            return None;
+        }
+        // Crash knobs: an explicit `crash=0` (or count 0 / zero reset
+        // latency) is rejected rather than treated as "off", and a reset
+        // latency without a crash to recover from is meaningless.
+        if seen.contains("crash") && (cfg.crash_at_us == 0 || cfg.crash_count == 0) {
+            return None;
+        }
+        if seen.contains("reset") && (!seen.contains("crash") || cfg.reset_latency_us == 0) {
             return None;
         }
         Some(cfg)
@@ -166,6 +219,10 @@ impl FaultConfig {
         }
         if self.queue_full_rate > 0.0 {
             parts.push(format!("qfull={}x{}", self.queue_full_rate, self.queue_full_len));
+        }
+        if self.crash_at_us > 0 {
+            parts.push(format!("crash={}x{}", self.crash_at_us, self.crash_count));
+            parts.push(format!("reset={}", self.reset_latency_us));
         }
         if let Some((lo, hi)) = self.lba_range {
             parts.push(format!("lba={lo}-{hi}"));
@@ -398,6 +455,50 @@ mod tests {
     }
 
     #[test]
+    fn parse_accepts_crash_knobs() {
+        let cfg = FaultConfig::parse("crash=500x2,reset=80").expect("parses");
+        assert_eq!(cfg.crash_at_us, 500);
+        assert_eq!(cfg.crash_count, 2);
+        assert_eq!(cfg.reset_latency_us, 80);
+        assert!(!cfg.is_zero(), "crash-only plans are not zero");
+        assert_eq!(cfg.crash_times().collect::<Vec<_>>(), vec![500, 1000]);
+
+        let one = FaultConfig::parse("crash=250").expect("bare crash parses");
+        assert_eq!(one.crash_count, 1);
+        assert_eq!(one.reset_latency_us, FaultConfig::default().reset_latency_us);
+        assert_eq!(one.crash_times().collect::<Vec<_>>(), vec![250]);
+        assert_eq!(FaultConfig::default().crash_times().count(), 0);
+    }
+
+    #[test]
+    fn parse_rejects_duplicate_keys() {
+        for dup in [
+            "media=0.1,media=0.2",
+            "crash=100,crash=200",
+            "delay=0.1x4,delay=0.2",
+            "writes,writes",
+            "qfull=0.1,media=0.2,qfull=0.3",
+        ] {
+            assert!(FaultConfig::parse(dup).is_none(), "{dup} must be rejected");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_out_of_range_crash_knobs() {
+        for bad in [
+            "crash=0",         // explicit zero is a mistake, not "off"
+            "crash=100x0",     // zero crashes
+            "crash=x",         // malformed time
+            "crash=100x",      // malformed count
+            "reset=50",        // reset without a crash
+            "crash=100,reset=0", // instantaneous reset
+            "crash=-5",        // negative time
+        ] {
+            assert!(FaultConfig::parse(bad).is_none(), "{bad} must be rejected");
+        }
+    }
+
+    #[test]
     fn canonical_round_trips() {
         for s in [
             "media=0.1,persistent=0.5,delay=0.05x20,drop=0.02,qfull=0.3x8,lba=0-4095,writes",
@@ -407,6 +508,41 @@ mod tests {
         ] {
             let cfg = FaultConfig::parse(s).expect("parses");
             assert_eq!(FaultConfig::parse(&cfg.canonical()), Some(cfg), "round-trip of {s:?}");
+        }
+    }
+
+    #[test]
+    fn canonical_round_trips_every_filter_combination() {
+        // Every subset of {lba filter, writes, crash knobs} layered over a
+        // nonzero rate mix must survive parse → canonical → parse.
+        let lba = [None, Some((16u64, 255u64))];
+        let writes = [true, false];
+        let crash = [(0u64, 1u32, 100u64), (400, 1, 100), (750, 3, 60)];
+        for &range in &lba {
+            for &ro in &writes {
+                for &(at, n, reset) in &crash {
+                    let cfg = FaultConfig {
+                        media_error_rate: 0.1,
+                        persistent_media_rate: 0.5,
+                        delay_rate: 0.05,
+                        delay_factor: 20.0,
+                        drop_rate: 0.02,
+                        queue_full_rate: 0.3,
+                        queue_full_len: 8,
+                        lba_range: range,
+                        reads_only: ro,
+                        crash_at_us: at,
+                        crash_count: n,
+                        reset_latency_us: reset,
+                    };
+                    let rendered = cfg.canonical();
+                    assert_eq!(
+                        FaultConfig::parse(&rendered),
+                        Some(cfg),
+                        "round-trip of {rendered:?}"
+                    );
+                }
+            }
         }
     }
 }

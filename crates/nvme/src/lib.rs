@@ -30,7 +30,7 @@ pub mod profile;
 pub mod queue;
 
 pub use command::{CompletionEntry, NvmeCommand, Opcode};
-pub use device::{Completed, CompletionToken, DeviceStats, NvmeController, QueueId};
+pub use device::{Completed, CompletionToken, ControllerState, DeviceStats, NvmeController, QueueId};
 pub use fault::{FaultConfig, FaultPlan, FaultStats};
 pub use namespace::BlockStore;
 pub use profile::DeviceProfile;

@@ -135,6 +135,45 @@ impl QueuePair {
         self.doorbell_writes += 1;
     }
 
+    /// Controller-reset reinitialization: clears both rings in place,
+    /// rewinds every index to zero, and restores the initial phase tags —
+    /// exactly the state [`QueuePair::new`] produces, except that
+    /// `doorbell_writes` is preserved (doorbell registers are host-side
+    /// PCIe write *counters*; a reset does not un-ring them, and the
+    /// `doorbell-monotonic` audit invariant holds across resets).
+    pub fn reset(&mut self) {
+        for slot in &mut self.sq {
+            *slot = None;
+        }
+        for slot in &mut self.cq {
+            *slot = None;
+        }
+        self.sq_tail = 0;
+        self.sq_head = 0;
+        self.cq_tail = 0;
+        self.cq_head = 0;
+        self.device_phase = true;
+        self.host_phase = true;
+    }
+
+    /// `true` when both rings are empty: no submitted-but-unfetched
+    /// command, no unconsumed completion, and no occupied slot. This is
+    /// the post-reset quiescence predicate the `reset-rings-empty` audit
+    /// invariant asserts.
+    pub fn rings_empty(&self) -> bool {
+        self.sq_head == self.sq_tail
+            && self.cq_head == self.cq_tail
+            && self.sq.iter().all(Option::is_none)
+            && self.cq.iter().all(Option::is_none)
+    }
+
+    /// `true` when the device's posting phase and the host's expected
+    /// phase agree — the invariant that must hold whenever the CQ is
+    /// empty (and in particular immediately after a reset).
+    pub fn phases_consistent(&self) -> bool {
+        self.device_phase == self.host_phase
+    }
+
     /// hwdp-audit checker for this ring pair. Cheap checks validate index
     /// ranges and full/backlog consistency; full checks sweep both ring
     /// windows (submitted SQ slots must hold commands, pending CQ slots
@@ -146,30 +185,39 @@ impl QueuePair {
         }
         let depth = self.depth;
         let in_range = self.sq_head < depth && self.sq_tail < depth && self.cq_head < depth && self.cq_tail < depth;
-        report.check(layer, "ring-index-range", in_range, || {
-            format!(
+        report.check_args(
+            layer,
+            "ring-index-range",
+            in_range,
+            format_args!(
                 "queue {qid}: ring index out of range (sq {}..{}, cq {}..{}, depth {depth})",
                 self.sq_head, self.sq_tail, self.cq_head, self.cq_tail
-            )
-        });
+            ),
+        );
         if !in_range {
             return;
         }
-        report.check(layer, "sq-full-consistency", self.sq_is_full() == (self.sq_backlog() == depth - 1), || {
-            format!(
+        report.check_args(
+            layer,
+            "sq-full-consistency",
+            self.sq_is_full() == (self.sq_backlog() == depth - 1),
+            format_args!(
                 "queue {qid}: sq_is_full()={} disagrees with backlog {} of depth {depth}",
                 self.sq_is_full(),
                 self.sq_backlog()
-            )
-        });
+            ),
+        );
         if !level.full_checks() {
             return;
         }
         let mut i = self.sq_head;
         while i != self.sq_tail {
-            report.check(layer, "sq-slot-occupied", self.sq[i as usize].is_some(), || {
-                format!("queue {qid}: submitted SQ slot {i} holds no command")
-            });
+            report.check_args(
+                layer,
+                "sq-slot-occupied",
+                self.sq[i as usize].is_some(),
+                format_args!("queue {qid}: submitted SQ slot {i} holds no command"),
+            );
             i = (i + 1) % depth;
         }
         let mut i = self.cq_head;
@@ -177,17 +225,23 @@ impl QueuePair {
         while i != self.cq_tail {
             match self.cq[i as usize] {
                 Some(e) => {
-                    report.check(layer, "cq-phase", e.phase == expected, || {
-                        format!(
+                    report.check_args(
+                        layer,
+                        "cq-phase",
+                        e.phase == expected,
+                        format_args!(
                             "queue {qid}: CQ slot {i} (cid {}) carries phase {} but the host expects {expected}",
                             e.cid, e.phase
-                        )
-                    });
+                        ),
+                    );
                 }
                 None => {
-                    report.check(layer, "cq-slot-missing", false, || {
-                        format!("queue {qid}: pending CQ slot {i} holds no completion entry")
-                    });
+                    report.check_args(
+                        layer,
+                        "cq-slot-missing",
+                        false,
+                        format_args!("queue {qid}: pending CQ slot {i} holds no completion entry"),
+                    );
                 }
             }
             i = (i + 1) % depth;
@@ -310,6 +364,49 @@ mod tests {
         let mut report = AuditReport::new();
         q.audit(0, SanitizeLevel::Off, &mut report);
         assert_eq!(report.checks, 0);
+    }
+
+    #[test]
+    fn reset_reinitializes_rings_but_keeps_doorbells() {
+        let mut q = QueuePair::new(4);
+        // Leave the pair mid-protocol: one unfetched command, one
+        // unconsumed completion.
+        q.host_submit(cmd(1));
+        q.ring_sq_doorbell();
+        q.host_submit(cmd(2));
+        q.device_fetch();
+        q.device_post_completion(2, Status::Success);
+        q.ring_cq_doorbell();
+        assert!(!q.rings_empty());
+        let doorbells = q.doorbell_writes;
+        q.reset();
+        assert!(q.rings_empty());
+        assert!(q.phases_consistent());
+        assert_eq!(q.sq_backlog(), 0);
+        assert_eq!(q.doorbell_writes, doorbells, "doorbell counters survive reset");
+        assert_eq!(q.host_poll_completion(), None, "stale completions are gone");
+        // The pair is immediately usable again, phase discipline intact.
+        assert!(q.host_submit(cmd(3)));
+        q.device_fetch();
+        q.device_post_completion(3, Status::Success);
+        assert_eq!(q.host_poll_completion().map(|e| e.cid), Some(3));
+        let mut report = AuditReport::new();
+        q.audit(0, SanitizeLevel::Full, &mut report);
+        assert!(report.is_clean(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn quiescence_predicates_track_ring_state() {
+        let mut q = QueuePair::new(4);
+        assert!(q.rings_empty() && q.phases_consistent());
+        q.host_submit(cmd(1));
+        assert!(!q.rings_empty(), "unfetched command occupies the SQ");
+        q.device_fetch();
+        assert!(q.rings_empty(), "fetched command leaves both rings clear");
+        q.device_post_completion(1, Status::Success);
+        assert!(!q.rings_empty(), "unconsumed completion occupies the CQ");
+        q.host_poll_completion();
+        assert!(q.rings_empty());
     }
 
     #[test]

@@ -137,6 +137,13 @@ impl MiniFs {
         self.files[file.0 as usize].blocks.len() as u64
     }
 
+    /// Every file ID, in creation order (file IDs are sequential indices).
+    /// Lets drivers sweep all file contents — e.g. the chaos harness's
+    /// differential recovery oracle digesting final storage state.
+    pub fn file_ids(&self) -> impl Iterator<Item = FileId> {
+        (0..self.files.len() as u32).map(FileId)
+    }
+
     /// File name.
     pub fn name(&self, file: FileId) -> &str {
         &self.files[file.0 as usize].name

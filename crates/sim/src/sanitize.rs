@@ -129,6 +129,25 @@ impl AuditReport {
         ok
     }
 
+    /// [`AuditReport::check`] with a preformatted [`fmt::Arguments`]
+    /// message. The message string is only materialized on failure, so a
+    /// passing check performs no allocation — checkers on event-loop
+    /// completion paths use this form to stay out of the hot-path-alloc
+    /// census without giving up descriptive violation messages.
+    pub fn check_args(
+        &mut self,
+        layer: &'static str,
+        invariant: &'static str,
+        ok: bool,
+        message: fmt::Arguments<'_>,
+    ) -> bool {
+        self.checks += 1;
+        if !ok {
+            self.violations.push(Violation { layer, invariant, message: fmt::format(message) });
+        }
+        ok
+    }
+
     /// Records a violation directly (for checks whose evaluation was
     /// already counted).
     pub fn record(&mut self, layer: &'static str, invariant: &'static str, message: String) {
@@ -209,6 +228,16 @@ mod tests {
         assert!(!r.is_clean());
         assert_eq!(r.violations[0].invariant, "demo");
         assert_eq!(format!("{}", r.violations[0]), "[mem/demo] boom");
+    }
+
+    #[test]
+    fn check_args_records_on_failure_only() {
+        let mut r = AuditReport::new();
+        assert!(r.check_args("nvme", "ring", true, format_args!("never {}", 1)));
+        assert!(!r.check_args("nvme", "ring", false, format_args!("qid {} broken", 2)));
+        assert_eq!(r.checks, 2);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(format!("{}", r.violations[0]), "[nvme/ring] qid 2 broken");
     }
 
     #[test]

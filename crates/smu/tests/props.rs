@@ -42,7 +42,7 @@ proptest! {
         }
         prop_assert_eq!(pmshr.occupancy() as usize, model.len());
         for (page, idx) in entry_of {
-            let entry = pmshr.invalidate(idx);
+            let entry = pmshr.invalidate(idx).expect("live entry invalidates");
             prop_assert_eq!(&entry.waiters, &model[&page], "waiters preserved in order");
         }
         prop_assert_eq!(pmshr.occupancy(), 0);

@@ -6,8 +6,8 @@
 #   scripts/ci.sh --proptest # only the property-test suites
 #
 # Set HWDP_CI_OUT=<dir> to keep the campaign artifacts (BENCH_*.json,
-# AUDIT_*.json) instead of writing them to a throwaway temp dir; the
-# GitHub Actions workflow uses this to archive them.
+# AUDIT_*.json, CHAOS_*.json) instead of writing them to a throwaway
+# temp dir; the GitHub Actions workflow uses this to archive them.
 #
 # The smoke campaign is deterministic (virtual-time simulation, per-job
 # seeds derived from the campaign seed), so the comparison against the
@@ -118,6 +118,21 @@ grep -q '"violations_total": 0' "$out/AUDIT_faults.json"
 grep -Eq '"io_retries": [1-9]' "$out/BENCH_faults.json"
 grep -Eq '"smu_fallbacks_fault": [1-9]' "$out/BENCH_faults.json"
 echo "fault injection: recovered cleanly (zero violations, retries exercised)"
+
+echo "== chaos: crash-recovery smoke campaign =="
+# Seeded random fault plans with controller crashes enabled, each run
+# against a fault-free twin by the differential recovery oracle at full
+# sanitize. The acceptance bar: zero oracle mismatches (chaos exits
+# zero) and a nonzero controller-reset count — the campaign must have
+# actually crashed and recovered, not skated through crash-free plans.
+./target/release/hwdp chaos \
+  --name ci \
+  --seed 42 --jobs 8 \
+  --sanitize full \
+  --out "$out"
+grep -q '"oracle_mismatches": 0' "$out/CHAOS_ci.json"
+grep -Eq '"controller_resets": [1-9]' "$out/CHAOS_ci.json"
+echo "chaos: recovery oracle clean (resets exercised, zero mismatches)"
 
 echo "== figures: Fig. 14/15 campaign (YCSB-C 4 threads, 3 repeats) =="
 # The per-figure headline bands (user-IPC gain, kernel-instruction
