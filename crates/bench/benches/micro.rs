@@ -10,6 +10,7 @@ use hwdp_mem::tlb::Tlb;
 use hwdp_sim::dist::ScrambledZipfian;
 use hwdp_sim::events::EventQueue;
 use hwdp_sim::rng::Prng;
+use hwdp_sim::sched::{EventScheduler, SchedulerKind};
 use hwdp_sim::time::{Duration, Time};
 use hwdp_smu::free_queue::{FreePage, FreePageQueue};
 use hwdp_smu::pmshr::Pmshr;
@@ -28,6 +29,86 @@ fn bench_event_queue(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
+}
+
+/// One step of a Fig. 12-shaped scheduler workload, pre-generated so
+/// both backends replay the identical program.
+enum SchedOp {
+    /// Schedule an event this many nanoseconds past the current clock.
+    Schedule(u64),
+    /// Pop the next due event.
+    Pop,
+    /// Cancel the k-th most recently scheduled still-known event.
+    Cancel(usize),
+}
+
+/// Builds the event mix of a demand-paging run: a steady stream of
+/// short steps (CPU quanta, ~100 ns–2 µs), device completions in the
+/// 8–120 µs band, sparse daemon timers out at 1 ms, and occasional
+/// cancellations (timeout watchdogs disarmed by early completion).
+/// Roughly one pop per schedule keeps the queue near its steady-state
+/// depth instead of growing without bound.
+fn fig12_sched_program(ops: usize) -> Vec<SchedOp> {
+    let mut rng = Prng::seed_from(12);
+    let mut program = Vec::with_capacity(ops);
+    let mut outstanding = 0usize;
+    for _ in 0..ops {
+        let roll = rng.below(100);
+        if roll < 46 || outstanding == 0 {
+            let delay = match rng.below(10) {
+                0..=5 => 100 + rng.below(1_900),  // CPU step / SMU handshake
+                6..=8 => 8_000 + rng.below(112_000), // NVMe completion
+                _ => 1_000_000,                        // kpoold/kpted timer
+            };
+            program.push(SchedOp::Schedule(delay));
+            outstanding += 1;
+        } else if roll < 92 {
+            program.push(SchedOp::Pop);
+            outstanding -= 1;
+        } else {
+            program.push(SchedOp::Cancel(rng.below(outstanding as u64) as usize));
+            outstanding -= 1;
+        }
+    }
+    program
+}
+
+fn bench_scheduler_backends(c: &mut Criterion) {
+    let program = fig12_sched_program(4096);
+    let mut group = c.benchmark_group("scheduler_fig12_mix_4k");
+    for kind in [SchedulerKind::Wheel, SchedulerKind::Heap] {
+        group.bench_function(kind.name(), |b| {
+            b.iter_batched(
+                || EventScheduler::<u32>::new(kind),
+                |mut sched| {
+                    let mut live = Vec::with_capacity(256);
+                    for op in &program {
+                        match op {
+                            SchedOp::Schedule(delay) => {
+                                let at = sched.now() + Duration::from_nanos(*delay);
+                                live.push(sched.schedule(at, 0));
+                            }
+                            SchedOp::Pop => {
+                                // Tombstones mean a pop may need to skip
+                                // cancelled entries; drain until a live one.
+                                std::hint::black_box(sched.pop());
+                                live.pop();
+                            }
+                            SchedOp::Cancel(k) => {
+                                let idx = live.len() - 1 - (k % live.len());
+                                let id = live.swap_remove(idx);
+                                sched.cancel(id);
+                            }
+                        }
+                    }
+                    while sched.pop().is_some() {}
+                    sched
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
 }
 
 fn bench_pmshr(c: &mut Criterion) {
@@ -150,7 +231,7 @@ fn bench_free_queue(c: &mut Criterion) {
 criterion_group! {
     name = micro;
     config = Criterion::default();
-    targets = bench_event_queue, bench_pmshr, bench_page_walk, bench_kpted_scan,
-              bench_tlb, bench_zipfian, bench_pte_encode, bench_free_queue
+    targets = bench_event_queue, bench_scheduler_backends, bench_pmshr, bench_page_walk,
+              bench_kpted_scan, bench_tlb, bench_zipfian, bench_pte_encode, bench_free_queue
 }
 criterion_main!(micro);

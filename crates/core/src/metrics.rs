@@ -144,6 +144,12 @@ pub struct RunResult {
     /// In-flight commands lost to controller crashes (every one is retired
     /// and requeued or degraded by the recovery ladder).
     pub crash_ios_lost: u64,
+    /// Simulation events dispatched by the main loop. Deliberately *not*
+    /// exported by [`RunResult::export_metrics`] — it is a simulator
+    /// implementation detail, and the harness surfaces it (with wall-clock
+    /// `events_per_sec`) only under its opt-in throughput mode so baseline
+    /// artifacts stay byte-identical.
+    pub events_processed: u64,
     /// hwdp-audit sanitizer report (empty when sanitizing was `Off` or
     /// every invariant held).
     pub audit: AuditReport,
@@ -299,6 +305,7 @@ mod tests {
             smu_prefetches: 0,
             controller_resets: 0,
             crash_ios_lost: 0,
+            events_processed: 0,
             audit: AuditReport::new(),
             tier: None,
         };

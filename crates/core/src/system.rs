@@ -31,7 +31,8 @@ use hwdp_smu::host_controller::QueueDescriptor;
 use hwdp_smu::pmshr::{EntryIdx, Pmshr};
 use hwdp_smu::smu::{MissOutcome, MissRequest, Smu};
 use hwdp_smu::timing::SmuTiming;
-use hwdp_sim::events::{EventId, EventQueue};
+use hwdp_sim::events::EventId;
+use hwdp_sim::sched::EventScheduler;
 use hwdp_sim::rng::Prng;
 use hwdp_sim::sanitize::{AuditReport, SanitizeLevel, Sanitizer};
 use hwdp_sim::stats::LatencyHist;
@@ -208,7 +209,7 @@ pub struct IoError {
 /// The full system under test.
 pub struct System {
     cfg: SystemConfig,
-    queue: EventQueue<Event>,
+    queue: EventScheduler<Event>,
     /// The kernel (public for inspection in tests and benches).
     pub os: Os,
     smu: Smu,
@@ -229,6 +230,21 @@ pub struct System {
     active_threads: usize,
     long_io_switches: u64,
     readahead_reads: u64,
+    /// Events dispatched by the main loop (scheduler-throughput
+    /// denominator; identical across backends by the ordering contract).
+    events_processed: u64,
+    /// Retired OSDP waiter lists, recycled so the fault path does not
+    /// allocate a fresh `Vec` per major fault (bounded; see
+    /// [`System::recycle_waiters`]).
+    waiter_pool: Vec<Vec<ThreadId>>,
+    /// Reusable eviction buffer for the fault/reclaim/refill paths
+    /// (`mem::take`n around each use; always drained before being put
+    /// back).
+    scratch_evictions: Vec<Eviction>,
+    /// Reusable frame buffer for free-queue refill ticks.
+    scratch_frames: Vec<Pfn>,
+    /// Reusable migration-plan buffer for tier-daemon ticks.
+    scratch_plans: Vec<MigrationPlan>,
     /// Per-command watchdog state, keyed by `(device index, token)`.
     io_meta: BTreeMap<(usize, CompletionToken), IoMeta>,
     /// Tokens whose watchdog already fired; their late (or dropped)
@@ -324,7 +340,7 @@ impl System {
 
         let mut sys = System {
             cfg,
-            queue: EventQueue::new(),
+            queue: EventScheduler::new(cfg.scheduler),
             os,
             smu,
             devices: vec![dev],
@@ -343,6 +359,11 @@ impl System {
             active_threads: 0,
             long_io_switches: 0,
             readahead_reads: 0,
+            events_processed: 0,
+            waiter_pool: Vec::new(),
+            scratch_evictions: Vec::new(),
+            scratch_frames: Vec::new(),
+            scratch_plans: Vec::new(),
             io_meta: BTreeMap::new(),
             stale_tokens: BTreeSet::new(),
             deferred_io: vec![VecDeque::new()],
@@ -753,8 +774,9 @@ impl System {
             Some(s) => s,
             None => {
                 let t = &mut self.threads[tid.0];
-                let last = t.last_read.take();
-                let step = t.workload.next(last.as_deref());
+                // The previous read buffer is verified here but *kept*
+                // (not dropped), so the next read recycles its allocation.
+                let step = t.workload.next(t.last_read.as_deref());
                 step.validate();
                 if matches!(step, Step::Read { .. }) {
                     t.read_start = Some(now);
@@ -861,7 +883,11 @@ impl System {
         // Resident: perform the access against real frame contents.
         match &step {
             Step::Read { len, .. } => {
-                let mut buf = vec![0u8; *len as usize];
+                // Recycle the thread's previous read buffer instead of
+                // allocating one per access (the hottest line in the run).
+                let mut buf = self.threads[tid.0].last_read.take().unwrap_or_default();
+                buf.clear();
+                buf.resize(*len as usize, 0);
                 self.os.frames.read(pfn, (offset % 4096) as usize, &mut buf);
                 t += if *len > 64 { ACCESS_4K } else { ACCESS_SMALL };
                 let thread = &mut self.threads[tid.0];
@@ -882,6 +908,22 @@ impl System {
     }
 
     // ----- the OSDP path ----------------------------------------------------
+
+    /// Acquires a waiter list for a new OSDP fault, reusing a retired one
+    /// when available so the steady-state fault path is allocation-free.
+    fn take_waiters(&mut self) -> Vec<ThreadId> {
+        self.waiter_pool.pop().unwrap_or_default()
+    }
+
+    /// Returns a drained waiter list to the pool. Bounded: the pool can
+    /// never hold more lists than there were concurrent OSDP faults, and
+    /// a hard cap keeps a pathological run from hoarding memory.
+    fn recycle_waiters(&mut self, mut waiters: Vec<ThreadId>) {
+        if self.waiter_pool.len() < 64 {
+            waiters.clear();
+            self.waiter_pool.push(waiters);
+        }
+    }
 
     fn charge_kernel(&mut self, tid: ThreadId, instr: u64, latency: Duration) {
         let cycles = self.cfg.freq.cycles_in(latency);
@@ -922,9 +964,11 @@ impl System {
             return;
         }
 
-        let Some(plan) = self.os.osdp_fault(vpn) else {
+        let mut evictions = std::mem::take(&mut self.scratch_evictions);
+        let Some(plan) = self.os.osdp_fault(vpn, &mut evictions) else {
             // Segfault (no VMA) or frame exhaustion: retire the access so
             // the campaign completes and surfaces the anomaly in stats.
+            self.scratch_evictions = evictions;
             self.queue.schedule(now, Event::Step(tid));
             return;
         };
@@ -941,10 +985,10 @@ impl System {
                 }
                 self.queue.schedule(done, Event::Step(tid));
             }
-            FaultPlan::ZeroFill { pfn, evictions } => {
+            FaultPlan::ZeroFill { pfn } => {
                 // Anonymous first touch through the OS path: allocate +
                 // zero + map; no device I/O, no context switch.
-                self.handle_evictions(evictions, now);
+                self.handle_evictions(&mut evictions, now);
                 let lat = entry_lat + costs.metadata_update.latency;
                 let instr = entry_instr + costs.metadata_update.instructions;
                 self.charge_kernel(tid, instr, lat);
@@ -957,8 +1001,8 @@ impl System {
                 }
                 self.queue.schedule(done, Event::Step(tid));
             }
-            FaultPlan::Major { pfn, block, evictions } => {
-                self.handle_evictions(evictions, now);
+            FaultPlan::Major { pfn, block } => {
+                self.handle_evictions(&mut evictions, now);
                 self.charge_kernel(
                     tid,
                     entry_instr + costs.io_submit.instructions + costs.context_switch_out.instructions,
@@ -966,20 +1010,23 @@ impl System {
                 );
                 let submit_at = now + costs.before_device();
                 self.submit_read(block, pfn, submit_at, Purpose::OsdpRead { key }, 0);
+                let mut waiters = self.take_waiters();
+                waiters.push(tid);
                 self.osdp_inflight
-                    .insert(key, OsdpPending { vpn, pfn, block, attempts: 0, waiters: vec![tid] });
-                self.issue_os_readahead(vpn, submit_at);
+                    .insert(key, OsdpPending { vpn, pfn, block, attempts: 0, waiters });
+                self.issue_os_readahead(vpn, submit_at, &mut evictions);
                 self.block_thread(tid, hw, now);
             }
         }
+        self.scratch_evictions = evictions;
     }
 
     /// OS readahead (window configured by `readahead_pages`): alongside a
     /// major fault at `vpn`, read the next sequential file pages into the
     /// page cache. Readahead reads share the OSDP in-flight machinery with
     /// zero waiters, so a demand fault on a page being read ahead simply
-    /// joins it.
-    fn issue_os_readahead(&mut self, vpn: Vpn, at: Time) {
+    /// joins it. `evictions` is the caller's (drained) scratch buffer.
+    fn issue_os_readahead(&mut self, vpn: Vpn, at: Time, evictions: &mut Vec<Eviction>) {
         let window = self.cfg.readahead_pages;
         if window == 0 {
             return;
@@ -1001,14 +1048,13 @@ impl System {
                 continue;
             }
             // Readahead is best-effort: stop when frames run out.
-            let Some((pfn, evictions)) = self.os.alloc_frame() else { break };
+            let Some(pfn) = self.os.alloc_frame_into(evictions) else { break };
             self.handle_evictions(evictions, at);
             let block = self.os.block_for(vma.file, file_page);
             self.submit_read(block, pfn, at, Purpose::OsdpRead { key }, 0);
-            self.osdp_inflight.insert(
-                key,
-                OsdpPending { vpn: next, pfn, block, attempts: 0, waiters: Vec::new() },
-            );
+            let waiters = self.take_waiters();
+            self.osdp_inflight
+                .insert(key, OsdpPending { vpn: next, pfn, block, attempts: 0, waiters });
             self.readahead_reads += 1;
         }
     }
@@ -1072,8 +1118,8 @@ impl System {
             + costs.context_switch_in.instructions
             + costs.metadata_update.instructions;
         let resume = now + after_lat;
-        let waiters = pending.waiters;
-        for tid in waiters {
+        let mut waiters = pending.waiters;
+        for tid in waiters.drain(..) {
             self.charge_kernel(tid, after_instr, after_lat);
             let thread = &mut self.threads[tid.0];
             if let Some(start) = thread.miss_start.take() {
@@ -1086,6 +1132,7 @@ impl System {
             }
             self.wake(tid, resume);
         }
+        self.recycle_waiters(waiters);
     }
 
     // ----- the HWDP / SW-only path -------------------------------------------
@@ -1184,7 +1231,7 @@ impl System {
                     self.queue.schedule(now + before, Event::Step(tid));
                     return;
                 };
-                debug_assert_eq!(fin.waiters, vec![tid.0 as u64]);
+                debug_assert!(fin.waiters.len() == 1 && fin.waiters[0] == tid.0 as u64);
                 let resume = now + before + fin.after_device;
                 let thread = &mut self.threads[tid.0];
                 if let Some(start) = thread.miss_start.take() {
@@ -1374,7 +1421,10 @@ impl System {
                 }
             }
         }
-        match self.devices[dev].submit(qid, cmd, data.clone(), at) {
+        // `submit_ref` hands the write payload back on rejection, so the
+        // defer paths below re-park the original instead of a clone.
+        let mut data = data;
+        match self.devices[dev].submit_ref(qid, cmd, &mut data, at) {
             Ok((token, done_at)) => {
                 self.queue.schedule(done_at, Event::IoDone { dev, token, purpose });
                 self.track_io(dev, token, purpose, attempt, at);
@@ -1409,8 +1459,8 @@ impl System {
     /// device and from the `SqDrain` backstop; each rejected attempt also
     /// consumes queue-full window budget, so progress is guaranteed.
     fn drain_deferred(&mut self, dev: usize, now: Time) {
-        while let Some(d) = self.deferred_io[dev].pop_front() {
-            match self.devices[dev].submit(d.qid, d.cmd, d.data.clone(), now) {
+        while let Some(mut d) = self.deferred_io[dev].pop_front() {
+            match self.devices[dev].submit_ref(d.qid, d.cmd, &mut d.data, now) {
                 Ok((token, done_at)) => {
                     self.queue
                         .schedule(done_at, Event::IoDone { dev, token, purpose: d.purpose });
@@ -1531,20 +1581,25 @@ impl System {
         if self.devices.iter().any(|d| !d.is_ready()) {
             return;
         }
-        let (plans, fast_dev) = {
-            let Some(tr) = self.tier.as_mut() else { return };
+        let mut plans = std::mem::take(&mut self.scratch_plans);
+        let fast_dev = {
+            let Some(tr) = self.tier.as_mut() else {
+                self.scratch_plans = plans;
+                return;
+            };
             let fast_dev = tr.fast_dev;
             let TierRuntime { engine, pages, .. } = tr;
             let cache = &self.os.cache;
             // Pages resident in the page cache are skipped: their next
             // writeback would race the copy (and a cached page's hotness
             // is invisible to the device layer anyway).
-            let plans = engine.plan_tick(|key| {
-                pages.get(&key).map_or(false, |(f, p)| cache.lookup(*f, *p).is_none())
-            });
-            (plans, fast_dev)
+            engine.plan_tick_into(
+                |key| pages.get(&key).map_or(false, |(f, p)| cache.lookup(*f, *p).is_none()),
+                &mut plans,
+            );
+            fast_dev
         };
-        for plan in plans {
+        for plan in plans.drain(..) {
             let (dev, slba, key) = match plan {
                 MigrationPlan::Promote { key, .. } => (0usize, key, key),
                 MigrationPlan::Demote { key, fast_lba } => {
@@ -1556,6 +1611,7 @@ impl System {
             let qid = self.os_queues[dev];
             self.submit_or_defer(dev, qid, cmd, None, Purpose::TierRead { key }, 0, now);
         }
+        self.scratch_plans = plans;
     }
 
     /// Migration copy read completed: write the snapshot to the
@@ -1847,12 +1903,14 @@ impl System {
     fn surface_osdp_error(&mut self, key: (u32, u64), now: Time) {
         let Some(pending) = self.osdp_inflight.remove(&key) else { return };
         self.os.osdp_fault_abort(pending.vpn, pending.pfn);
-        if pending.waiters.is_empty() {
+        let mut waiters = pending.waiters;
+        if waiters.is_empty() {
+            self.recycle_waiters(waiters);
             return;
         }
         self.io_errors_surfaced += 1;
         self.io_errors.push(IoError { block: pending.block, vpn: pending.vpn });
-        for tid in pending.waiters {
+        for tid in waiters.drain(..) {
             let thread = &mut self.threads[tid.0];
             thread.current = None;
             thread.last_read = None;
@@ -1860,11 +1918,12 @@ impl System {
             thread.read_start = None;
             self.wake(tid, now);
         }
+        self.recycle_waiters(waiters);
     }
 
-    fn handle_evictions(&mut self, evictions: Vec<Eviction>, now: Time) {
+    fn handle_evictions(&mut self, evictions: &mut Vec<Eviction>, now: Time) {
         let mut submitted = 0u64;
-        for ev in evictions {
+        for ev in evictions.drain(..) {
             if let Some(vpn) = ev.vpn {
                 for hw in &mut self.hw {
                     hw.tlb.invalidate(vpn);
@@ -1900,12 +1959,16 @@ impl System {
                 continue;
             }
             let batch = slack.min(SYNC_REFILL_BATCH.max(self.cfg.free_queue_depth / 8));
-            let (frames, evictions) = self.os.take_frames_for_refill(batch);
-            for pfn in frames {
+            let mut frames = std::mem::take(&mut self.scratch_frames);
+            let mut evictions = std::mem::take(&mut self.scratch_evictions);
+            self.os.take_frames_for_refill_into(batch, &mut frames, &mut evictions);
+            for pfn in frames.drain(..) {
                 let accepted = self.smu.free_queue_for(q).push(FreePage::of(pfn));
                 debug_assert!(accepted, "slack was checked");
             }
-            self.handle_evictions(evictions, now);
+            self.handle_evictions(&mut evictions, now);
+            self.scratch_frames = frames;
+            self.scratch_evictions = evictions;
         }
     }
 
@@ -1961,6 +2024,7 @@ impl System {
             }
             let (now, event) = self.queue.pop().expect("peeked");
             end = now;
+            self.events_processed += 1;
             match event {
                 Event::Step(tid) => {
                     if !matches!(self.threads[tid.0].state, ThreadState::Finished) {
@@ -2029,10 +2093,10 @@ impl System {
                 break;
             }
         }
-        self.collect(end.max(self.last_finish))
+        self.collect_results(end.max(self.last_finish))
     }
 
-    fn collect(&mut self, end: Time) -> RunResult {
+    fn collect_results(&mut self, end: Time) -> RunResult {
         // End-of-run audit point (settled state: teardown bugs surface
         // here even in modes with no kpoold ticks).
         self.run_audit();
@@ -2094,6 +2158,7 @@ impl System {
             smu_prefetches: self.smu.stats().prefetches,
             controller_resets: self.controller_resets,
             crash_ios_lost: self.crash_ios_lost,
+            events_processed: self.events_processed,
             audit: self.audit.clone(),
             tier,
         }

@@ -33,6 +33,10 @@ pub enum Direction {
     HigherBetter,
     /// Smaller is better (latency, faults, instructions).
     LowerBetter,
+    /// Bigger is better, but the metric is wall-clock dependent (machine
+    /// noise, not simulated behaviour), so it reports as advisory and
+    /// never gates.
+    AdvisoryHigherBetter,
     /// Config echo or neutral count; never gates.
     Informational,
 }
@@ -50,6 +54,10 @@ pub fn direction(name: &str) -> Direction {
         return Direction::Informational;
     }
     match name {
+        // Scheduler throughput (the opt-in `HWDP_THROUGHPUT` export)
+        // divides a deterministic event count by measured wall time:
+        // direction-aware for reporting, but never a CI gate.
+        "events_per_sec" => Direction::AdvisoryHigherBetter,
         "throughput_ops_s" | "user_ipc" => Direction::HigherBetter,
         "verify_failures"
         | "sync_refill_faults"
@@ -97,6 +105,9 @@ pub struct CompareReport {
     pub regressions: Vec<Regression>,
     /// Metrics that improved beyond threshold (informational).
     pub improvements: Vec<Regression>,
+    /// Advisory metrics (wall-clock dependent, e.g. `events_per_sec`)
+    /// that moved beyond threshold in either direction; never gate.
+    pub advisories: Vec<Regression>,
 }
 
 impl CompareReport {
@@ -128,6 +139,16 @@ impl CompareReport {
         for r in &self.improvements {
             out.push_str(&format!(
                 "improve  {}: {} {} -> {} ({:+.1}%)\n",
+                r.job,
+                r.metric,
+                fmt(r.baseline),
+                fmt(r.current),
+                r.change * 100.0
+            ));
+        }
+        for r in &self.advisories {
+            out.push_str(&format!(
+                "advisory {}: {} {} -> {} ({:+.1}%)\n",
                 r.job,
                 r.metric,
                 fmt(r.baseline),
@@ -232,7 +253,7 @@ pub fn compare(baseline: &Artifact, current: &Artifact, thresholds: &Thresholds)
             let bad = match dir {
                 Direction::HigherBetter => rel < 0.0,
                 Direction::LowerBetter => rel > 0.0,
-                Direction::Informational => false,
+                Direction::AdvisoryHigherBetter | Direction::Informational => false,
             };
             let entry = Regression {
                 job: cur_job.spec.label(),
@@ -241,7 +262,9 @@ pub fn compare(baseline: &Artifact, current: &Artifact, thresholds: &Thresholds)
                 current: cur_val,
                 change: rel,
             };
-            if bad {
+            if dir == Direction::AdvisoryHigherBetter {
+                report.advisories.push(entry);
+            } else if bad {
                 report.regressions.push(entry);
             } else {
                 report.improvements.push(entry);
@@ -316,6 +339,25 @@ mod tests {
         let base = artifact(vec![("ops", 100.0), ("smu_coalesced", 5.0)]);
         let cur = artifact(vec![("ops", 9.0), ("smu_coalesced", 500.0)]);
         assert!(compare(&base, &cur, &Thresholds::default()).passed());
+    }
+
+    #[test]
+    fn events_per_sec_is_advisory_and_never_gates() {
+        // A 10x collapse in scheduler throughput is machine noise as far
+        // as CI is concerned: reported as advisory, never a failure.
+        let base = artifact(vec![("events_per_sec", 1_000_000.0), ("events_processed", 5000.0)]);
+        let cur = artifact(vec![("events_per_sec", 100_000.0), ("events_processed", 5000.0)]);
+        let report = compare(&base, &cur, &Thresholds::default());
+        assert!(report.passed(), "wall-clock throughput must never gate");
+        assert!(report.regressions.is_empty());
+        assert_eq!(report.advisories.len(), 1);
+        assert_eq!(report.advisories[0].metric, "events_per_sec");
+        assert!(report.advisories[0].change < 0.0, "direction-aware: this one dropped");
+        let text = report.render();
+        assert!(text.contains("advisory"));
+        assert!(text.contains("PASS"));
+        // The raw event count is a deterministic config echo: informational.
+        assert_eq!(direction("events_processed"), Direction::Informational);
     }
 
     #[test]

@@ -13,6 +13,7 @@ use hwdp_core::{HwId, Mode, RunResult, SystemBuilder};
 use hwdp_os::costs::{OsdpCosts, SwOnlyCosts};
 use hwdp_sim::rng::Prng;
 use hwdp_sim::time::Duration;
+use hwdp_sim::SchedulerKind;
 use hwdp_smu::SmuTiming;
 use hwdp_workloads::{
     DbBenchReadRandom, FioRandRead, MiniDb, ScratchChurn, SpecKernel, Workload, Ycsb,
@@ -41,11 +42,40 @@ pub fn run_job(spec: &JobSpec) -> Vec<(String, f64)> {
     aggregate_repeats(&runs)
 }
 
+/// Whether the opt-in scheduler-throughput export is enabled
+/// (`HWDP_THROUGHPUT=1`). Off by default: the export includes a
+/// wall-clock rate, so it must never leak into baseline artifacts.
+fn throughput_enabled() -> bool {
+    std::env::var_os("HWDP_THROUGHPUT").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
+/// The `HWDP_SCHEDULER` env knob (`wheel` / `heap`), if set to a valid
+/// backend name. Observation-free: either backend produces byte-identical
+/// artifacts (the scheduler-parity test in `tests/seed_parity.rs` pins
+/// this), so the knob exists for differential A/B runs and throughput
+/// benchmarking, not for result steering.
+fn scheduler_override() -> Option<SchedulerKind> {
+    std::env::var("HWDP_SCHEDULER").ok().and_then(|s| SchedulerKind::parse(&s))
+}
+
+/// Opt-in scheduler-throughput metrics: the event count is deterministic
+/// (identical under both backends by the ordering contract), while
+/// `events_per_sec` divides it by measured wall time and therefore varies
+/// run to run — `hwdp compare` treats it as advisory, never gating.
+fn export_metrics(events_processed: u64, wall_secs: f64) -> Vec<(&'static str, f64)> {
+    let rate = if wall_secs > 0.0 { events_processed as f64 / wall_secs } else { 0.0 };
+    vec![
+        ("events_processed", events_processed as f64),
+        ("events_per_sec", rate),
+    ]
+}
+
 /// One plain simulator run for `spec` (ignoring its repeat count).
 fn run_once(spec: &JobSpec) -> Vec<(String, f64)> {
     match spec.scenario {
         Scenario::Anatomy => anatomy_metrics(spec),
         _ => {
+            let started = throughput_enabled().then(std::time::Instant::now);
             let result = simulate(spec);
             let mut metrics: Vec<(String, f64)> = result
                 .export_metrics()
@@ -67,6 +97,14 @@ fn run_once(spec: &JobSpec) -> Vec<(String, f64)> {
                         metrics.push((format!("thread/{i}/{name}"), value));
                     }
                 }
+            }
+            if let Some(started) = started {
+                let wall = started.elapsed().as_secs_f64();
+                metrics.extend(
+                    export_metrics(result.events_processed, wall)
+                        .into_iter()
+                        .map(|(name, value)| (name.to_string(), value)),
+                );
             }
             metrics
         }
@@ -121,6 +159,11 @@ pub fn simulate_with_digest(spec: &JobSpec) -> (RunResult, u64) {
         .smu_prefetch_pages(spec.smu_prefetch_pages)
         .sanitize(spec.sanitize)
         .seed(spec.seed);
+    if let Some(kind) = scheduler_override() {
+        // A/B backend selection for differential runs and benchmarks;
+        // byte-identical either way by the scheduler ordering contract.
+        builder = builder.tweak(move |cfg| cfg.scheduler = kind);
+    }
     if let Some(entries) = spec.pmshr_entries {
         builder = builder.pmshr_entries(entries);
     }

@@ -16,7 +16,14 @@
 //!   `Self::helper(…)`) or a bare-`self` receiver narrows candidates to
 //!   the matching `impl` owner — but a qualifier matching *no* candidate
 //!   owner narrows nothing, so trait-object dispatch and cross-crate
-//!   same-name functions stay conservatively connected;
+//!   same-name functions stay conservatively connected. Two exceptions:
+//!   a qualifier naming a known standard-library container or primitive
+//!   ([`is_std_qualifier`]) resolves to std by definition — Rust forbids
+//!   inherent impls on foreign types — and a qualifier naming a type the
+//!   workspace declares, but whose impl surface lacks the called fn,
+//!   targets a `derive`d/blanket trait method. Both get *zero* workspace
+//!   candidates instead of fanning `Vec::new(…)` out to every workspace
+//!   `fn new` and poisoning reachability;
 //! * closures are not items: their calls and sinks belong to the
 //!   innermost enclosing `fn`, so reachability flows through them;
 //! * `#[cfg(test)]`/`#[test]` functions are excluded as nodes and as
@@ -209,8 +216,9 @@ impl CallGraph {
 /// does; see `collect_sources`).
 pub fn build<'a>(files: impl Iterator<Item = (&'a FileContext, &'a str)>) -> CallGraph {
     let mut nodes: Vec<FnNode> = Vec::new();
+    let mut types: BTreeSet<String> = BTreeSet::new();
     for (ctx, source) in files {
-        collect_file(ctx, source, &mut nodes);
+        collect_file(ctx, source, &mut nodes, &mut types);
     }
 
     // Name index for resolution.
@@ -226,7 +234,7 @@ pub fn build<'a>(files: impl Iterator<Item = (&'a FileContext, &'a str)>) -> Cal
             let Some(cands) = by_name.get(call.name.as_str()) else { continue };
             let matched: Vec<usize> =
                 cands.iter().copied().filter(|&w| arity_matches(&nodes[w], call)).collect();
-            for w in narrow_candidates(&nodes, v, call, matched) {
+            for w in narrow_candidates(&nodes, &types, v, call, matched) {
                 outgoing.insert(w);
             }
         }
@@ -360,11 +368,29 @@ pub fn findings(g: &CallGraph) -> Vec<Finding> {
 // Per-file collection
 // ---------------------------------------------------------------------------
 
-fn collect_file(ctx: &FileContext, source: &str, nodes: &mut Vec<FnNode>) {
+fn collect_file(
+    ctx: &FileContext,
+    source: &str,
+    nodes: &mut Vec<FnNode>,
+    types: &mut BTreeSet<String>,
+) {
     let toks = lex(source);
     let sig: Vec<&Token> = toks.iter().filter(|t| t.kind != TokKind::Comment).collect();
     let tree = ItemTree::parse(&sig);
     let mask = tree.test_token_mask(sig.len());
+    // Record every concrete type the workspace declares (production code
+    // only — a test-local type must not narrow production resolution).
+    // Trait names are deliberately excluded: a trait-qualified UFCS call
+    // legitimately lands on impl fns owned by the implementing types.
+    for (i, w) in sig.windows(2).enumerate() {
+        if w[0].kind == TokKind::Ident
+            && matches!(w[0].text.as_str(), "struct" | "enum" | "union")
+            && w[1].kind == TokKind::Ident
+            && !mask.get(i).copied().unwrap_or(false)
+        {
+            types.insert(w[1].text.clone());
+        }
+    }
     // owner_of[i]: node id whose body significant token i belongs to.
     // Children overwrite parents, so closures (not items) stay with the
     // innermost fn while nested fns claim their own tokens.
@@ -671,11 +697,41 @@ fn arity_matches(cand: &FnNode, call: &Call) -> bool {
     }
 }
 
+/// Standard-library qualifiers that can never name a workspace `impl`
+/// owner (inherent impls on foreign types are not legal Rust). A path
+/// call qualified by one of these targets std, so keeping same-name
+/// workspace fns as candidates would only inject phantom edges — e.g.
+/// `BTreeMap::new()` inside the event loop fanning out to every
+/// workspace constructor named `new` and dragging whole subsystems into
+/// the event-reachable set.
+fn is_std_qualifier(q: &str) -> bool {
+    matches!(
+        q,
+        "Box" | "Vec" | "String" | "VecDeque" | "BTreeMap" | "BTreeSet" | "Rc" | "Arc"
+            | "BinaryHeap" | "HashMap" | "HashSet" | "Reverse" | "PathBuf" | "Instant"
+            | "Option" | "Result" | "Ordering"
+            | "u8" | "u16" | "u32" | "u64" | "u128" | "usize"
+            | "i8" | "i16" | "i32" | "i64" | "i128" | "isize"
+            | "f32" | "f64" | "bool" | "char" | "str"
+    )
+}
+
 /// Applies qualifier / `self`-receiver narrowing. Narrowing that would
 /// eliminate every candidate is discarded — over-approximation beats a
-/// silently dropped edge.
+/// silently dropped edge — with two exceptions where an empty result is
+/// the *correct* resolution, not a failed narrowing:
+///
+/// * the qualifier is a std container/primitive ([`is_std_qualifier`]),
+///   so the callee lives outside the workspace by construction;
+/// * the qualifier names a `struct`/`enum`/`union` the workspace itself
+///   declares, but no workspace fn of that owner matches this call —
+///   then the callee is a `derive`d or blanket trait method
+///   (`X::default()`, `X::clone()` on a derive), which is
+///   compiler-generated and calls back into nothing the census should
+///   attribute.
 fn narrow_candidates(
     nodes: &[FnNode],
+    types: &BTreeSet<String>,
     caller: usize,
     call: &Call,
     matched: Vec<usize>,
@@ -692,6 +748,16 @@ fn narrow_candidates(
             if !own.is_empty() {
                 return own;
             }
+            // The workspace's impl surface for its own declared types is
+            // fully known: a qualified call that matches none of it
+            // targets a derived/blanket impl (`X::default()`,
+            // `X::clone()` on a derive), not workspace code.
+            if types.contains(tname.as_str()) {
+                return Vec::new();
+            }
+        }
+        if is_std_qualifier(q) {
+            return Vec::new();
         }
         return matched;
     }

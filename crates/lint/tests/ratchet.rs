@@ -128,6 +128,17 @@ fn hot_path_alloc_census_is_budgeted_and_only_decreasing() {
         live <= budget,
         "hot-path-alloc grew: {live} live finding(s) exceed the committed budget {budget}"
     );
+    // Hard ceiling on the baseline file itself, so regenerating it after
+    // a regression can't silently re-grow the census. The seed census was
+    // 116; the timing-wheel/scratch-buffer pass (PR 10) drove it to 32 —
+    // every surviving site is once-per-run result assembly, an owning
+    // snapshot return, or an opt-in audit path. Lower this pin when more
+    // sites fall; never raise it.
+    assert!(
+        budget <= 32,
+        "committed hot-path-alloc budget regrew to {budget} (ceiling 32); \
+         fix the allocation instead of re-baselining it"
+    );
 }
 
 #[test]
@@ -157,6 +168,11 @@ fn metric_registry_is_nonempty_and_sorted_by_location() {
     assert!(
         keys.iter().any(|k| k.key == "hw_context"),
         "per-thread sink keys present"
+    );
+    assert!(
+        keys.iter().any(|k| k.key == "events_per_sec")
+            && keys.iter().any(|k| k.key == "events_processed"),
+        "throughput sink keys present (harness runner export_metrics)"
     );
     let json = hwdp_lint::registry_to_json(&keys).pretty();
     assert!(json.contains("\"registry\""));

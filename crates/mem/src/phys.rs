@@ -164,27 +164,42 @@ impl FramePool {
     pub fn audit(&self, report: &mut hwdp_sim::sanitize::AuditReport) {
         let layer = "mem";
         let marked_free = self.frames.iter().filter(|f| f.state == FrameState::Free).count();
-        report.check(layer, "frame-accounting", marked_free == self.free_list.len(), || {
-            format!(
+        report.check_args(
+            layer,
+            "frame-accounting",
+            marked_free == self.free_list.len(),
+            format_args!(
                 "{} frames marked Free but {} on the free list (leak or double free)",
                 marked_free,
                 self.free_list.len()
-            )
-        });
+            ),
+        );
         let mut seen = vec![false; self.frames.len()];
         for &pfn in &self.free_list {
             let idx = pfn.0 as usize;
-            if !report.check(layer, "frame-free-range", idx < self.frames.len(), || {
-                format!("free list holds out-of-range {pfn:?} (pool has {} frames)", self.frames.len())
-            }) {
+            if !report.check_args(
+                layer,
+                "frame-free-range",
+                idx < self.frames.len(),
+                format_args!(
+                    "free list holds out-of-range {pfn:?} (pool has {} frames)",
+                    self.frames.len()
+                ),
+            ) {
                 continue;
             }
-            report.check(layer, "frame-free-state", self.frames[idx].state == FrameState::Free, || {
-                format!("free list holds {pfn:?} whose state is {:?}", self.frames[idx].state)
-            });
-            report.check(layer, "frame-free-dup", !seen[idx], || {
-                format!("free list holds {pfn:?} twice (double free)")
-            });
+            report.check_args(
+                layer,
+                "frame-free-state",
+                self.frames[idx].state == FrameState::Free,
+                format_args!("free list holds {pfn:?} whose state is {:?}", self.frames[idx].state),
+            );
+            report.check_args(
+                layer,
+                "frame-free-dup",
+                !seen[idx],
+                format_args!("free list holds {pfn:?} twice (double free)"),
+            );
             seen[idx] = true;
         }
     }

@@ -119,7 +119,10 @@ pub struct DeviceStats {
 struct Inflight {
     qid: QueueId,
     cmd: NvmeCommand,
-    write_data: Option<PageData>,
+    /// Write payloads are applied to the block store at submission
+    /// (snapshot semantics), so in-flight state only needs the direction
+    /// bit for the read/write-interference model — not the data itself.
+    is_write: bool,
     submitted: Time,
     finish: Time,
     /// Fault decision sampled at submission, honored at completion.
@@ -293,7 +296,22 @@ impl NvmeController {
         &mut self,
         qid: QueueId,
         cmd: NvmeCommand,
-        write_data: Option<PageData>,
+        mut write_data: Option<PageData>,
+        now: Time,
+    ) -> Result<(CompletionToken, Time), SubmitError> {
+        self.submit_ref(qid, cmd, &mut write_data, now)
+    }
+
+    /// [`Self::submit`] with the write payload borrowed instead of moved:
+    /// the device `take`s it only once the command is *accepted*, so a
+    /// rejected submission (queue-full window, crashed controller) hands
+    /// the payload back to the caller for re-parking without a clone —
+    /// the retry/defer paths in the system core lean on this.
+    pub fn submit_ref(
+        &mut self,
+        qid: QueueId,
+        cmd: NvmeCommand,
+        write_data: &mut Option<PageData>,
         now: Time,
     ) -> Result<(CompletionToken, Time), SubmitError> {
         if qid.0 as usize >= self.queues.len() {
@@ -334,7 +352,7 @@ impl NvmeController {
         let outstanding_writes = self
             .inflight
             .values()
-            .filter(|f| f.write_data.is_some() && f.finish > now)
+            .filter(|f| f.is_write && f.finish > now)
             .count()
             .min(channels);
         let outstanding_total =
@@ -389,7 +407,7 @@ impl NvmeController {
                 let store = &mut self.namespaces[ns_index - 1];
                 let last = fetched.slba + fetched.blocks() - 1;
                 if store.contains(Lba(last)) {
-                    store.write_block(Lba(fetched.slba), write_data.clone().unwrap_or(PageData::Zero));
+                    store.write_block(Lba(fetched.slba), write_data.take().unwrap_or(PageData::Zero));
                 }
             }
         }
@@ -398,7 +416,7 @@ impl NvmeController {
         self.next_token += 1;
         self.inflight.insert(
             token.0,
-            Inflight { qid, cmd: fetched, write_data, submitted: now, finish, inject },
+            Inflight { qid, cmd: fetched, is_write, submitted: now, finish, inject },
         );
         Ok((token, finish))
     }
@@ -411,7 +429,7 @@ impl NvmeController {
     /// completion racing watchdog recovery).
     pub fn complete(&mut self, token: CompletionToken, now: Time) -> Option<Completed> {
         let inflight = self.inflight.remove(&token.0)?;
-        let Inflight { qid, cmd, write_data: _, submitted, finish, inject } = inflight;
+        let Inflight { qid, cmd, is_write: _, submitted, finish, inject } = inflight;
         debug_assert!(now >= finish, "completed before device finished");
         let latency = now - submitted;
 
@@ -484,13 +502,16 @@ impl hwdp_sim::sanitize::Sanitizer for NvmeController {
             return;
         }
         let layer = "nvme";
-        report.check(layer, "channel-count", self.channel_free.len() == self.profile.channels, || {
-            format!(
+        report.check_args(
+            layer,
+            "channel-count",
+            self.channel_free.len() == self.profile.channels,
+            format_args!(
                 "{} channel slots but the profile declares {}",
                 self.channel_free.len(),
                 self.profile.channels
-            )
-        });
+            ),
+        );
         // A crash loses every in-flight command atomically; anything still
         // tracked while the controller is down is a bookkeeping leak.
         report.check_args(
@@ -504,20 +525,32 @@ impl hwdp_sim::sanitize::Sanitizer for NvmeController {
             ),
         );
         for (&token, inflight) in &self.inflight {
-            report.check(layer, "inflight-token", token < self.next_token, || {
-                format!("in-flight token {token} was never issued (next is {})", self.next_token)
-            });
-            report.check(layer, "inflight-times", inflight.finish >= inflight.submitted, || {
-                format!(
+            report.check_args(
+                layer,
+                "inflight-token",
+                token < self.next_token,
+                format_args!(
+                    "in-flight token {token} was never issued (next is {})",
+                    self.next_token
+                ),
+            );
+            report.check_args(
+                layer,
+                "inflight-times",
+                inflight.finish >= inflight.submitted,
+                format_args!(
                     "command cid {} finishes at {:?}, before its submission at {:?}",
                     inflight.cmd.cid, inflight.finish, inflight.submitted
-                )
-            });
-            report.check(
+                ),
+            );
+            report.check_args(
                 layer,
                 "inflight-queue",
                 (inflight.qid.0 as usize) < self.queues.len(),
-                || format!("in-flight command cid {} names unknown queue {:?}", inflight.cmd.cid, inflight.qid),
+                format_args!(
+                    "in-flight command cid {} names unknown queue {:?}",
+                    inflight.cmd.cid, inflight.qid
+                ),
             );
         }
         for (qid, q) in self.queues.iter().enumerate() {

@@ -65,7 +65,11 @@ impl KernelAccounting {
 }
 
 /// Fault classification for the OSDP path.
-#[derive(Clone, Debug)]
+///
+/// Evictions performed to free the frame are appended to the caller's
+/// scratch buffer by [`Os::osdp_fault`] rather than carried here, so the
+/// steady-state fault path never allocates.
+#[derive(Clone, Copy, Debug)]
 pub enum FaultPlan {
     /// The page is already cached (minor fault): map it and continue.
     Minor {
@@ -78,17 +82,12 @@ pub enum FaultPlan {
         pfn: Pfn,
         /// Where to read from.
         block: BlockRef,
-        /// Evictions performed to free the frame (writebacks for the I/O
-        /// layer).
-        evictions: Vec<Eviction>,
     },
     /// First touch of an anonymous page (§V): allocate and zero-fill, no
     /// device I/O.
     ZeroFill {
         /// The freshly zeroed frame.
         pfn: Pfn,
-        /// Evictions performed to free the frame.
-        evictions: Vec<Eviction>,
     },
 }
 
@@ -241,36 +240,57 @@ impl Os {
     /// Returns the frame and any evictions performed, or `None` when even
     /// direct reclaim cannot produce a frame (a memory leak in the
     /// simulation — everything reclaimable is accounted for).
+    ///
+    /// Convenience wrapper over [`Os::alloc_frame_into`] for setup paths
+    /// and tests; the hot fault path passes a reusable scratch buffer.
     pub fn alloc_frame(&mut self) -> Option<(Pfn, Vec<Eviction>)> {
         let mut evictions = Vec::new();
+        self.alloc_frame_into(&mut evictions).map(|pfn| (pfn, evictions))
+    }
+
+    /// Allocation-free [`Os::alloc_frame`]: evictions performed to free
+    /// the frame are appended to `evictions`. On failure (`None`) the
+    /// buffer is left exactly as it was on entry, matching the historical
+    /// contract that a failed allocation reports no evictions.
+    pub fn alloc_frame_into(&mut self, evictions: &mut Vec<Eviction>) -> Option<Pfn> {
+        let entry = evictions.len();
         if self.frames.free_count() <= self.reserve {
             let want = self.reserve.max(16);
-            evictions = self.reclaim(want);
+            self.reclaim_into(want, evictions);
         }
         if self.frames.free_count() == 0 {
             // Hardware-handled pages not yet synced by kpted are invisible
             // to the LRU; under extreme pressure the kernel syncs
             // synchronously (direct reclaim) so they become evictable.
             self.kpted_scan();
-            evictions.append(&mut self.reclaim(self.reserve.max(16)));
+            self.reclaim_into(self.reserve.max(16), evictions);
         }
         let pfn = self.frames.alloc().or_else(|| {
             // Reserve breached and nothing reclaimed yet: force a reclaim.
-            let more = self.reclaim(16);
-            let pfn = self.frames.alloc();
-            if pfn.is_some() {
-                evictions.extend(more);
-            }
-            pfn
+            self.reclaim_into(16, evictions);
+            self.frames.alloc()
         });
-        pfn.map(|pfn| (pfn, evictions))
+        if pfn.is_none() {
+            evictions.truncate(entry);
+        }
+        pfn
     }
 
     /// Runs the clock over OS-known pages, evicting up to `n`. Fast-VMA
     /// pages get their PTE rewritten to LBA-augmented (§IV-B: LBA written
     /// back, present cleared, LBA bit set); normal pages get an empty PTE.
     /// The freed frames return to the pool.
+    ///
+    /// Convenience wrapper over [`Os::reclaim_into`] for tests and setup
+    /// paths.
     pub fn reclaim(&mut self, n: usize) -> Vec<Eviction> {
+        let mut out = Vec::new();
+        self.reclaim_into(n, &mut out);
+        out
+    }
+
+    /// Allocation-free [`Os::reclaim`]: evictions are appended to `out`.
+    pub fn reclaim_into(&mut self, n: usize, out: &mut Vec<Eviction>) {
         // Split borrows: the clock callback inspects PTE accessed bits.
         let Os { cache, page_table, .. } = self;
         let victims = cache.select_victims(n, |_, _, vpn| {
@@ -283,7 +303,7 @@ impl Os {
                 false
             }
         });
-        let mut out = Vec::with_capacity(victims.len());
+        out.reserve(victims.len());
         for v in victims {
             let dirty = self.frames.is_dirty(v.pfn)
                 || v.vpn.map(|vpn| self.page_table.pte(vpn).is_dirty()).unwrap_or(false);
@@ -321,7 +341,6 @@ impl Os {
             self.acct.app_kernel_instr += 800;
             out.push(Eviction { file: v.file, page: v.page, block: wb_block, dirty, data, vpn: v.vpn });
         }
-        out
     }
 
     /// §IV-B: the file system moved `page` of `file` to a new block
@@ -341,13 +360,16 @@ impl Os {
     /// `block`. Shared by block remaps (§IV-B) and tier-migration commits,
     /// both of which move a non-resident page's backing store.
     pub fn propagate_block_update(&mut self, file: FileId, page: u64, block: BlockRef) {
-        for (_, vma) in self.aspace.iter().collect::<Vec<_>>() {
+        // Split borrows: the address-space walk only reads VMAs while the
+        // page table is updated, so no intermediate collection is needed.
+        let Os { aspace, page_table, .. } = self;
+        for (_, vma) in aspace.iter() {
             if vma.file != file {
                 continue;
             }
             let Some(vpn) = vma.vpn_of_file_page(page) else { continue };
-            if self.page_table.pte(vpn).class() == hwdp_mem::pte::PteClass::LbaAugmented {
-                self.page_table.update_pte(vpn, |p| p.evict_to(block));
+            if page_table.pte(vpn).class() == hwdp_mem::pte::PteClass::LbaAugmented {
+                page_table.update_pte(vpn, |p| p.evict_to(block));
             }
         }
         self.acct.app_kernel_instr += 120;
@@ -374,10 +396,13 @@ impl Os {
     /// Classifies and prepares an OSDP fault at `vpn` (also used for the
     /// HWDP fallback when the free-page queue is empty).
     ///
+    /// Evictions performed to free the frame are appended to `evictions`
+    /// (a caller-owned scratch buffer, so the fault path never allocates).
+    ///
     /// Returns `None` if `vpn` is not covered by any VMA (a real segfault
     /// — the workloads never do this) or frame allocation fails; the
     /// caller surfaces the anomaly instead of the process aborting.
-    pub fn osdp_fault(&mut self, vpn: Vpn) -> Option<FaultPlan> {
+    pub fn osdp_fault(&mut self, vpn: Vpn, evictions: &mut Vec<Eviction>) -> Option<FaultPlan> {
         let (_, vma) = self.aspace.resolve(vpn)?;
         let file_page = vma.file_page(vpn);
         self.acct.app_kernel_instr += self.osdp_costs.instructions_per_fault();
@@ -391,13 +416,13 @@ impl Os {
         // without any device I/O (a minor fault in Linux terms, §V).
         if self.fs.is_anon(vma.file) && !self.fs.is_swap_initialized(vma.file, file_page) {
             self.stats.minor_faults += 1;
-            let (pfn, evictions) = self.alloc_frame()?;
-            return Some(FaultPlan::ZeroFill { pfn, evictions });
+            let pfn = self.alloc_frame_into(evictions)?;
+            return Some(FaultPlan::ZeroFill { pfn });
         }
         self.stats.major_faults += 1;
-        let (pfn, evictions) = self.alloc_frame()?;
+        let pfn = self.alloc_frame_into(evictions)?;
         let block = self.block_for(vma.file, file_page);
-        Some(FaultPlan::Major { pfn, block, evictions })
+        Some(FaultPlan::Major { pfn, block })
     }
 
     /// Completes an OSDP major fault after the device read: maps the page
@@ -466,26 +491,43 @@ impl Os {
     /// `kpoold` support: allocates up to `n` frames for the SMU free-page
     /// queue (reclaiming as needed). Returns the frames and any
     /// evictions/writebacks produced.
+    ///
+    /// Convenience wrapper over [`Os::take_frames_for_refill_into`] for
+    /// tests; the kpoold tick passes reusable scratch buffers.
     pub fn take_frames_for_refill(&mut self, n: usize) -> (Vec<Pfn>, Vec<Eviction>) {
-        let mut frames = Vec::with_capacity(n);
+        let mut frames = Vec::new();
         let mut evictions = Vec::new();
+        self.take_frames_for_refill_into(n, &mut frames, &mut evictions);
+        (frames, evictions)
+    }
+
+    /// Allocation-free [`Os::take_frames_for_refill`]: frames and
+    /// evictions are appended to the caller's scratch buffers.
+    pub fn take_frames_for_refill_into(
+        &mut self,
+        n: usize,
+        frames: &mut Vec<Pfn>,
+        evictions: &mut Vec<Eviction>,
+    ) {
+        let start = frames.len();
+        frames.reserve(n);
         for _ in 0..n {
             // Stop rather than thrash when memory is this tight.
             if self.frames.free_count() <= self.reserve {
-                let mut evs = self.reclaim(self.reserve.max(16));
-                if evs.is_empty() && self.frames.free_count() == 0 {
+                let before = evictions.len();
+                self.reclaim_into(self.reserve.max(16), evictions);
+                if evictions.len() == before && self.frames.free_count() == 0 {
                     break;
                 }
-                evictions.append(&mut evs);
             }
             match self.frames.alloc() {
                 Some(p) => frames.push(p),
                 None => break,
             }
         }
-        self.stats.refilled_frames += frames.len() as u64;
-        self.acct.kpoold_instr += frames.len() as u64 * self.bg_costs.kpoold_instr_per_page;
-        (frames, evictions)
+        let taken = (frames.len() - start) as u64;
+        self.stats.refilled_frames += taken;
+        self.acct.kpoold_instr += taken * self.bg_costs.kpoold_instr_per_page;
     }
 
     /// `munmap()` (§IV-C): callers must first drain outstanding SMU misses
@@ -584,9 +626,16 @@ impl hwdp_sim::sanitize::Sanitizer for Os {
         }
         let layer = "os";
         self.frames.audit(report);
-        report.check(layer, "cache-size", self.cache.len() <= self.frames.total(), || {
-            format!("{} cached pages exceed {} physical frames", self.cache.len(), self.frames.total())
-        });
+        report.check_args(
+            layer,
+            "cache-size",
+            self.cache.len() <= self.frames.total(),
+            format_args!(
+                "{} cached pages exceed {} physical frames",
+                self.cache.len(),
+                self.frames.total()
+            ),
+        );
         if !level.full_checks() {
             return;
         }
@@ -594,27 +643,36 @@ impl hwdp_sim::sanitize::Sanitizer for Os {
             std::collections::BTreeMap::new();
         for (file, page, pfn, _vpn) in self.cache.iter() {
             let in_range = (pfn.0 as usize) < self.frames.total();
-            report.check(layer, "cache-frame-range", in_range, || {
-                format!("cache entry ({file:?},{page}) names out-of-range {pfn:?}")
-            });
+            report.check_args(
+                layer,
+                "cache-frame-range",
+                in_range,
+                format_args!("cache entry ({file:?},{page}) names out-of-range {pfn:?}"),
+            );
             if !in_range {
                 continue;
             }
-            report.check(
+            report.check_args(
                 layer,
                 "cache-frame-allocated",
                 self.frames.state(pfn) == hwdp_mem::phys::FrameState::Allocated,
-                || format!("cache entry ({file:?},{page}) names {pfn:?}, which is on the free list"),
+                format_args!("cache entry ({file:?},{page}) names {pfn:?}, which is on the free list"),
             );
             if let Some(owner) = self.frames.owner(pfn) {
-                report.check(layer, "cache-frame-owner", owner == (file.0, page), || {
-                    format!("cache entry ({file:?},{page}) names {pfn:?}, owned by {owner:?}")
-                });
+                report.check_args(
+                    layer,
+                    "cache-frame-owner",
+                    owner == (file.0, page),
+                    format_args!("cache entry ({file:?},{page}) names {pfn:?}, owned by {owner:?}"),
+                );
             }
             if let Some(prev) = frame_users.insert(pfn.0, (file.0, page)) {
-                report.check(layer, "cache-frame-alias", false, || {
-                    format!("{pfn:?} cached by both {prev:?} and ({},{page})", file.0)
-                });
+                report.check_args(
+                    layer,
+                    "cache-frame-alias",
+                    false,
+                    format_args!("{pfn:?} cached by both {prev:?} and ({},{page})", file.0),
+                );
             } else {
                 report.checked();
             }
@@ -673,7 +731,8 @@ mod tests {
         let (mut os, f) = os_with_file(64, 8);
         let (_, vma) = os.mmap(f, MmapFlags::normal());
         let vpn = vma.base.add(3);
-        let FaultPlan::Major { pfn, block, evictions } = os.osdp_fault(vpn).unwrap() else {
+        let mut evictions = Vec::new();
+        let FaultPlan::Major { pfn, block } = os.osdp_fault(vpn, &mut evictions).unwrap() else {
             panic!("first touch is a major fault")
         };
         assert_eq!(block.lba, Lba(3));
@@ -682,7 +741,7 @@ mod tests {
         assert_eq!(os.page_table.pte(vpn).pfn(), Some(pfn));
         // A second thread faulting the same page now takes the minor path.
         os.page_table.set_pte(vpn, Pte::EMPTY); // simulate another mapping's view
-        let FaultPlan::Minor { pfn: again } = os.osdp_fault(vpn).unwrap() else {
+        let FaultPlan::Minor { pfn: again } = os.osdp_fault(vpn, &mut evictions).unwrap() else {
             panic!("cached page gives a minor fault")
         };
         assert_eq!(again, pfn);

@@ -4,15 +4,35 @@
 //! assigned at scheduling time, so two events scheduled for the same instant
 //! fire in the order they were scheduled. This makes whole-system runs
 //! bit-for-bit reproducible, which the calibration tests rely on.
+//!
+//! This binary-heap queue is the *reference* implementation of the
+//! [`crate::sched::Scheduler`] contract; production runs use the
+//! [`crate::sched::TimingWheel`], and `tests/scheduler_diff.rs` drives both
+//! with identical operation streams to prove they agree.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, BTreeSet};
 
 use crate::time::Time;
 
 /// A handle to a scheduled event, usable for cancellation.
+///
+/// Ids are assigned from a single monotonic counter per queue, so the id
+/// doubles as the same-time tiebreaker: the ordering law is `(time, id)`.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct EventId(u64);
+
+impl EventId {
+    /// Rebuilds a handle from its raw counter value (scheduler internals).
+    pub(crate) fn from_raw(raw: u64) -> EventId {
+        EventId(raw)
+    }
+
+    /// The raw counter value behind the handle (scheduler internals).
+    pub(crate) fn raw(self) -> u64 {
+        self.0
+    }
+}
 
 struct Entry<E> {
     at: Time,
@@ -40,7 +60,9 @@ impl<E> Ord for Entry<E> {
 }
 
 /// A time-ordered queue of events with stable same-time ordering and
-/// O(log n) cancellation (lazy deletion).
+/// O(log n) cancellation (lazy deletion with bounded tombstone debt:
+/// the heap compacts whenever cancelled entries outnumber half the live
+/// ones, so cancel-heavy plans cannot grow it without bound).
 ///
 /// ```
 /// use hwdp_sim::events::EventQueue;
@@ -57,7 +79,10 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
     next_id: u64,
-    cancelled: std::collections::BTreeSet<EventId>,
+    /// Raw ids of scheduled-but-not-yet-fired, not-cancelled events. Heap
+    /// entries whose id left this set are tombstones, skipped lazily and
+    /// bounded by [`Self::maybe_compact`].
+    pending: BTreeSet<u64>,
     now: Time,
 }
 
@@ -74,7 +99,7 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             next_seq: 0,
             next_id: 0,
-            cancelled: std::collections::BTreeSet::new(),
+            pending: BTreeSet::new(),
             now: Time::ZERO,
         }
     }
@@ -94,25 +119,42 @@ impl<E> EventQueue<E> {
         self.next_id += 1;
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.pending.insert(id.0);
         self.heap.push(Entry { at, seq, id, payload });
         id
     }
 
-    /// Cancels a previously scheduled event. Returns `true` if the event had
-    /// not yet fired or been cancelled.
+    /// Cancels a previously scheduled event. Returns `true` if the event
+    /// was still pending — ids that already fired (or were already
+    /// cancelled, or were never issued) report `false`.
     pub fn cancel(&mut self, id: EventId) -> bool {
         if id.0 >= self.next_id {
             return false;
         }
-        self.cancelled.insert(id)
+        if !self.pending.remove(&id.0) {
+            return false;
+        }
+        self.maybe_compact();
+        true
+    }
+
+    /// Drops tombstoned heap entries once cancelled entries outnumber half
+    /// the live ones, bounding the queue's footprint under cancel-heavy
+    /// plans (fault-injection watchdogs cancel almost every event).
+    fn maybe_compact(&mut self) {
+        let cancelled = self.heap.len() - self.pending.len();
+        if cancelled > self.pending.len() / 2 {
+            let pending = &self.pending;
+            self.heap.retain(|e| pending.contains(&e.id.0));
+        }
     }
 
     /// Pops the earliest pending event, advancing [`Self::now`] to its
     /// timestamp (clamped so time never goes backwards).
     pub fn pop(&mut self) -> Option<(Time, E)> {
         while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.id) {
-                continue;
+            if !self.pending.remove(&entry.id.0) {
+                continue; // cancelled tombstone
             }
             self.now = self.now.max(entry.at);
             return Some((self.now, entry.payload));
@@ -124,19 +166,17 @@ impl<E> EventQueue<E> {
     pub fn peek_time(&mut self) -> Option<Time> {
         // Purge cancelled heads so peek agrees with the next pop.
         while let Some(entry) = self.heap.peek() {
-            if self.cancelled.contains(&entry.id) {
-                let entry = self.heap.pop().expect("peeked entry exists");
-                self.cancelled.remove(&entry.id);
-                continue;
+            if self.pending.contains(&entry.id.0) {
+                return Some(entry.at);
             }
-            return Some(entry.at);
+            self.heap.pop();
         }
         None
     }
 
     /// Number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.pending.len()
     }
 
     /// Returns `true` if no events are pending.
@@ -214,6 +254,15 @@ mod tests {
     }
 
     #[test]
+    fn cancel_of_popped_id_is_false() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(at(10), 'a');
+        assert_eq!(q.pop().map(|(_, e)| e), Some('a'));
+        assert!(!q.cancel(a), "a fired event is no longer cancellable");
+        assert_eq!(q.len(), 0, "phantom tombstones must not distort len()");
+    }
+
+    #[test]
     fn peek_skips_cancelled() {
         let mut q = EventQueue::new();
         let a = q.schedule(at(10), 'a');
@@ -228,5 +277,42 @@ mod tests {
         assert!(q.is_empty());
         assert_eq!(q.pop(), None);
         assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn cancel_heavy_plan_does_not_grow_the_queue_unboundedly() {
+        // A fault-injection-style plan: every scheduled watchdog is
+        // cancelled before it fires. Without compaction the heap retains
+        // one tombstone per cancel forever; with the cancelled > live/2
+        // threshold the physical heap stays within a small factor of the
+        // live count.
+        let mut q = EventQueue::new();
+        let mut keep = Vec::new();
+        for round in 0u64..200 {
+            for i in 0..10 {
+                let id = q.schedule(at(round * 100 + i), (round, i));
+                if i == 0 {
+                    keep.push(id);
+                } else {
+                    assert!(q.cancel(id));
+                }
+            }
+        }
+        assert_eq!(q.len(), keep.len());
+        assert!(
+            q.heap.len() <= q.len() + q.len() / 2 + 1,
+            "tombstone debt unbounded: heap holds {} entries for {} live events",
+            q.heap.len(),
+            q.len()
+        );
+        // The survivors still pop in exact (time, id) order.
+        let mut last = Time::ZERO;
+        let mut popped = 0;
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= last);
+            last = t;
+            popped += 1;
+        }
+        assert_eq!(popped, keep.len());
     }
 }

@@ -7,6 +7,10 @@
 //!   [`time::Duration`]), CPU frequencies and cycle/nanosecond conversion.
 //! * [`events`] — a stable, deterministic event queue ([`events::EventQueue`])
 //!   keyed by `(time, sequence)` so same-time events fire in insertion order.
+//! * [`sched`] — the pluggable [`sched::Scheduler`] contract behind that
+//!   queue, its production hierarchical timing wheel
+//!   ([`sched::TimingWheel`]), and the [`sched::EventScheduler`] dispatch
+//!   enum the system core embeds.
 //! * [`rng`] — a small, seedable, portable PRNG ([`rng::Prng`], SplitMix64 +
 //!   xoshiro256**) so simulations never depend on platform entropy.
 //! * [`dist`] — workload distributions (uniform, Zipfian, scrambled Zipfian,
@@ -38,10 +42,12 @@ pub mod dist;
 pub mod events;
 pub mod rng;
 pub mod sanitize;
+pub mod sched;
 pub mod stats;
 pub mod time;
 
 pub use events::EventQueue;
+pub use sched::{EventScheduler, Scheduler, SchedulerKind, TimingWheel};
 pub use rng::Prng;
 pub use sanitize::{AuditReport, SanitizeLevel, Sanitizer, Violation};
 pub use time::{Duration, Freq, Time};

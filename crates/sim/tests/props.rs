@@ -3,6 +3,7 @@
 use hwdp_sim::dist::{Latest, ScrambledZipfian, Zipfian};
 use hwdp_sim::events::EventQueue;
 use hwdp_sim::rng::Prng;
+use hwdp_sim::sched::TimingWheel;
 use hwdp_sim::stats::LatencyHist;
 use hwdp_sim::time::{Duration, Freq, Time};
 use proptest::prelude::*;
@@ -102,6 +103,29 @@ proptest! {
             prop_assert!(w[0].0 <= w[1].0, "time order");
             if w[0].0 == w[1].0 {
                 prop_assert!(w[0].1 < w[1].1, "FIFO among equal times");
+            }
+        }
+    }
+
+    /// The timing wheel satisfies the same total-order law as the heap
+    /// queue: everything pops, in time order, FIFO among equal times
+    /// (the full observational diff lives in `tests/scheduler_diff.rs`).
+    #[test]
+    fn timing_wheel_total_order(times in prop::collection::vec(0u64..1000u64, 1..100)) {
+        let mut w = TimingWheel::new();
+        for (i, &t) in times.iter().enumerate() {
+            w.schedule(Time::ZERO + Duration::from_nanos(t), (t, i));
+        }
+        let mut popped = Vec::new();
+        while let Some((at, (t, i))) = w.pop() {
+            prop_assert_eq!(at.since_start().as_nanos(), t);
+            popped.push((t, i));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for win in popped.windows(2) {
+            prop_assert!(win[0].0 <= win[1].0, "time order");
+            if win[0].0 == win[1].0 {
+                prop_assert!(win[0].1 < win[1].1, "FIFO among equal times");
             }
         }
     }

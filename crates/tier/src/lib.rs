@@ -277,6 +277,11 @@ pub struct TierEngine {
     epoch_hits: Vec<(u64, u64)>,
     /// Totals already folded into `epoch_hits`.
     counted_hits: (u64, u64),
+    /// Scratch buffers reused across ticks so steady-state planning does
+    /// not allocate (always drained before a tick returns).
+    scratch_cands: Vec<(u32, u64)>,
+    scratch_views: Vec<PageView>,
+    scratch_victims: Vec<(u8, u64, u64)>,
 }
 
 impl TierEngine {
@@ -297,6 +302,9 @@ impl TierEngine {
             slow_hits: 0,
             epoch_hits: Vec::new(),
             counted_hits: (0, 0),
+            scratch_cands: Vec::new(),
+            scratch_views: Vec::new(),
+            scratch_victims: Vec::new(),
         }
     }
 
@@ -382,29 +390,42 @@ impl TierEngine {
     /// page cache). Planned pages are marked in flight; the driver must
     /// later [`TierEngine::commit`] or [`TierEngine::abort`] each one.
     /// After planning, heats decay by half and the epoch advances.
-    pub fn plan_tick(&mut self, mut eligible: impl FnMut(u64) -> bool) -> Vec<MigrationPlan> {
-        let epoch = self.epoch;
+    pub fn plan_tick(&mut self, eligible: impl FnMut(u64) -> bool) -> Vec<MigrationPlan> {
         let mut plans = Vec::new();
+        self.plan_tick_into(eligible, &mut plans);
+        plans
+    }
+
+    /// Allocation-free [`TierEngine::plan_tick`]: planned migrations are
+    /// appended to the caller's scratch buffer, and the intermediate
+    /// candidate/victim lists reuse engine-owned scratch storage.
+    pub fn plan_tick_into(
+        &mut self,
+        mut eligible: impl FnMut(u64) -> bool,
+        plans: &mut Vec<MigrationPlan>,
+    ) {
+        let epoch = self.epoch;
 
         // Promotion candidates: hottest first, key order tie-break.
-        let mut cands: Vec<(u32, u64)> = self
-            .pages
-            .iter()
-            .filter(|(k, p)| {
-                matches!(p.residence, TierResidence::Slow)
-                    && self.policy.promote(
-                        &PageView { key: **k, heat: p.heat, last_epoch: p.last_epoch },
-                        epoch,
-                    )
-            })
-            .map(|(k, p)| (p.heat, *k))
-            .collect();
+        let mut cands = std::mem::take(&mut self.scratch_cands);
+        cands.extend(
+            self.pages
+                .iter()
+                .filter(|(k, p)| {
+                    matches!(p.residence, TierResidence::Slow)
+                        && self.policy.promote(
+                            &PageView { key: **k, heat: p.heat, last_epoch: p.last_epoch },
+                            epoch,
+                        )
+                })
+                .map(|(k, p)| (p.heat, *k)),
+        );
         cands.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
 
         let limit = self.fast_limit();
         let mut promoted = 0usize;
         let mut overflow = 0usize;
-        for (_, key) in cands {
+        for (_, key) in cands.drain(..) {
             if promoted >= self.cfg.batch || self.fast_map.len() >= limit {
                 // Pressure: candidates that could not be placed this tick
                 // drive room-making demotions below; the page retries on a
@@ -423,17 +444,19 @@ impl TierEngine {
             plans.push(MigrationPlan::Promote { key, fast_lba: f });
             promoted += 1;
         }
+        self.scratch_cands = cands;
 
         // Demotion victims: policy-driven demotions first, then (only
         // under promotion pressure) forced demotions of the coldest
         // fast-resident pages to make room for the next tick.
-        let fast_resident: Vec<PageView> = self
-            .pages
-            .iter()
-            .filter(|(_, p)| matches!(p.residence, TierResidence::Fast(_)))
-            .map(|(k, p)| PageView { key: *k, heat: p.heat, last_epoch: p.last_epoch })
-            .collect();
-        let mut victims: Vec<(u8, u64, u64)> = Vec::new();
+        let mut fast_resident = std::mem::take(&mut self.scratch_views);
+        fast_resident.extend(
+            self.pages
+                .iter()
+                .filter(|(_, p)| matches!(p.residence, TierResidence::Fast(_)))
+                .map(|(k, p)| PageView { key: *k, heat: p.heat, last_epoch: p.last_epoch }),
+        );
+        let mut victims = std::mem::take(&mut self.scratch_victims);
         for v in &fast_resident {
             match self.policy.demote(v, epoch) {
                 Some(score) => victims.push((0, score, v.key)),
@@ -448,7 +471,7 @@ impl TierEngine {
         victims.sort_unstable();
         let mut demoted = 0usize;
         let mut forced = 0usize;
-        for (kind, _, key) in victims {
+        for (kind, _, key) in victims.drain(..) {
             if demoted >= self.cfg.batch {
                 break;
             }
@@ -467,6 +490,9 @@ impl TierEngine {
             plans.push(MigrationPlan::Demote { key, fast_lba: f });
             demoted += 1;
         }
+        fast_resident.clear();
+        self.scratch_views = fast_resident;
+        self.scratch_victims = victims;
 
         // Close the epoch: fold hit deltas, decay heat, advance.
         let delta =
@@ -477,7 +503,6 @@ impl TierEngine {
             p.heat /= 2;
         }
         self.epoch += 1;
-        plans
     }
 
     /// Commits an in-flight migration: ownership transfers atomically at
@@ -532,19 +557,28 @@ impl TierEngine {
                 fast as f64 / total as f64
             }
         };
-        // Hits since the last tick form a final partial epoch.
-        let mut epochs = self.epoch_hits.clone();
+        // Hits since the last tick form a final partial epoch, summed in
+        // place (no copy of the epoch history).
         let tail =
             (self.fast_hits - self.counted_hits.0, self.slow_hits - self.counted_hits.1);
-        if tail != (0, 0) {
-            epochs.push(tail);
+        let len = self.epoch_hits.len() + usize::from(tail != (0, 0));
+        let mid = len / 2;
+        // The early window always covers at least one epoch when any exist
+        // (`mid` is 0 for a single epoch, which then lands in both halves).
+        let early_end = mid.max(usize::from(len > 0));
+        let (mut early_f, mut early_s) = (0u64, 0u64);
+        let (mut late_f, mut late_s) = (0u64, 0u64);
+        for i in 0..len {
+            let d = self.epoch_hits.get(i).copied().unwrap_or(tail);
+            if i < early_end {
+                early_f += d.0;
+                early_s += d.1;
+            }
+            if i >= mid {
+                late_f += d.0;
+                late_s += d.1;
+            }
         }
-        let mid = epochs.len() / 2;
-        let sum = |slice: &[(u64, u64)]| {
-            slice.iter().fold((0, 0), |acc, d| (acc.0 + d.0, acc.1 + d.1))
-        };
-        let (early_f, early_s) = sum(&epochs[..mid.max(usize::from(!epochs.is_empty()))]);
-        let (late_f, late_s) = sum(&epochs[mid..]);
         TierReport {
             promotions: self.promotions,
             demotions: self.demotions,
@@ -591,17 +625,15 @@ impl Sanitizer for TierEngine {
         }
         // tier-fast-capacity: the reserved fast-tier population (resident
         // plus in-flight) never exceeds the configured capacity.
-        report.check(
+        report.check_args(
             "tier",
             "tier-fast-capacity",
             self.fast_map.len() <= self.fast_limit(),
-            || {
-                format!(
-                    "fast tier holds {} pages, capacity {}",
-                    self.fast_map.len(),
-                    self.fast_limit()
-                )
-            },
+            format_args!(
+                "fast tier holds {} pages, capacity {}",
+                self.fast_map.len(),
+                self.fast_limit()
+            ),
         );
         if !level.full_checks() {
             return;
@@ -618,9 +650,12 @@ impl Sanitizer for TierEngine {
                         | TierResidence::DemoteInFlight(r)
                 ) if r == *f
             );
-            report.check("tier", "tier-fast-owner-unique", ok, || {
-                format!("fast LBA {f} maps to page {key} whose residence does not own it")
-            });
+            report.check_args(
+                "tier",
+                "tier-fast-owner-unique",
+                ok,
+                format_args!("fast LBA {f} maps to page {key} whose residence does not own it"),
+            );
         }
         for (key, p) in &self.pages {
             let (claimed, lba) = match p.residence {
@@ -630,11 +665,11 @@ impl Sanitizer for TierEngine {
                 | TierResidence::DemoteInFlight(f) => (true, f),
             };
             if claimed {
-                report.check(
+                report.check_args(
                     "tier",
                     "tier-fast-owner-unique",
                     self.fast_map.get(&lba) == Some(key),
-                    || format!("page {key} claims fast LBA {lba} without owning it"),
+                    format_args!("page {key} claims fast LBA {lba} without owning it"),
                 );
             }
             // tier-inflight-residence: in-flight pages still hold a
@@ -644,11 +679,11 @@ impl Sanitizer for TierEngine {
                 p.residence,
                 TierResidence::PromoteInFlight(_) | TierResidence::DemoteInFlight(_)
             ) {
-                report.check(
+                report.check_args(
                     "tier",
                     "tier-inflight-residence",
                     lba < self.next_fast && !self.free_fast.contains(&lba),
-                    || format!("in-flight page {key} holds unissued or freed fast LBA {lba}"),
+                    format_args!("in-flight page {key} holds unissued or freed fast LBA {lba}"),
                 );
             }
         }

@@ -86,6 +86,27 @@ echo "== harness: regression gate =="
   --current "$out/BENCH_seed.json" \
   --threshold 5
 
+echo "== scheduler: throughput smoke (Fig. 12 grid, heap backend) =="
+# The same 16-job grid with throughput instrumentation on and the
+# reference heap scheduler selected. Three assertions in one run: the
+# HWDP_SCHEDULER knob is honoured end-to-end, the simulated results are
+# byte-identical to the wheel-backend baseline (the compare gate below
+# tolerates the extra informational keys but still gates every
+# simulated metric), and every job exports a nonzero `events_per_sec`.
+HWDP_THROUGHPUT=1 HWDP_SCHEDULER=heap ./target/release/hwdp sweep \
+  --name throughput \
+  --scenarios fio,ycsb-c --modes osdp,hwdp \
+  --threads-list 1,2 --ratios 2,4 \
+  --memory 256 --ops 150 --seed 42 \
+  --workers 4 --out "$out"
+grep -Eq '"events_processed": [1-9]' "$out/BENCH_throughput.json"
+grep -Eq '"events_per_sec": [1-9]' "$out/BENCH_throughput.json"
+./target/release/hwdp compare \
+  --baseline baselines/BENCH_seed.json \
+  --current "$out/BENCH_throughput.json" \
+  --threshold 5
+echo "scheduler: heap backend matches baseline, events_per_sec exported"
+
 echo "== hwdp-audit: full-sanitize smoke campaign =="
 # The same 16 jobs with every cross-layer invariant checker enabled. The
 # sweep exits nonzero if any violation fires and writes AUDIT_audit.json;
